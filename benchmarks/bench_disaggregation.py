@@ -1,0 +1,146 @@
+"""E11: device-cloud-storage disaggregation (paper Sec. IV-E2, Fig. 7).
+
+Claims: device-side aggregation "separate[s] part of the computation ...
+to the device side", cutting uplink traffic; caching "data in the buffer
+pool as much as possible" reduces storage-tier reads; space-aware eviction
+protects critical pages.  Shapes: uplink bytes drop ~window-fold with
+aggregation; hit rate rises with pool size; space-aware eviction keeps
+physical-location pages resident under media pressure.
+"""
+
+import random
+import sys
+
+from repro.core import DataKind, Space
+from repro.platform import DeviceGateway
+from repro.storage import BufferPool, LRUKPolicy, LRUPolicy, PageMeta, SpaceAwarePolicy
+from repro.workloads import CityConfig, SensorGrid
+
+POOL_SIZES = [16, 64, 256, 1024]
+
+
+def run_uplink_comparison(minutes=5):
+    grid = SensorGrid(CityConfig(grid_side=20), seed=1)
+    sample = grid.stream(minutes * 60.0, start_t=18 * 3600.0)
+    raw_gateway = DeviceGateway(aggregate=False)
+    agg_gateway = DeviceGateway(aggregate=True, group_fn=grid.district_of)
+    raw_gateway.ingest_many(sample)
+    agg_gateway.ingest_many(sample)
+    _, raw_bytes = raw_gateway.flush()
+    _, agg_bytes = agg_gateway.flush()
+    return {
+        "readings": len(sample),
+        "raw_bytes": raw_bytes,
+        "agg_bytes": agg_bytes,
+        "reduction": raw_bytes / max(1, agg_bytes),
+    }
+
+
+def _page_meta(key):
+    if key.startswith("loc"):
+        return PageMeta(space=Space.PHYSICAL, kind=DataKind.LOCATION)
+    return PageMeta(space=Space.VIRTUAL, kind=DataKind.MEDIA)
+
+
+def _zipf_trace(n_pages=2000, n_accesses=20_000, seed=2):
+    rng = random.Random(seed)
+    trace = []
+    for _ in range(n_accesses):
+        rank = int(rng.paretovariate(1.2))
+        page = min(n_pages - 1, rank)
+        kind = "loc" if page < n_pages // 4 else "media"
+        trace.append(f"{kind}-{page:05d}")
+    return trace
+
+
+def run_pool_sweep(n_accesses=20_000):
+    trace = _zipf_trace(n_accesses=n_accesses)
+    rows = []
+    for capacity in POOL_SIZES:
+        pool = BufferPool(
+            capacity=capacity, loader=lambda k: (k, _page_meta(str(k)))
+        )
+        for key in trace:
+            pool.get(key)
+        rows.append(
+            {
+                "pool_pages": capacity,
+                "hit_rate": pool.hit_rate(),
+                "storage_reads": pool.misses,
+            }
+        )
+    return rows
+
+
+def run_policy_ablation(capacity=64, n_accesses=20_000):
+    """Ablation: LRU vs LRU-2 vs space-aware, hot-location hit rate."""
+    trace = _zipf_trace(n_accesses=n_accesses)
+    out = {}
+    for name, policy in [
+        ("lru", LRUPolicy()),
+        ("lru-2", LRUKPolicy(k=2)),
+        ("space-aware", SpaceAwarePolicy()),
+    ]:
+        pool = BufferPool(
+            capacity=capacity, loader=lambda k: (k, _page_meta(str(k))), policy=policy
+        )
+        location_hits = location_total = 0
+        for key in trace:
+            before = pool.hits
+            pool.get(key)
+            if key.startswith("loc"):
+                location_total += 1
+                location_hits += int(pool.hits > before)
+        out[name] = {
+            "overall_hit_rate": pool.hit_rate(),
+            "location_hit_rate": location_hits / max(1, location_total),
+        }
+    return out
+
+
+def test_e11_aggregation_cuts_uplink(benchmark):
+    out = benchmark.pedantic(
+        run_uplink_comparison, kwargs={"minutes": 1}, rounds=1, iterations=1
+    )
+    assert out["reduction"] > 10
+
+
+def test_e11_hit_rate_rises_with_pool(benchmark):
+    rows = benchmark.pedantic(
+        run_pool_sweep, kwargs={"n_accesses": 5000}, rounds=1, iterations=1
+    )
+    hit_rates = [row["hit_rate"] for row in rows]
+    assert hit_rates == sorted(hit_rates)
+    reads = [row["storage_reads"] for row in rows]
+    assert reads == sorted(reads, reverse=True)
+
+
+def test_e11_space_aware_protects_location_pages(benchmark):
+    out = benchmark.pedantic(
+        run_policy_ablation, kwargs={"n_accesses": 5000}, rounds=1, iterations=1
+    )
+    assert (
+        out["space-aware"]["location_hit_rate"]
+        >= out["lru"]["location_hit_rate"]
+    )
+
+
+def report(file=sys.stdout):
+    up = run_uplink_comparison()
+    print("== E11a: device-side aggregation ==", file=file)
+    print(f"{up['readings']:,} readings: raw uplink {up['raw_bytes']:,} B, "
+          f"aggregated {up['agg_bytes']:,} B ({up['reduction']:.0f}x less)",
+          file=file)
+    print("\n== E11b: buffer pool hit rate vs size (Zipf trace) ==", file=file)
+    print(f"{'pages':>6} {'hit rate':>9} {'storage reads':>14}", file=file)
+    for row in run_pool_sweep():
+        print(f"{row['pool_pages']:>6} {row['hit_rate']:>8.1%} "
+              f"{row['storage_reads']:>14,}", file=file)
+    print("\n== E11c: eviction-policy ablation (64 pages) ==", file=file)
+    for name, stats in run_policy_ablation().items():
+        print(f"{name:>12}: overall {stats['overall_hit_rate']:.1%}, "
+              f"location pages {stats['location_hit_rate']:.1%}", file=file)
+
+
+if __name__ == "__main__":
+    report()

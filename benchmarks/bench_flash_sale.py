@@ -1,0 +1,106 @@
+"""E4: flash-sale scaling on the disaggregated platform (paper Sec. IV-E).
+
+Claim: "metaverse databases need to handle large amounts of requests not
+only from the virtual shop, but also from the physical shop" and must
+scale elastically.  Shape: throughput scales with executor count until hot
+items serialize the work; space-aware priority favours physical shoppers
+on the last units.
+"""
+
+import sys
+
+from repro.core import Space
+from repro.platform import MetaversePlatform
+from repro.workloads import FlashSaleConfig, MarketplaceWorkload
+
+EXECUTOR_COUNTS = [1, 2, 4, 8, 16]
+
+
+def make_requests(skew, n=2000, seed=3):
+    workload = MarketplaceWorkload(
+        FlashSaleConfig(
+            n_products=64, initial_stock=10_000, zipf_skew=skew,
+            burst_rate=500.0, burst_start=0.0, burst_end=n / 500.0 + 1,
+        ),
+        seed=seed,
+    )
+    requests = workload.requests_between(0.0, n / 500.0 + 1)[:n]
+    return workload, requests
+
+
+def run_executor_sweep(skew):
+    rows = []
+    for n_executors in EXECUTOR_COUNTS:
+        workload, requests = make_requests(skew)
+        platform = MetaversePlatform(n_executors=n_executors)
+        platform.load_catalog(workload.catalog_records())
+        platform.process_purchases(requests)
+        rows.append(
+            {
+                "executors": n_executors,
+                "throughput": platform.throughput(len(requests)),
+            }
+        )
+    return rows
+
+
+def run_priority_outcome():
+    """Who gets the last unit under contention, by space."""
+    workload = MarketplaceWorkload(
+        FlashSaleConfig(n_products=5, initial_stock=5, physical_fraction=0.3,
+                        burst_rate=300.0, burst_start=0.0, burst_end=2.0),
+        seed=4,
+    )
+    requests = workload.requests_between(0.0, 2.0)
+    out = {}
+    for priority in (True, False):
+        platform = MetaversePlatform(physical_priority=priority)
+        platform.load_catalog(workload.catalog_records())
+        outcomes = platform.process_purchases(requests)
+        physical_wins = sum(
+            o.success for o in outcomes if o.request.space is Space.PHYSICAL
+        )
+        virtual_wins = sum(
+            o.success for o in outcomes if o.request.space is Space.VIRTUAL
+        )
+        out["space-aware" if priority else "fifo"] = (physical_wins, virtual_wins)
+    return out
+
+
+def test_e4_throughput_scales_until_contention(benchmark):
+    def run():
+        return run_executor_sweep(skew=0.2), run_executor_sweep(skew=1.5)
+
+    uniform, skewed = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Near-uniform demand scales well with executors.
+    assert uniform[-1]["throughput"] > 3 * uniform[0]["throughput"]
+    # Hot-item skew caps the gains: speedup is visibly smaller.
+    uniform_gain = uniform[-1]["throughput"] / uniform[0]["throughput"]
+    skewed_gain = skewed[-1]["throughput"] / skewed[0]["throughput"]
+    assert skewed_gain < uniform_gain
+
+
+def test_e4_space_priority_favours_physical(benchmark):
+    out = benchmark.pedantic(run_priority_outcome, rounds=1, iterations=1)
+    aware_physical, _ = out["space-aware"]
+    fifo_physical, _ = out["fifo"]
+    assert aware_physical >= fifo_physical
+
+
+def report(file=sys.stdout):
+    print("== E4: flash-sale throughput vs executors ==", file=file)
+    print(f"{'executors':>10} {'uniform demand':>16} {'zipf 1.5 demand':>16}",
+          file=file)
+    uniform = run_executor_sweep(skew=0.2)
+    skewed = run_executor_sweep(skew=1.5)
+    for u, s in zip(uniform, skewed):
+        print(f"{u['executors']:>10} {u['throughput']:>14,.0f}/s "
+              f"{s['throughput']:>14,.0f}/s", file=file)
+    out = run_priority_outcome()
+    print("\n-- last-unit allocation (physical wins, virtual wins) --", file=file)
+    for name, (physical, virtual) in out.items():
+        print(f"{name:>12}: physical {physical}, virtual {virtual}", file=file)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,85 @@
+"""E7: visibility/LOD-culled walkthroughs (paper Sec. IV-F; [70], [71]).
+
+Claim: an HDoV-style structure serving "content at different degrees of
+visibility" cuts walkthrough transfer volume by orders of magnitude versus
+shipping the full scene, with no loss of the visible set.
+"""
+
+import random
+import sys
+
+from repro.spatial import BBox, HDoVTree, Point, SceneObject
+
+DOMAIN = BBox(0, 0, 10_000, 10_000)
+SCENE_SIZES = [1000, 5000, 10_000]
+
+
+def build_scene(n_objects, seed=0):
+    rng = random.Random(seed)
+    tree = HDoVTree(DOMAIN, leaf_capacity=16)
+    for i in range(n_objects):
+        tree.insert(
+            SceneObject(
+                object_id=f"obj-{i}",
+                position=Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000)),
+                radius=rng.uniform(1.0, 8.0),
+                lod_bytes=(200, 2_000, 20_000, 200_000),
+            )
+        )
+    return tree
+
+
+def walkthrough_path(steps=20):
+    return [Point(1000 + 300 * i, 5000) for i in range(steps)]
+
+
+def run_transfer_sweep():
+    rows = []
+    for n in SCENE_SIZES:
+        tree = build_scene(n)
+        walk = tree.walkthrough_bytes(walkthrough_path(), view_radius=800)
+        full = tree.full_scene_bytes()
+        rows.append(
+            {
+                "objects": n,
+                "walkthrough_bytes": walk,
+                "full_scene_bytes": full,
+                "reduction": full / max(1, walk),
+            }
+        )
+    return rows
+
+
+def test_e7_culling_cuts_bytes_with_total_recall(benchmark):
+    tree = build_scene(5000)
+    viewpoint = Point(5000, 5000)
+
+    visible = benchmark(lambda: tree.query_visible(viewpoint, view_radius=800))
+    # Recall: every object inside the radius above the cull threshold shows up.
+    ids = {v.obj.object_id for v in visible}
+    rng = random.Random(0)
+    for i in range(5000):
+        position = Point(rng.uniform(0, 10_000), rng.uniform(0, 10_000))
+        radius = rng.uniform(1.0, 8.0)
+        distance = position.distance_to(viewpoint)
+        if distance <= 800:
+            dov = HDoVTree.degree_of_visibility(radius, distance)
+            if dov >= tree.dov_thresholds[0]:
+                assert f"obj-{i}" in ids
+    rows = run_transfer_sweep()
+    for row in rows:
+        assert row["reduction"] > 10  # ">= an order of magnitude"
+
+
+def report(file=sys.stdout):
+    print("== E7: walkthrough transfer with HDoV culling ==", file=file)
+    print(f"{'objects':>8} {'walkthrough':>13} {'full scene':>12} {'reduction':>10}",
+          file=file)
+    for row in run_transfer_sweep():
+        print(f"{row['objects']:>8,} {row['walkthrough_bytes']:>12,}B "
+              f"{row['full_scene_bytes']:>11,}B {row['reduction']:>9.0f}x",
+              file=file)
+
+
+if __name__ == "__main__":
+    report()

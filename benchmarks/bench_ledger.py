@@ -1,0 +1,158 @@
+"""E8: verifiable-ledger proof costs and consensus overhead (Sec. IV-D).
+
+Claims: Merkle-backed ledgers give O(log n) proof sizes and fast
+verification ([87], [90]); byzantine fault tolerance "introduces a huge
+cost in replication and consensus": PBFT-style quorums exchange O(n^2)
+messages versus O(n) for crash-tolerant primary/backup.
+"""
+
+import math
+import sys
+
+from repro.core import EventScheduler
+from repro.ledger import LedgerDB, MerkleTree, PbftQuorum, PrimaryBackup, verify_inclusion
+from repro.net import Link, SimulatedNetwork
+
+LEDGER_SIZES = [2**8, 2**12, 2**16]
+
+
+def run_proof_sweep():
+    rows = []
+    for n in LEDGER_SIZES:
+        tree = MerkleTree()
+        for i in range(n):
+            tree.append(f"txn-{i}".encode())
+        proof = tree.inclusion_proof(n // 2)
+        rows.append(
+            {
+                "entries": n,
+                "proof_hashes": len(proof.audit_path),
+                "proof_bytes": proof.size_bytes,
+                "log2_n": math.log2(n),
+            }
+        )
+    return rows
+
+
+def run_consensus_sweep():
+    rows = []
+    for f in (1, 2, 3, 5):
+        scheduler = EventScheduler()
+        network = SimulatedNetwork(
+            scheduler, default_link=Link(latency_s=0.02, bandwidth_bps=1e12)
+        )
+        pbft = PbftQuorum(network, f=f)
+        outcome = pbft.propose(seq=1)
+        scheduler2 = EventScheduler()
+        network2 = SimulatedNetwork(
+            scheduler2, default_link=Link(latency_s=0.02, bandwidth_bps=1e12)
+        )
+        pb = PrimaryBackup(network2, n_replicas=pbft.n)
+        pb_outcome = pb.replicate({"k": 1})
+        rows.append(
+            {
+                "replicas": pbft.n,
+                "pbft_messages": outcome.messages,
+                "pbft_latency": outcome.latency,
+                "pb_messages": pb_outcome.messages,
+                "pb_latency": pb_outcome.latency,
+            }
+        )
+    return rows
+
+
+def test_e8_proof_size_logarithmic(benchmark):
+    tree = MerkleTree()
+    for i in range(2**12):
+        tree.append(f"txn-{i}".encode())
+    root = tree.root()
+    proof = tree.inclusion_proof(2**11)
+
+    verified = benchmark(lambda: verify_inclusion(b"txn-2048", proof, root))
+    assert verified
+    rows = run_proof_sweep()
+    for row in rows:
+        assert row["proof_hashes"] <= row["log2_n"] + 1
+    # 256x more entries adds only a handful of hashes.
+    assert rows[-1]["proof_hashes"] - rows[0]["proof_hashes"] <= 8
+
+
+def test_e8_pbft_quadratic_vs_primary_backup_linear(benchmark):
+    rows = benchmark.pedantic(run_consensus_sweep, rounds=1, iterations=1)
+    small, large = rows[0], rows[-1]
+    replica_growth = large["replicas"] / small["replicas"]
+    # Primary/backup sends 2(n-1) messages: linear in the backup count.
+    backup_growth = (large["replicas"] - 1) / (small["replicas"] - 1)
+    pbft_growth = large["pbft_messages"] / small["pbft_messages"]
+    pb_growth = large["pb_messages"] / small["pb_messages"]
+    assert pbft_growth > 1.8 * replica_growth   # super-linear (quadratic)
+    assert pb_growth <= 1.2 * backup_growth     # linear
+    for row in rows:
+        assert row["pbft_latency"] > row["pb_latency"]  # 3 phases vs 1 RTT
+
+
+def run_block_size_ablation(n_entries=2000):
+    """Ablation: per-entry sealing vs batched blocks.
+
+    Sealing a block costs a tree-head recomputation; batching amortizes it.
+    """
+    import time
+
+    rows = []
+    for block_size in (1, 16, 256):
+        ledger = LedgerDB(block_size=block_size)
+        start = time.perf_counter()
+        for i in range(n_entries):
+            ledger.put(f"k{i}", i)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "block_size": block_size,
+                "appends_per_s": n_entries / elapsed,
+                "blocks": len(ledger.blocks),
+            }
+        )
+    return rows
+
+
+def test_e8_batched_sealing_faster(benchmark):
+    rows = benchmark.pedantic(
+        run_block_size_ablation, kwargs={"n_entries": 500}, rounds=1, iterations=1
+    )
+    by_size = {row["block_size"]: row["appends_per_s"] for row in rows}
+    assert by_size[256] > 2 * by_size[1]
+
+
+def test_e8_ledger_append_throughput(benchmark):
+    ledger = LedgerDB(block_size=64)
+    counter = iter(range(10**9))
+
+    def append():
+        i = next(counter)
+        ledger.put(f"k{i}", {"v": i})
+
+    benchmark(append)
+
+
+def report(file=sys.stdout):
+    print("== E8a: Merkle inclusion proof size ==", file=file)
+    print(f"{'entries':>8} {'hashes':>7} {'bytes':>7}", file=file)
+    for row in run_proof_sweep():
+        print(f"{row['entries']:>8,} {row['proof_hashes']:>7} "
+              f"{row['proof_bytes']:>7}", file=file)
+    print("\n-- E8 ablation: sealing granularity --", file=file)
+    print(f"{'block size':>11} {'appends/s':>11} {'blocks':>7}", file=file)
+    for row in run_block_size_ablation():
+        print(f"{row['block_size']:>11} {row['appends_per_s']:>11,.0f} "
+              f"{row['blocks']:>7}", file=file)
+    print("\n== E8b: consensus message counts (20 ms links) ==", file=file)
+    print(f"{'replicas':>9} {'pbft msgs':>10} {'pb msgs':>8} "
+          f"{'pbft lat':>9} {'pb lat':>8}", file=file)
+    for row in run_consensus_sweep():
+        print(f"{row['replicas']:>9} {row['pbft_messages']:>10} "
+              f"{row['pb_messages']:>8} {row['pbft_latency']:>8.3f}s "
+              f"{row['pb_latency']:>7.3f}s", file=file)
+
+
+if __name__ == "__main__":
+    report()

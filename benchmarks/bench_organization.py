@@ -1,0 +1,76 @@
+"""E15: space-tagged vs separate vs hybrid data organization (Sec. IV-F).
+
+Claim: whether same-type data from the two spaces should live together is
+workload-dependent; a hybrid per-type strategy can take the best of both.
+Shape: separate stores win single-space-heavy mixes, the tagged-unified
+store wins cross-space-heavy mixes, and hybrid avoids the worst case.
+"""
+
+import sys
+
+from repro.core import DataKind, DataRecord, Space
+from repro.world import make_organization, run_query_mix
+
+STRATEGIES = ["tagged-unified", "separate", "hybrid"]
+MIXES = [
+    ("single-heavy", 45, 5),
+    ("balanced", 25, 25),
+    ("cross-heavy", 5, 45),
+]
+
+
+def make_records(n_per_space=200):
+    out = []
+    for i in range(n_per_space):
+        for prefix, space in (("p", Space.PHYSICAL), ("v", Space.VIRTUAL)):
+            kind = DataKind.LOCATION if i % 2 == 0 else DataKind.MEDIA
+            out.append(
+                DataRecord(
+                    key=f"{prefix}-{i:05d}",
+                    payload={"v": i},
+                    space=space,
+                    timestamp=float(i),
+                    kind=kind,
+                )
+            )
+    return out
+
+
+def run_mix_sweep():
+    rows = []
+    for mix_name, single, cross in MIXES:
+        costs = {}
+        for strategy in STRATEGIES:
+            organization = make_organization(strategy)
+            costs[strategy] = run_query_mix(
+                organization, make_records(), single, cross
+            )
+        rows.append({"mix": mix_name, **costs})
+    return rows
+
+
+def test_e15_best_strategy_depends_on_mix(benchmark):
+    rows = benchmark.pedantic(run_mix_sweep, rounds=1, iterations=1)
+    by_mix = {row["mix"]: row for row in rows}
+    single = by_mix["single-heavy"]
+    cross = by_mix["cross-heavy"]
+    assert single["separate"] < single["tagged-unified"]
+    assert cross["tagged-unified"] < cross["separate"]
+    # Hybrid never the worst on any mix (the paper's hybrid intuition).
+    for row in rows:
+        costs = [row[s] for s in STRATEGIES]
+        assert row["hybrid"] < max(costs)
+
+
+def report(file=sys.stdout):
+    print("== E15: rows scanned by organization strategy "
+          "(400 rows, 50 queries) ==", file=file)
+    print(f"{'mix':>14} {'tagged':>10} {'separate':>10} {'hybrid':>10}",
+          file=file)
+    for row in run_mix_sweep():
+        print(f"{row['mix']:>14} {row['tagged-unified']:>10,} "
+              f"{row['separate']:>10,} {row['hybrid']:>10,}", file=file)
+
+
+if __name__ == "__main__":
+    report()

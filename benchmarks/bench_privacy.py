@@ -1,0 +1,84 @@
+"""E9: differential privacy utility/privacy trade-off (paper Sec. IV-D).
+
+Claims: DP "requires a delicate balance between minimizing privacy risk
+and maximizing data utility".  Shape: query error scales ~1/epsilon
+(Laplace), and advanced composition stretches a fixed budget across many
+more queries than basic composition.
+"""
+
+import random
+import sys
+
+from repro.privacy import (
+    PrivacyAccountant,
+    laplace_expected_error,
+    laplace_mechanism,
+)
+
+EPSILONS = [0.1, 0.5, 1.0, 2.0, 5.0, 10.0]
+
+
+def run_error_sweep(trials=5000, seed=0):
+    rng = random.Random(seed)
+    rows = []
+    for epsilon in EPSILONS:
+        errors = [
+            abs(laplace_mechanism(0.0, 1.0, epsilon, rng)) for _ in range(trials)
+        ]
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "mean_abs_error": sum(errors) / trials,
+                "theory": laplace_expected_error(1.0, epsilon),
+            }
+        )
+    return rows
+
+
+def run_composition_comparison(total_epsilon=1.0, eps_each=0.01):
+    """How many eps_each-queries fit a budget under each composition."""
+    basic_queries = int(total_epsilon / eps_each)
+    k = basic_queries
+    # Binary search the max k whose advanced-composition total fits.
+    lo, hi = 1, 100 * basic_queries
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if PrivacyAccountant.advanced_composition(eps_each, mid, 1e-6) <= total_epsilon:
+            lo = mid
+        else:
+            hi = mid - 1
+    return {"basic_queries": basic_queries, "advanced_queries": lo}
+
+
+def test_e9_error_inverse_in_epsilon(benchmark):
+    rows = benchmark.pedantic(
+        run_error_sweep, kwargs={"trials": 2000}, rounds=1, iterations=1
+    )
+    errors = [row["mean_abs_error"] for row in rows]
+    assert errors == sorted(errors, reverse=True)
+    # error(0.1) / error(10) ~ 100x.
+    assert errors[0] / errors[-1] > 50
+    for row in rows:
+        assert abs(row["mean_abs_error"] - row["theory"]) / row["theory"] < 0.25
+
+
+def test_e9_advanced_composition_stretches_budget(benchmark):
+    out = benchmark.pedantic(run_composition_comparison, rounds=1, iterations=1)
+    assert out["advanced_queries"] > 2 * out["basic_queries"]
+
+
+def report(file=sys.stdout):
+    print("== E9: Laplace mechanism error vs epsilon (sensitivity 1) ==",
+          file=file)
+    print(f"{'epsilon':>8} {'mean |err|':>11} {'theory':>8}", file=file)
+    for row in run_error_sweep():
+        print(f"{row['epsilon']:>8.1f} {row['mean_abs_error']:>11.3f} "
+              f"{row['theory']:>8.3f}", file=file)
+    out = run_composition_comparison()
+    print(f"\nbudget eps=1.0 at eps=0.01/query: basic composition fits "
+          f"{out['basic_queries']} queries, advanced fits "
+          f"{out['advanced_queries']}", file=file)
+
+
+if __name__ == "__main__":
+    report()

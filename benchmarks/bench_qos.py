@@ -1,0 +1,76 @@
+"""E17: multi-query QoS scheduling ([69]; paper Sec. IV-C/IV-G).
+
+Claim: scheduling multiple continuous queries against heterogeneous QoS
+targets needs deadline/weight awareness.  Shape: under overload the
+QoS-aware policy keeps the critical class near 100% deadline hit rate
+while round-robin starves it; EDF sits in between.
+"""
+
+import sys
+
+from repro.query import (
+    ContinuousQuerySpec,
+    EdfPolicy,
+    QosAwarePolicy,
+    QosScheduler,
+    RoundRobinPolicy,
+)
+
+N_TIGHT = 20
+N_LOOSE = 180
+TICKS = 100
+
+
+def build_and_run(policy, load_factor=0.5, ticks=TICKS):
+    total = N_TIGHT + N_LOOSE
+    scheduler = QosScheduler(policy, budget_per_tick=total * load_factor)
+    for i in range(N_LOOSE):
+        scheduler.register(
+            ContinuousQuerySpec(f"loose{i}", period=1.0, deadline=5.0, weight=1.0)
+        )
+    for i in range(N_TIGHT):
+        scheduler.register(
+            ContinuousQuerySpec(f"tight{i}", period=1.0, deadline=1.0, weight=10.0)
+        )
+    scheduler.run(ticks)
+    return scheduler.hit_rate_by_weight()
+
+
+def run_policy_comparison(load_factor=0.5):
+    return {
+        name: build_and_run(policy, load_factor)
+        for name, policy in [
+            ("round-robin", RoundRobinPolicy()),
+            ("edf", EdfPolicy()),
+            ("qos-aware", QosAwarePolicy()),
+        ]
+    }
+
+
+def test_e17_qos_aware_protects_critical_class(benchmark):
+    out = benchmark.pedantic(
+        run_policy_comparison, kwargs={"load_factor": 0.5}, rounds=1, iterations=1
+    )
+    assert out["qos-aware"][10.0] > 0.95
+    assert out["qos-aware"][10.0] > out["round-robin"][10.0]
+    assert out["edf"][10.0] >= out["round-robin"][10.0]
+
+
+def test_e17_underload_all_policies_fine(benchmark):
+    out = benchmark.pedantic(
+        run_policy_comparison, kwargs={"load_factor": 1.5}, rounds=1, iterations=1
+    )
+    for rates in out.values():
+        assert min(rates.values()) > 0.99
+
+
+def report(file=sys.stdout):
+    print(f"== E17: deadline hit rate by class under 2x overload "
+          f"({N_TIGHT} tight / {N_LOOSE} loose) ==", file=file)
+    print(f"{'policy':>12} {'tight class':>12} {'loose class':>12}", file=file)
+    for name, rates in run_policy_comparison().items():
+        print(f"{name:>12} {rates[10.0]:>11.1%} {rates[1.0]:>11.1%}", file=file)
+
+
+if __name__ == "__main__":
+    report()

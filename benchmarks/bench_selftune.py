@@ -1,0 +1,103 @@
+"""E19 + E20: self-driving optimization and human-machine co-learning.
+
+Paper claims:
+* Sec. IV-H — learned optimizer components go stale under "data and feature
+  drift"; making ML integral (detect drift, retrain) keeps them effective
+  (E19);
+* Sec. IV-I Fig. 8 — a bidirectional human-machine co-learning loop beats
+  the unidirectional workflow because "humans could learn from the model
+  and the model could learn from humans" (E20).
+"""
+
+import random
+import sys
+
+from repro.selftune import (
+    AdaptiveEstimator,
+    HistogramEstimator,
+    compare_workflows,
+)
+
+
+def run_drift_experiment(adaptive: bool, seed=4):
+    """Mean relative cardinality error before/after a distribution shift."""
+    state = {"mean": 100.0}
+
+    def provider():
+        rng = random.Random(3)
+        return [rng.gauss(state["mean"], 10.0) for _ in range(3000)]
+
+    estimator = AdaptiveEstimator(provider, retrain_on_drift=adaptive)
+    rng = random.Random(seed)
+
+    def run_queries(n):
+        column = sorted(provider())
+        for _ in range(n):
+            lo = rng.gauss(state["mean"], 10)
+            hi = lo + rng.uniform(2, 20)
+            true = HistogramEstimator.true_range_count(column, lo, hi)
+            estimator.feedback(lo, hi, true)
+
+    run_queries(60)
+    before = sum(estimator.errors) / len(estimator.errors)
+    state["mean"] = 200.0
+    run_queries(120)
+    return {
+        "mode": "adaptive" if adaptive else "static",
+        "error_before_drift": before,
+        "error_after_drift": estimator.recent_mean_error(),
+        "retrains": estimator.retrains,
+    }
+
+
+def run_colearn_comparison(seed=0):
+    reports = compare_workflows(n_cases=1500, seed=seed)
+    return {
+        name: {
+            "team_accuracy": report.team_accuracy,
+            "model_accuracy": report.model_accuracy,
+            "weak_concept_error": report.human_error_rates[-1],
+        }
+        for name, report in reports.items()
+    }
+
+
+def test_e19_adaptive_estimator_survives_drift(benchmark):
+    def run():
+        return run_drift_experiment(False), run_drift_experiment(True)
+
+    static, adaptive = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert static["error_after_drift"] > 5 * static["error_before_drift"]
+    assert adaptive["error_after_drift"] < static["error_after_drift"] / 2
+    assert adaptive["retrains"] >= 1
+
+
+def test_e20_colearning_wins(benchmark):
+    out = benchmark.pedantic(run_colearn_comparison, rounds=1, iterations=1)
+    assert out["co-learning"]["team_accuracy"] > out["machine-only"]["team_accuracy"]
+    assert (
+        out["co-learning"]["weak_concept_error"]
+        < out["machine-only"]["weak_concept_error"]
+    )
+
+
+def report(file=sys.stdout):
+    print("== E19: learned cardinality under data drift ==", file=file)
+    print(f"{'mode':>9} {'err before':>11} {'err after':>10} {'retrains':>9}",
+          file=file)
+    for adaptive in (False, True):
+        row = run_drift_experiment(adaptive)
+        print(f"{row['mode']:>9} {row['error_before_drift']:>11.3f} "
+              f"{row['error_after_drift']:>10.3f} {row['retrains']:>9}",
+              file=file)
+    print("\n== E20: learning workflows (Fig. 8) ==", file=file)
+    print(f"{'workflow':>17} {'team acc':>9} {'model acc':>10} "
+          f"{'weak-concept err':>17}", file=file)
+    for name, stats in run_colearn_comparison().items():
+        print(f"{name:>17} {stats['team_accuracy']:>8.1%} "
+              f"{stats['model_accuracy']:>9.1%} "
+              f"{stats['weak_concept_error']:>16.1%}", file=file)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,114 @@
+"""E12: serverless economics, cold starts, and TEE overhead (Sec. IV-E3/IV-D).
+
+Claims: fine-grained pay-per-use is the efficient way to serve bursty
+metaverse microservices; cold starts dominate tail latency; TEE
+partitioning adds a real but bounded overhead (SGX's "large overhead").
+"""
+
+import sys
+
+from repro.serverless import (
+    AppStage,
+    EnclaveProfile,
+    FunctionSpec,
+    PartitionedApp,
+    PricingModel,
+    ServerlessRuntime,
+    pay_per_use_cost,
+    provisioned_cost,
+    utilization,
+)
+
+
+def run_bursty_workload(bursts=10, per_burst=50, idle_s=600.0):
+    """Bursty sessions: 50 sequential requests, then ~10 minutes of silence.
+
+    Requests within a session arrive 1.5 s apart — slower than the 1.0 s
+    cold+exec latency — so the session reuses one warm instance after the
+    first (cold) request expires the long idle gap.
+    """
+    runtime = ServerlessRuntime(keep_alive_s=30.0)
+    runtime.register(FunctionSpec("render", exec_time_s=0.2, memory_mb=512, cold_start_s=0.8))
+    now = 0.0
+    for _ in range(bursts):
+        for i in range(per_burst):
+            runtime.invoke("render", now=now + i * 1.5)
+        now += idle_s
+    return runtime, now
+
+
+def run_economics():
+    runtime, window = run_bursty_workload()
+    pricing = PricingModel()
+    return {
+        "invocations": len(runtime.invocations),
+        "pay_per_use": pay_per_use_cost(runtime.invocations, pricing),
+        "provisioned": provisioned_cost(runtime.invocations, window, pricing),
+        "utilization": utilization(runtime.invocations, window),
+        "cold_fraction": runtime.cold_fraction(),
+    }
+
+
+def run_latency_profile():
+    runtime, _ = run_bursty_workload()
+    latencies = sorted(runtime.latencies())
+    def pct(p):
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+    return {"p50": pct(0.50), "p95": pct(0.95), "p99": pct(0.99)}
+
+
+def run_tee_overhead():
+    stages = [
+        AppStage("parse", 0.010, data_mb=2, sensitive=False),
+        AppStage("decrypt", 0.005, data_mb=32, sensitive=True),
+        AppStage("inference", 0.050, data_mb=96, sensitive=True),
+        AppStage("respond", 0.005, data_mb=2, sensitive=False),
+    ]
+    rows = []
+    for name, profile in [
+        ("sgx1-like", EnclaveProfile(epc_mb=96, paging_penalty_s_per_mb=4e-4,
+                                     compute_slowdown=1.3)),
+        ("sgx2-like", EnclaveProfile(epc_mb=512, paging_penalty_s_per_mb=1e-4,
+                                     compute_slowdown=1.1)),
+    ]:
+        app = PartitionedApp(stages, profile)
+        rows.append({"profile": name, "overhead": app.overhead_factor()})
+    return rows
+
+
+def test_e12_pay_per_use_wins_bursty(benchmark):
+    out = benchmark.pedantic(run_economics, rounds=1, iterations=1)
+    assert out["pay_per_use"] < out["provisioned"] / 10
+    assert out["utilization"] < 0.05
+
+
+def test_e12_cold_start_tail(benchmark):
+    out = benchmark.pedantic(run_latency_profile, rounds=1, iterations=1)
+    assert out["p99"] > 3 * out["p50"]
+
+
+def test_e12_tee_overhead_bounded_and_ordered(benchmark):
+    rows = benchmark.pedantic(run_tee_overhead, rounds=1, iterations=1)
+    by_name = {row["profile"]: row["overhead"] for row in rows}
+    assert by_name["sgx1-like"] > by_name["sgx2-like"] > 1.0
+    assert by_name["sgx1-like"] < 5.0  # large but not absurd
+
+
+def report(file=sys.stdout):
+    out = run_economics()
+    print("== E12a: serverless economics (bursty trace) ==", file=file)
+    print(f"{out['invocations']} invocations, utilization "
+          f"{out['utilization']:.1%}, cold fraction {out['cold_fraction']:.1%}",
+          file=file)
+    print(f"pay-per-use ${out['pay_per_use']:.4f} vs provisioned-peak "
+          f"${out['provisioned']:.4f}", file=file)
+    lat = run_latency_profile()
+    print(f"\n== E12b: latency p50 {lat['p50']:.2f}s / p95 {lat['p95']:.2f}s / "
+          f"p99 {lat['p99']:.2f}s ==", file=file)
+    print("\n== E12c: TEE partition overhead ==", file=file)
+    for row in run_tee_overhead():
+        print(f"{row['profile']:>10}: {row['overhead']:.2f}x", file=file)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,131 @@
+"""E6: update-intensive spatio-temporal indexing (paper Sec. IV-F).
+
+Claim: "we need more flexible schemes ... to handle update intensive
+applications"; B+-tree-based moving-object indexes ([47], [22]) sustain far
+higher update rates than rebuild-heavy R-trees, which in turn win static
+range queries.  Shape: grid/Bx update throughput >> R-tree update
+throughput; R-tree range queries competitive on static data.
+"""
+
+import random
+import sys
+import time
+
+from repro.spatial import BBox, BxTree, GridIndex, Point, RTree, Velocity
+
+DOMAIN = BBox(0, 0, 2000, 2000)
+
+
+def make_points(n, seed=0):
+    rng = random.Random(seed)
+    return [
+        (f"o{i}", Point(rng.uniform(0, 2000), rng.uniform(0, 2000)))
+        for i in range(n)
+    ]
+
+
+def time_updates(index_name, n_objects=5000, n_updates=10_000, seed=1):
+    """Seconds to apply ``n_updates`` position updates."""
+    points = make_points(n_objects, seed)
+    rng = random.Random(seed + 1)
+    if index_name == "grid":
+        index = GridIndex(cell_size=100)
+        for oid, p in points:
+            index.insert(oid, p)
+        start = time.perf_counter()
+        for _ in range(n_updates):
+            oid, p = points[rng.randrange(n_objects)]
+            index.move(oid, Point(p.x + rng.uniform(-5, 5), p.y + rng.uniform(-5, 5)))
+        return time.perf_counter() - start
+    if index_name == "bx":
+        index = BxTree(DOMAIN, resolution_bits=6, max_speed=10.0)
+        for oid, p in points:
+            index.update(oid, p, Velocity(0, 0), now=0.0)
+        start = time.perf_counter()
+        for i in range(n_updates):
+            oid, p = points[rng.randrange(n_objects)]
+            index.update(oid, p, Velocity(rng.uniform(-3, 3), 0), now=float(i) * 0.01)
+        return time.perf_counter() - start
+    index = RTree(max_entries=8)
+    for oid, p in points:
+        index.insert_point(oid, p)
+    start = time.perf_counter()
+    for _ in range(n_updates):
+        oid, p = points[rng.randrange(n_objects)]
+        index.remove(oid)
+        index.insert_point(oid, Point(p.x + rng.uniform(-5, 5), p.y + rng.uniform(-5, 5)))
+    return time.perf_counter() - start
+
+
+def time_range_queries(index_name, n_objects=5000, n_queries=500, seed=2):
+    points = make_points(n_objects, seed)
+    rng = random.Random(seed + 1)
+    boxes = [
+        BBox.around(Point(rng.uniform(200, 1800), rng.uniform(200, 1800)), 100)
+        for _ in range(n_queries)
+    ]
+    if index_name == "grid":
+        index = GridIndex(cell_size=100)
+        for oid, p in points:
+            index.insert(oid, p)
+        start = time.perf_counter()
+        for box in boxes:
+            index.query_range(box)
+        return time.perf_counter() - start
+    index = RTree(max_entries=8)
+    for oid, p in points:
+        index.insert_point(oid, p)
+    start = time.perf_counter()
+    for box in boxes:
+        index.query_range(box)
+    return time.perf_counter() - start
+
+
+def run_update_sweep(n_updates=5000):
+    return {
+        name: n_updates / time_updates(name, n_updates=n_updates)
+        for name in ("grid", "bx", "rtree")
+    }
+
+
+def test_e6_update_throughput_ordering(benchmark):
+    rates = benchmark.pedantic(
+        run_update_sweep, kwargs={"n_updates": 2000}, rounds=1, iterations=1
+    )
+    # The update-optimized structures sustain much higher update rates.
+    assert rates["grid"] > 3 * rates["rtree"]
+    assert rates["bx"] > rates["rtree"]
+
+
+def test_e6_range_queries_all_correct(benchmark):
+    """Cross-check: both indexes return identical range answers."""
+    points = make_points(2000, seed=5)
+    grid = GridIndex(cell_size=100)
+    rtree = RTree(max_entries=8)
+    for oid, p in points:
+        grid.insert(oid, p)
+        rtree.insert_point(oid, p)
+    box = BBox(500, 500, 900, 900)
+
+    def query_both():
+        return set(grid.query_range(box)), set(rtree.query_range(box))
+
+    grid_ans, rtree_ans = benchmark(query_both)
+    assert grid_ans == rtree_ans
+
+
+def report(file=sys.stdout):
+    print("== E6: spatio-temporal index update/query rates (5k objects) ==",
+          file=file)
+    rates = run_update_sweep()
+    print(f"{'index':>7} {'updates/s':>12}", file=file)
+    for name, rate in rates.items():
+        print(f"{name:>7} {rate:>12,.0f}", file=file)
+    print(f"\n{'index':>7} {'range queries/s':>16}", file=file)
+    for name in ("grid", "rtree"):
+        seconds = time_range_queries(name)
+        print(f"{name:>7} {500 / seconds:>16,.0f}", file=file)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,88 @@
+"""E18: parallel stream processing ([91], [88]; paper Sec. IV-G).
+
+Claim: "to sustain high stream ingress traffic, data processing operators
+have to be replicated and run in parallel threads."  Shape: simulated
+throughput scales near-linearly with replica count on a key-rich stream and
+is capped by skew when one key dominates.
+"""
+
+import sys
+
+from repro.core import DataRecord
+from repro.query import StreamPipeline, TumblingWindow
+
+PARALLELISM = [1, 2, 4, 8]
+
+
+def make_stream(n=20_000, keys=2000, hot_fraction=0.0):
+    records = []
+    for i in range(n):
+        if hot_fraction and (i % 100) < hot_fraction * 100:
+            key = "hot-key"
+        else:
+            key = f"key-{i % keys}"
+        records.append(
+            DataRecord(key=key, payload={"v": float(i % 97)}, timestamp=float(i))
+        )
+    return records
+
+
+def run_scaling(hot_fraction=0.0, n=20_000):
+    records = make_stream(n=n, hot_fraction=hot_fraction)
+    rows = []
+    base = None
+    for parallelism in PARALLELISM:
+        pipe = StreamPipeline(parallelism=parallelism, work_fn=lambda r: 1e-5)
+        makespan = pipe.process(list(records))
+        throughput = len(records) / makespan
+        if base is None:
+            base = throughput
+        rows.append(
+            {
+                "replicas": parallelism,
+                "throughput": throughput,
+                "speedup": throughput / base,
+                "imbalance": pipe.imbalance(),
+            }
+        )
+    return rows
+
+
+def test_e18_near_linear_scaling_on_spread_keys(benchmark):
+    rows = benchmark.pedantic(
+        run_scaling, kwargs={"n": 8000}, rounds=1, iterations=1
+    )
+    assert rows[-1]["speedup"] > 0.75 * rows[-1]["replicas"]
+
+
+def test_e18_skew_caps_scaling(benchmark):
+    def run():
+        return run_scaling(n=8000), run_scaling(hot_fraction=0.8, n=8000)
+
+    spread, skewed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert skewed[-1]["speedup"] < spread[-1]["speedup"] / 2
+    assert skewed[-1]["imbalance"] > spread[-1]["imbalance"]
+
+
+def test_e18_window_aggregation_throughput(benchmark):
+    """Microbenchmark the actual per-record window-aggregation cost."""
+    window = TumblingWindow(size=100.0, field="v", agg="avg")
+    records = make_stream(n=5000)
+    iterator = iter(records * 1000)
+
+    benchmark(lambda: window.add(next(iterator)))
+
+
+def report(file=sys.stdout):
+    print("== E18: stream operator scaling (20k records) ==", file=file)
+    print(f"{'replicas':>9} {'spread speedup':>15} {'skewed speedup':>15}",
+          file=file)
+    spread = run_scaling()
+    skewed = run_scaling(hot_fraction=0.8)
+    for a, b in zip(spread, skewed):
+        print(f"{a['replicas']:>9} {a['speedup']:>14.2f}x {b['speedup']:>14.2f}x",
+              file=file)
+
+
+if __name__ == "__main__":
+    report()

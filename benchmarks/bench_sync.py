@@ -1,0 +1,94 @@
+"""E16: bounded-staleness cross-space synchronization (Fig. 1, Sec. IV-C).
+
+Claims: the virtual world can track the physical one within a tolerated
+discrepancy at a fraction of the traffic of full mirroring, and virtual
+events reach the ground within one event cascade (the air-raid -> perish
+round trip of the military scenario).
+"""
+
+import sys
+
+from repro.spatial import BBox
+from repro.workloads import MilitaryConfig, MilitaryExercise
+from repro.world import MetaverseWorld
+
+EPSILONS = [0.0, 5.0, 10.0, 25.0]
+N_UNITS = 500
+TICKS = 120
+
+
+def run_staleness_sweep(n_units=N_UNITS, ticks=TICKS):
+    rows = []
+    for epsilon in EPSILONS:
+        world = MetaverseWorld(position_epsilon=epsilon)
+        exercise = MilitaryExercise(
+            world,
+            MilitaryConfig(physical_area=BBox(0, 0, 5000, 5000), n_units=n_units),
+            seed=9,
+        )
+        updates = 0
+        worst = 0.0
+        for _ in range(ticks):
+            updates += exercise.tick(1.0)
+            worst = max(worst, world.max_staleness())
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "updates": updates,
+                "updates_per_tick": updates / ticks,
+                "worst_staleness": worst,
+            }
+        )
+    return rows
+
+
+def run_event_round_trip():
+    world = MetaverseWorld(position_epsilon=10.0)
+    exercise = MilitaryExercise(
+        world, MilitaryConfig(physical_area=BBox(0, 0, 1000, 1000), n_units=100),
+        seed=10,
+    )
+    exercise.tick(1.0)
+    cascade = exercise.order_airstrike(BBox(0, 0, 1000, 1000))
+    return {
+        "events_in_cascade": len(cascade),
+        "casualties": len(exercise.casualties),
+        "round_trip_hops": 1,  # one rule evaluation: strike -> perish
+    }
+
+
+def test_e16_staleness_bounded_and_traffic_falls(benchmark):
+    rows = benchmark.pedantic(
+        run_staleness_sweep, kwargs={"n_units": 100, "ticks": 60},
+        rounds=1, iterations=1,
+    )
+    updates = [row["updates"] for row in rows]
+    assert updates == sorted(updates, reverse=True)
+    for row in rows:
+        if row["epsilon"] > 0:
+            assert row["worst_staleness"] <= row["epsilon"] + 1e-6
+            assert row["updates"] < updates[0]
+
+
+def test_e16_virtual_event_reaches_ground(benchmark):
+    out = benchmark.pedantic(run_event_round_trip, rounds=1, iterations=1)
+    assert out["casualties"] == 100
+    assert out["events_in_cascade"] == 1 + 100  # strike + one perish each
+
+
+def report(file=sys.stdout):
+    print(f"== E16: sync traffic vs coherency bound "
+          f"({N_UNITS} units, {TICKS} ticks) ==", file=file)
+    print(f"{'epsilon':>8} {'updates/tick':>13} {'worst staleness':>16}",
+          file=file)
+    for row in run_staleness_sweep():
+        print(f"{row['epsilon']:>8.1f} {row['updates_per_tick']:>13.1f} "
+              f"{row['worst_staleness']:>15.1f}m", file=file)
+    out = run_event_round_trip()
+    print(f"\nair-raid round trip: {out['casualties']} casualties in "
+          f"{out['round_trip_hops']} cascade hop "
+          f"({out['events_in_cascade']} events)", file=file)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,15 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as experiment regenerators: each ``bench_*.py`` module
+exposes a ``report()`` function printing the experiment's result table
+(the rows recorded in EXPERIMENTS.md) and pytest-benchmark tests timing the
+hot operations while asserting the claim's qualitative shape.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rows():
+    """Collects (experiment, row) tuples across a run for inspection."""
+    return []

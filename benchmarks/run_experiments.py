@@ -1,0 +1,60 @@
+"""Regenerate every experiment table (E1-E18) in one run.
+
+Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
+
+Each bench module exposes ``report()``; this driver runs them in experiment
+order and prints the tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+MODULES = [
+    ("E1/E2", "bench_dissemination"),
+    ("E3", "bench_pubsub"),
+    ("E4", "bench_flash_sale"),
+    ("E5", "bench_moving_queries"),
+    ("E6", "bench_spatial_index"),
+    ("E7", "bench_hdov"),
+    ("E8", "bench_ledger"),
+    ("E9", "bench_privacy"),
+    ("E10", "bench_federated"),
+    ("E11", "bench_disaggregation"),
+    ("E12", "bench_serverless"),
+    ("E13", "bench_fusion"),
+    ("E14", "bench_streamlod"),
+    ("E15", "bench_organization"),
+    ("E16", "bench_sync"),
+    ("E17", "bench_qos"),
+    ("E18", "bench_stream"),
+    ("E19/E20", "bench_selftune"),
+    ("E21", "bench_decentralized"),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="experiment ids to run (e.g. E4 E8)")
+    args = parser.parse_args()
+    sys.path.insert(0, "benchmarks")
+    for experiment, module_name in MODULES:
+        if args.only and not any(
+            wanted in experiment.split("/") for wanted in args.only
+        ):
+            continue
+        module = importlib.import_module(module_name)
+        print("=" * 72)
+        print(f"# {experiment}: {module.__doc__.strip().splitlines()[0]}")
+        print("=" * 72)
+        start = time.perf_counter()
+        module.report()
+        print(f"[{experiment} regenerated in {time.perf_counter() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""The metaverse library (paper Fig. 6): fusion over heterogeneous sources.
+
+RFID readers and a video camera track books across shelves; web reviews
+enrich the catalog.  The pipeline cleans the RFID stream, fuses the
+conflicting claims, infers placement events ("misplaced", "taken"), and
+shows fused accuracy beating every single source.
+
+Run:  python examples/library_fusion.py
+"""
+
+import random
+
+from repro.core import EventBus
+from repro.fusion import (
+    EventInferencer,
+    GroundTruth,
+    ReviewSource,
+    RfidSource,
+    ShelfAssignment,
+    SmoothingFilter,
+    TruthFusion,
+    VideoSource,
+    accuracy_against_truth,
+    deduplicate,
+    single_source,
+)
+
+ZONES = [f"shelf-{c}" for c in "ABCDEF"]
+N_BOOKS = 40
+CYCLES = 25
+
+
+def main() -> None:
+    rng = random.Random(42)
+    truth = GroundTruth(
+        locations={f"book-{i:03d}": rng.choice(ZONES) for i in range(N_BOOKS)},
+        ratings={f"book-{i:03d}": rng.uniform(2.5, 5.0) for i in range(N_BOOKS)},
+    )
+    rfid = RfidSource("rfid", ZONES, read_rate=0.7, dup_rate=0.15,
+                      cross_read_rate=0.08, seed=1)
+    camera = VideoSource("camera", detect_rate=0.85, confusion_rate=0.12, seed=2)
+    reviews = ReviewSource("goodreads", bias=0.3, sigma=0.4, seed=3)
+
+    smoothing = SmoothingFilter(window=6, min_support=2)
+    all_observations = []
+    for cycle in range(CYCLES):
+        t = float(cycle)
+        batch = deduplicate(rfid.read_cycle(truth, t)) + camera.observe(truth, t)
+        smoothing.add_cycle([o for o in batch if o.source == "rfid"])
+        all_observations.extend(batch)
+    all_observations.extend(reviews.review(truth, float(CYCLES)))
+
+    # Fuse and score against ground truth.
+    fusion = TruthFusion(iterations=5, numeric_tolerance=0.5)
+    fused = fusion.fuse(all_observations)
+    fused_accuracy = accuracy_against_truth(fused, truth.locations, "location")
+    print("location accuracy:")
+    for source in ("rfid", "camera"):
+        single = single_source(all_observations, source)
+        acc = accuracy_against_truth(single, truth.locations, "location")
+        print(f"  {source:10s} alone : {acc:5.1%}")
+    print(f"  {'fused':10s}       : {fused_accuracy:5.1%}")
+    print(f"learned source trust: "
+          f"{ {s: round(t, 2) for s, t in fusion.source_trust.items()} }")
+
+    rating_accuracy = accuracy_against_truth(fused, truth.ratings, "rating",
+                                             numeric_tolerance=0.75)
+    print(f"rating accuracy (±0.75 stars, biased reviewer debiased by trust): "
+          f"{rating_accuracy:5.1%}")
+
+    # Event inference: someone takes a book, someone misplaces another.
+    bus = EventBus()
+    inferencer = EventInferencer(
+        bus, [ShelfAssignment(b, z) for b, z in truth.locations.items()]
+    )
+    fused_zones = {
+        book: fused[(book, "location")].value
+        if (book, "location") in fused else None
+        for book in truth.locations
+    }
+    inferencer.observe_state(fused_zones, now=float(CYCLES))
+    taken_book = "book-000"
+    misplaced_book = "book-001"
+    fused_zones[taken_book] = None
+    fused_zones[misplaced_book] = "shelf-F" \
+        if truth.locations[misplaced_book] != "shelf-F" else "shelf-A"
+    inferencer.observe_state(fused_zones, now=float(CYCLES + 1))
+    print("inferred events:",
+          [(e.topic, e.attributes.get("entity")) for e in bus.history])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Quickstart: a five-minute tour of the metaverse data platform.
+
+Builds a tiny twin world, streams sensor data through the device-cloud-
+storage pipeline, runs a cross-space event cascade, and issues a verifiable
+ledger receipt — one taste of each major subsystem.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import DataKind, DataRecord, Event, Rule, Space
+from repro.ledger import LedgerDB
+from repro.net import Subscription
+from repro.platform import DeviceGateway, MetaversePlatform
+from repro.spatial import Point, Velocity
+from repro.world import Avatar, Entity, MetaverseWorld
+
+
+def main() -> None:
+    # 1. A twin world: physical entities mirrored into the virtual space
+    #    under a coherency bound (paper Sec. IV-C).
+    world = MetaverseWorld(position_epsilon=5.0)
+    world.physical.add(
+        Entity("runner", Point(0, 0), Velocity(2.0, 0.0))
+    )
+    world.virtual.add_avatar(Avatar("spectator", Point(10, 0)))
+    updates = sum(world.tick(1.0) for _ in range(20))
+    print(f"[world] 20 ticks, {updates} mirror updates "
+          f"(coherency bound suppressed the rest), "
+          f"staleness now {world.staleness('runner'):.2f} <= 5.0")
+    meetups = world.cross_space_encounters(radius=50.0)
+    print(f"[world] cross-space encounters within 50 m: "
+          f"{[(m.first, m.second) for m in meetups]}")
+
+    # 2. Cross-space event cascade (paper's military rule in miniature).
+    world.bus.add_rule(
+        Rule(
+            name="virtual-alert-to-physical",
+            topic_pattern="virtual.alert",
+            space=Space.VIRTUAL,
+            action=lambda e: [
+                Event("physical.warning", Space.PHYSICAL, e.timestamp,
+                      {"reason": e.attributes["reason"]})
+            ],
+        )
+    )
+    cascade = world.bus.publish(
+        Event("virtual.alert", Space.VIRTUAL, world.now, {"reason": "storm"})
+    )
+    print(f"[events] cascade: {[e.topic for e in cascade]}")
+
+    # 3. Device -> cloud -> storage ingestion with on-device aggregation
+    #    (paper Fig. 7).
+    platform = MetaversePlatform()
+    gateway = DeviceGateway(aggregate=True, group_fn=lambda r: "zone-a")
+    platform.register_gateway("edge-1", gateway)
+    seen = []
+    platform.broker.subscribe(
+        Subscription(subscriber="dashboard", topic_pattern="ingest.*",
+                     callback=seen.append)
+    )
+    for i in range(50):
+        gateway.ingest(
+            DataRecord(
+                key=f"sensor-{i}", payload={"temp": 20.0 + i * 0.1},
+                space=Space.PHYSICAL, timestamp=float(i),
+                kind=DataKind.SENSOR, source="quickstart",
+            )
+        )
+    n_records, uplink = platform.flush_gateways()
+    print(f"[ingest] 50 raw readings -> {n_records} aggregate(s), "
+          f"{uplink} uplink bytes; dashboard saw {len(seen)} publication(s)")
+    print(f"[ingest] aggregated zone mean: "
+          f"{platform.read('zone-a')['payload']['temp']:.2f} C")
+
+    # 4. A verifiable ledger receipt (paper Sec. IV-D).
+    ledger = LedgerDB(block_size=4)
+    entry = ledger.put("nft-dragon", {"owner": "spectator"}, timestamp=world.now)
+    for i in range(7):
+        ledger.put(f"trade-{i}", {"amount": i})
+    receipt = ledger.receipt(entry.index)
+    print(f"[ledger] receipt for entry {entry.index} verifies: "
+          f"{LedgerDB.verify_receipt(receipt)} "
+          f"(proof size {receipt.proof.size_bytes} bytes, "
+          f"{len(ledger.blocks)} sealed blocks)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""repro — a metaverse data platform.
+
+A laptop-scale, from-scratch prototype of the data-management system
+envisioned by "The Metaverse Data Deluge: What Can We Do About It?"
+(Ooi et al., ICDE 2023).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the claim-by-claim benchmark index.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,156 @@
+"""Simulation time and a discrete-event scheduler.
+
+The whole platform runs on *simulated* time so that experiments are
+deterministic and fast: a ``SimulationClock`` is advanced explicitly, and a
+``EventScheduler`` dispatches callbacks in timestamp order.  Components that
+need "now" take a clock (or a plain ``time_fn``) instead of calling
+``time.time()`` so tests can control time precisely.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import ConfigurationError
+
+
+class SimulationClock:
+    """A monotonically advancing simulated clock.
+
+    Time is a float in seconds.  ``advance`` moves time forward; moving
+    backwards raises :class:`ConfigurationError` because event ordering
+    everywhere relies on monotonicity.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ConfigurationError(f"cannot advance clock by {delta} (< 0)")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __call__(self) -> float:
+        """Allow a clock to be used directly as a ``time_fn``."""
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now:.6f})"
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: ordered by (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventScheduler.schedule`; allows cancelling."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; cancelled events are skipped at dispatch time."""
+        self._event.cancelled = True
+
+
+class EventScheduler:
+    """A discrete-event scheduler bound to a :class:`SimulationClock`.
+
+    Events scheduled for the same instant run in scheduling order (FIFO),
+    which keeps simulations deterministic.
+    """
+
+    def __init__(self, clock: SimulationClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimulationClock()
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise ConfigurationError(
+                f"cannot schedule at {timestamp} before now={self.clock.now}"
+            )
+        event = _ScheduledEvent(timestamp, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def __len__(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def next_event_time(self) -> float | None:
+        """Timestamp of the earliest pending event, or None if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run_until(self, timestamp: float) -> int:
+        """Dispatch every event with time <= ``timestamp``; return the count.
+
+        The clock is advanced to each event's time as it dispatches, and to
+        ``timestamp`` at the end, so callbacks observe consistent "now".
+        """
+        dispatched = 0
+        while self._heap and self._heap[0].time <= timestamp:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            dispatched += 1
+        self.clock.advance_to(timestamp)
+        return dispatched
+
+    def run_for(self, duration: float) -> int:
+        """Dispatch everything within the next ``duration`` seconds."""
+        return self.run_until(self.clock.now + duration)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Dispatch until the queue is empty (bounded by ``max_events``)."""
+        dispatched = 0
+        while self._heap and dispatched < max_events:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            dispatched += 1
+        return dispatched

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro metaverse data platform.
+
+Every subsystem raises subclasses of :class:`ReproError` so that callers can
+catch platform errors without also swallowing programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the platform."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SchemaError(ReproError):
+    """A record does not conform to its declared schema."""
+
+
+class StorageError(ReproError):
+    """A storage engine operation failed (missing key, corrupt page, ...)."""
+
+
+class KeyNotFoundError(StorageError):
+    """Lookup of a key that is not present in a store."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class TransactionError(ReproError):
+    """A transaction could not proceed."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (conflict, deadlock, or explicit abort)."""
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+
+class WriteConflictError(TransactionAborted):
+    """A concurrent transaction committed a conflicting write first."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed."""
+
+
+class PartitionedError(NetworkError):
+    """The destination is unreachable due to a simulated partition."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or cannot be planned."""
+
+
+class PlanningError(QueryError):
+    """The optimizer could not produce a feasible plan."""
+
+
+class LedgerError(ReproError):
+    """A verifiable-ledger operation failed."""
+
+
+class ProofVerificationError(LedgerError):
+    """A cryptographic proof failed to verify."""
+
+
+class PrivacyBudgetExceeded(ReproError):
+    """A differentially private query would exceed the remaining budget."""
+
+
+class EnclaveError(ReproError):
+    """A TEE enclave operation failed (e.g. memory ceiling exceeded)."""
+
+
+class FusionError(ReproError):
+    """Data fusion could not reconcile the supplied observations."""

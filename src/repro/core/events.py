@@ -1,0 +1,134 @@
+"""Event bus with event-condition-action (ECA) rules.
+
+The paper (Sec. III) observes that "a large number of events [are] generated
+within the metaverse. These have to be monitored, and may trigger further
+actions/events both in the physical and virtual worlds."  The
+:class:`EventBus` is that monitoring fabric: components publish typed
+events; subscribers register handlers; :class:`Rule` objects implement the
+ECA pattern, optionally emitting follow-up events into the other space
+(e.g. the military example: a virtual air-raid event triggers a physical
+"perish" order).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from .records import Space
+
+_event_ids = itertools.count(1)
+
+
+@dataclass
+class Event:
+    """A typed occurrence in either space.
+
+    ``topic`` is a dotted name such as ``"military.airstrike"``;
+    ``attributes`` carries arbitrary structured detail.
+    """
+
+    topic: str
+    space: Space
+    timestamp: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+    event_id: int = field(default_factory=lambda: next(_event_ids))
+
+    def matches_topic(self, pattern: str) -> bool:
+        """Match against an exact topic or a ``prefix.*`` wildcard."""
+        if pattern == "*" or pattern == self.topic:
+            return True
+        if pattern.endswith(".*"):
+            return self.topic.startswith(pattern[:-1])
+        return False
+
+
+Condition = Callable[[Event], bool]
+Action = Callable[[Event], "Iterable[Event] | None"]
+
+
+@dataclass
+class Rule:
+    """An event-condition-action rule.
+
+    When an event matching ``topic_pattern`` (and, if given, ``space``)
+    arrives and ``condition`` holds, ``action`` runs.  Actions may return
+    follow-up events, which the bus publishes — this is how virtual events
+    cascade into physical consequences and vice versa.
+    """
+
+    name: str
+    topic_pattern: str
+    action: Action
+    condition: Condition | None = None
+    space: Space | None = None
+    fired: int = 0
+
+    def applies_to(self, event: Event) -> bool:
+        if self.space is not None and event.space is not self.space:
+            return False
+        if not event.matches_topic(self.topic_pattern):
+            return False
+        if self.condition is not None and not self.condition(event):
+            return False
+        return True
+
+
+class EventBus:
+    """Publish/subscribe fan-out plus ECA rule evaluation.
+
+    Follow-up events produced by rules are processed breadth-first with a
+    cascade-depth bound so that mutually triggering rules cannot loop
+    forever.
+    """
+
+    def __init__(self, max_cascade_depth: int = 16) -> None:
+        self._handlers: list[tuple[str, Callable[[Event], None]]] = []
+        self._rules: list[Rule] = []
+        self.max_cascade_depth = max_cascade_depth
+        self.published = 0
+        self.history: list[Event] = []
+        self.keep_history = True
+
+    def subscribe(self, topic_pattern: str, handler: Callable[[Event], None]) -> None:
+        """Invoke ``handler`` for every event matching ``topic_pattern``."""
+        self._handlers.append((topic_pattern, handler))
+
+    def add_rule(self, rule: Rule) -> None:
+        self._rules.append(rule)
+
+    def rule(self, name: str) -> Rule:
+        for rule in self._rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(f"no rule named {name!r}")
+
+    def publish(self, event: Event) -> list[Event]:
+        """Publish ``event``; return the full cascade (including ``event``)."""
+        cascade: list[Event] = []
+        frontier = [event]
+        depth = 0
+        while frontier and depth < self.max_cascade_depth:
+            next_frontier: list[Event] = []
+            for current in frontier:
+                cascade.append(current)
+                self.published += 1
+                if self.keep_history:
+                    self.history.append(current)
+                for pattern, handler in self._handlers:
+                    if current.matches_topic(pattern):
+                        handler(current)
+                for rule in self._rules:
+                    if rule.applies_to(current):
+                        rule.fired += 1
+                        produced = rule.action(current)
+                        if produced:
+                            next_frontier.extend(produced)
+            frontier = next_frontier
+            depth += 1
+        return cascade
+
+    def events_on(self, topic_pattern: str) -> list[Event]:
+        """All historical events matching ``topic_pattern``."""
+        return [e for e in self.history if e.matches_topic(topic_pattern)]

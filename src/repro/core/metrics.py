@@ -1,0 +1,144 @@
+"""Lightweight metrics: counters, gauges, and histograms.
+
+Every subsystem reports into a :class:`MetricsRegistry` so that benchmarks
+and integration tests can assert on behaviour (messages sent, cache hits,
+staleness distributions) without reaching into private state.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary; stores all samples for exact quantiles.
+
+    Sample counts in this library top out in the millions, so exact storage
+    is fine and keeps quantile semantics unambiguous in tests.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        var = sum((s - mean) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(var)
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile via linear interpolation (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+
+class MetricsRegistry:
+    """Namespace of metrics, keyed by dotted names.
+
+    Accessors create the metric on first use, so instrumented code never has
+    to pre-declare; tests read the same names.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = defaultdict(Counter)
+        self._gauges: dict[str, Gauge] = defaultdict(Gauge)
+        self._histograms: dict[str, Histogram] = defaultdict(Histogram)
+
+    def counter(self, name: str) -> Counter:
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat {name: value} view; histograms export count/mean/p99."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.p99"] = histogram.p99()
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

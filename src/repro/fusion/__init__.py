@@ -1,0 +1,55 @@
+"""Data fusion over heterogeneous sources: adapters, cleaning, entity
+resolution, truth inference, and event inference."""
+
+from .cleaning import OutlierFilter, SmoothingFilter, deduplicate
+from .fuser import (
+    FusedValue,
+    TruthFusion,
+    accuracy_against_truth,
+    majority_vote,
+    single_source,
+)
+from .inference import EventInferencer, ShelfAssignment
+from .resolution import (
+    EntityResolver,
+    SourceRecord,
+    edit_distance,
+    edit_similarity,
+    jaccard,
+    name_similarity,
+    tokens,
+)
+from .sources import (
+    GpsSource,
+    GroundTruth,
+    Observation,
+    ReviewSource,
+    RfidSource,
+    VideoSource,
+)
+
+__all__ = [
+    "EntityResolver",
+    "EventInferencer",
+    "FusedValue",
+    "GpsSource",
+    "GroundTruth",
+    "Observation",
+    "OutlierFilter",
+    "ReviewSource",
+    "RfidSource",
+    "ShelfAssignment",
+    "SmoothingFilter",
+    "SourceRecord",
+    "TruthFusion",
+    "VideoSource",
+    "accuracy_against_truth",
+    "deduplicate",
+    "edit_distance",
+    "edit_similarity",
+    "jaccard",
+    "majority_vote",
+    "name_similarity",
+    "single_source",
+    "tokens",
+]

@@ -1,0 +1,200 @@
+"""Truth inference over conflicting multi-source claims (paper Sec. IV-A).
+
+"Fusion of information on a single entity requires a substantial amount of
+inference over semantics that are extracted from multiple data sources."
+
+Given cleaned observations, :class:`TruthFusion` resolves, per
+(entity, attribute), a single fused value:
+
+* categorical attributes — confidence-weighted voting with iterative source
+  trustworthiness re-estimation (a TruthFinder-style EM loop: sources that
+  agree with the consensus gain weight, so a systematically wrong source is
+  discounted even if prolific);
+* numeric attributes — trust-weighted mean with the same re-estimation,
+  using agreement within a tolerance band.
+
+Baselines for experiment E13: :func:`majority_vote` (unweighted) and
+:func:`single_source` (best single source).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.errors import ConfigurationError, FusionError
+from .sources import Observation
+
+
+@dataclass
+class FusedValue:
+    """The fused estimate for one (entity, attribute)."""
+
+    entity_id: str
+    attribute: str
+    value: Any
+    support: float        # total trust mass behind the winning value
+    contributors: int     # observations that agreed
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class TruthFusion:
+    """Iterative trust-weighted fusion engine."""
+
+    def __init__(
+        self,
+        iterations: int = 5,
+        numeric_tolerance: float = 1.0,
+        initial_trust: float = 0.8,
+    ) -> None:
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if numeric_tolerance < 0:
+            raise ConfigurationError("numeric_tolerance must be >= 0")
+        self.iterations = iterations
+        self.numeric_tolerance = numeric_tolerance
+        self.initial_trust = initial_trust
+        self.source_trust: dict[str, float] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def fuse(self, observations: list[Observation]) -> dict[tuple[str, str], FusedValue]:
+        """Fuse all observations; returns {(entity, attribute): FusedValue}."""
+        if not observations:
+            return {}
+        groups: dict[tuple[str, str], list[Observation]] = defaultdict(list)
+        sources = set()
+        for obs in observations:
+            groups[(obs.entity_id, obs.attribute)].append(obs)
+            sources.add(obs.source)
+        trust = {s: self.initial_trust for s in sources}
+        fused: dict[tuple[str, str], FusedValue] = {}
+        for _ in range(self.iterations):
+            fused = {
+                key: self._fuse_group(key, group, trust)
+                for key, group in groups.items()
+            }
+            trust = self._reestimate_trust(groups, fused, trust)
+        self.source_trust = trust
+        return fused
+
+    def fuse_one(self, observations: list[Observation]) -> FusedValue:
+        """Fuse observations that all concern one (entity, attribute)."""
+        fused = self.fuse(observations)
+        if len(fused) != 1:
+            raise FusionError(
+                f"expected one (entity, attribute) group, got {len(fused)}"
+            )
+        return next(iter(fused.values()))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _fuse_group(
+        self,
+        key: tuple[str, str],
+        group: list[Observation],
+        trust: dict[str, float],
+    ) -> FusedValue:
+        entity_id, attribute = key
+        if all(_is_numeric(obs.value) for obs in group):
+            weight_sum = 0.0
+            value_sum = 0.0
+            for obs in group:
+                weight = trust[obs.source] * obs.confidence
+                weight_sum += weight
+                value_sum += weight * float(obs.value)
+            value = value_sum / max(weight_sum, 1e-12)
+            agreeing = sum(
+                1
+                for obs in group
+                if abs(float(obs.value) - value) <= self.numeric_tolerance
+            )
+            return FusedValue(entity_id, attribute, value, weight_sum, agreeing)
+        votes: dict[Any, float] = defaultdict(float)
+        counts: dict[Any, int] = defaultdict(int)
+        for obs in group:
+            votes[obs.value] += trust[obs.source] * obs.confidence
+            counts[obs.value] += 1
+        winner = max(votes.items(), key=lambda kv: kv[1])
+        return FusedValue(entity_id, attribute, winner[0], winner[1], counts[winner[0]])
+
+    def _reestimate_trust(
+        self,
+        groups: dict[tuple[str, str], list[Observation]],
+        fused: dict[tuple[str, str], FusedValue],
+        trust: dict[str, float],
+    ) -> dict[str, float]:
+        agree: dict[str, float] = defaultdict(float)
+        total: dict[str, float] = defaultdict(float)
+        for key, group in groups.items():
+            consensus = fused[key].value
+            for obs in group:
+                total[obs.source] += 1.0
+                if _is_numeric(obs.value) and _is_numeric(consensus):
+                    if abs(float(obs.value) - float(consensus)) <= self.numeric_tolerance:
+                        agree[obs.source] += 1.0
+                elif obs.value == consensus:
+                    agree[obs.source] += 1.0
+        new_trust = {}
+        for source in trust:
+            if total[source] == 0:
+                new_trust[source] = trust[source]
+            else:
+                # Laplace-smoothed agreement rate, floored to keep every
+                # source minimally audible.
+                rate = (agree[source] + 1.0) / (total[source] + 2.0)
+                new_trust[source] = max(0.05, rate)
+        return new_trust
+
+
+def majority_vote(observations: list[Observation]) -> dict[tuple[str, str], Any]:
+    """Baseline: unweighted plurality per (entity, attribute)."""
+    groups: dict[tuple[str, str], list[Any]] = defaultdict(list)
+    for obs in observations:
+        groups[(obs.entity_id, obs.attribute)].append(obs.value)
+    out = {}
+    for key, values in groups.items():
+        if all(_is_numeric(v) for v in values):
+            out[key] = sum(float(v) for v in values) / len(values)
+        else:
+            out[key] = max(set(values), key=values.count)
+    return out
+
+
+def single_source(
+    observations: list[Observation], source: str
+) -> dict[tuple[str, str], Any]:
+    """Baseline: believe one source only (its last claim per entity/attr)."""
+    out: dict[tuple[str, str], Any] = {}
+    for obs in sorted(
+        (o for o in observations if o.source == source), key=lambda o: o.timestamp
+    ):
+        out[(obs.entity_id, obs.attribute)] = obs.value
+    return out
+
+
+def accuracy_against_truth(
+    fused: dict[tuple[str, str], Any],
+    truth: dict[str, Any],
+    attribute: str,
+    numeric_tolerance: float = 1.0,
+) -> float:
+    """Fraction of entities whose fused ``attribute`` matches ground truth."""
+    if not truth:
+        raise FusionError("empty ground truth")
+    correct = 0
+    for entity, true_value in truth.items():
+        value = fused.get((entity, attribute))
+        if isinstance(value, FusedValue):
+            value = value.value
+        if value is None:
+            continue
+        if _is_numeric(true_value) and _is_numeric(value):
+            correct += int(abs(float(value) - float(true_value)) <= numeric_tolerance)
+        else:
+            correct += int(value == true_value)
+    return correct / len(truth)

@@ -1,0 +1,90 @@
+"""Event inference over fused state (paper Sec. IV-A, Fig. 6).
+
+"The metaverse data management detects events that had taken place based on
+these data sources and depicts these events accurately and efficiently in
+the metaverse."  :class:`EventInferencer` watches the fused entity state
+over time and derives semantic events — the library scenario's
+"book misplaced", "book taken", "book returned" — publishing them on the
+shared :class:`~repro.core.events.EventBus` so ECA rules can mirror them
+into the virtual space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.events import Event, EventBus
+from ..core.records import Space
+
+
+@dataclass(frozen=True)
+class ShelfAssignment:
+    """Catalog truth: where each entity (book) belongs."""
+
+    entity_id: str
+    home_zone: str
+
+
+class EventInferencer:
+    """Derives placement events from a stream of fused location estimates.
+
+    Rules (evaluated per :meth:`observe_state` call):
+
+    * entity fused to a zone != its home zone  -> ``library.misplaced``
+    * entity previously seen, now unlocated    -> ``library.taken``
+    * entity unlocated before, now at home     -> ``library.returned``
+    """
+
+    def __init__(self, bus: EventBus, assignments: list[ShelfAssignment]) -> None:
+        self.bus = bus
+        self.home = {a.entity_id: a.home_zone for a in assignments}
+        self._last_zone: dict[str, str | None] = {}
+
+    def observe_state(
+        self, fused_locations: dict[str, str | None], now: float
+    ) -> list[Event]:
+        """Compare fused state to the previous one; emit derived events."""
+        emitted: list[Event] = []
+        for entity, home_zone in self.home.items():
+            zone = fused_locations.get(entity)
+            previous = self._last_zone.get(entity)
+            if zone is None and previous is not None:
+                emitted.extend(
+                    self.bus.publish(
+                        Event(
+                            topic="library.taken",
+                            space=Space.PHYSICAL,
+                            timestamp=now,
+                            attributes={"entity": entity, "last_zone": previous},
+                        )
+                    )
+                )
+            elif zone is not None and zone != home_zone:
+                if previous != zone:  # report each misplacement once
+                    emitted.extend(
+                        self.bus.publish(
+                            Event(
+                                topic="library.misplaced",
+                                space=Space.PHYSICAL,
+                                timestamp=now,
+                                attributes={
+                                    "entity": entity,
+                                    "zone": zone,
+                                    "home": home_zone,
+                                },
+                            )
+                        )
+                    )
+            elif zone == home_zone and previous is None and entity in self._last_zone:
+                emitted.extend(
+                    self.bus.publish(
+                        Event(
+                            topic="library.returned",
+                            space=Space.PHYSICAL,
+                            timestamp=now,
+                            attributes={"entity": entity, "zone": zone},
+                        )
+                    )
+                )
+            self._last_zone[entity] = zone
+        return emitted

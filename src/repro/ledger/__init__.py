@@ -1,0 +1,31 @@
+"""Verifiable ledger: Merkle proofs, ledger database, consensus cost models."""
+
+from .chain import Block, Blockchain, ChainTxn
+from .consensus import ConsensusOutcome, PbftQuorum, PrimaryBackup
+from .ledgerdb import Auditor, BlockHeader, LedgerDB, LedgerEntry, Receipt
+from .merkle import (
+    ConsistencyProof,
+    InclusionProof,
+    MerkleTree,
+    verify_consistency,
+    verify_inclusion,
+)
+
+__all__ = [
+    "Auditor",
+    "Block",
+    "Blockchain",
+    "ChainTxn",
+    "BlockHeader",
+    "ConsensusOutcome",
+    "ConsistencyProof",
+    "InclusionProof",
+    "LedgerDB",
+    "LedgerEntry",
+    "MerkleTree",
+    "PbftQuorum",
+    "PrimaryBackup",
+    "Receipt",
+    "verify_consistency",
+    "verify_inclusion",
+]

@@ -1,0 +1,221 @@
+"""A blockchain for metaverse asset trading (paper Sec. IV-D).
+
+"Blockchains can serve as the basis for connectivity in the metaverse to
+make it open and decentralized. Transactions among different parties ...
+can be permanently recorded and verifiable" — including the NFT trades of
+the gaming/social scenario (Sec. II).
+
+This is an account-model chain with two transaction types:
+
+* ``transfer`` — move fungible balance between accounts;
+* ``nft`` — mint or transfer a unique token (ownership tracked on-chain).
+
+Blocks commit to their transactions with a Merkle root and hash-chain to
+their parent; :meth:`Blockchain.validate_chain` re-verifies everything, and
+invalid transactions (overspends, transfers of un-owned NFTs, double
+spends) are rejected at append time and detected at audit time if injected
+behind the validator's back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..core.errors import LedgerError
+from .merkle import MerkleTree
+
+
+@dataclass(frozen=True)
+class ChainTxn:
+    """One transaction; exactly one of the two forms.
+
+    transfer: sender/recipient/amount.  nft: token_id + recipient (mint when
+    sender is None, transfer otherwise).
+    """
+
+    txn_id: int
+    sender: str | None
+    recipient: str
+    amount: float = 0.0
+    token_id: str | None = None
+
+    def serialize(self) -> bytes:
+        return json.dumps(
+            {
+                "id": self.txn_id,
+                "from": self.sender,
+                "to": self.recipient,
+                "amount": self.amount,
+                "token": self.token_id,
+            },
+            sort_keys=True,
+        ).encode()
+
+    @property
+    def is_nft(self) -> bool:
+        return self.token_id is not None
+
+
+@dataclass(frozen=True)
+class Block:
+    height: int
+    prev_hash: str
+    txn_root: str
+    txns: tuple[ChainTxn, ...]
+
+    def block_hash(self) -> str:
+        body = f"{self.height}|{self.prev_hash}|{self.txn_root}"
+        return hashlib.sha256(body.encode()).hexdigest()
+
+    @staticmethod
+    def compute_txn_root(txns: tuple[ChainTxn, ...]) -> str:
+        tree = MerkleTree()
+        for txn in txns:
+            tree.append(txn.serialize())
+        return tree.root().hex()
+
+
+@dataclass
+class _State:
+    balances: dict[str, float] = field(default_factory=dict)
+    nft_owner: dict[str, str] = field(default_factory=dict)
+
+    def copy(self) -> "_State":
+        return _State(dict(self.balances), dict(self.nft_owner))
+
+
+class Blockchain:
+    """An append-only validated chain with account/NFT state."""
+
+    GENESIS_HASH = "0" * 64
+
+    def __init__(self, block_size: int = 8) -> None:
+        if block_size < 1:
+            raise LedgerError("block_size must be >= 1")
+        self.block_size = block_size
+        self.blocks: list[Block] = []
+        self._pending: list[ChainTxn] = []
+        self._state = _State()
+        self._txn_ids = 0
+        self.rejected: list[tuple[ChainTxn, str]] = []
+
+    # -- state access ---------------------------------------------------------
+
+    def balance(self, account: str) -> float:
+        return self._state.balances.get(account, 0.0)
+
+    def owner_of(self, token_id: str) -> str | None:
+        return self._state.nft_owner.get(token_id)
+
+    # -- transaction submission --------------------------------------------------
+
+    def faucet(self, account: str, amount: float) -> None:
+        """Genesis-style credit (out-of-band issuance for simulations)."""
+        if amount <= 0:
+            raise LedgerError("faucet amount must be positive")
+        self._state.balances[account] = self.balance(account) + amount
+
+    def submit_transfer(self, sender: str, recipient: str, amount: float) -> ChainTxn:
+        self._txn_ids += 1
+        txn = ChainTxn(self._txn_ids, sender, recipient, amount=amount)
+        error = self._validate(txn, self._state)
+        if error:
+            self.rejected.append((txn, error))
+            raise LedgerError(error)
+        self._apply(txn, self._state)
+        self._enqueue(txn)
+        return txn
+
+    def submit_nft(self, sender: str | None, recipient: str, token_id: str) -> ChainTxn:
+        """Mint (sender None) or transfer an NFT."""
+        self._txn_ids += 1
+        txn = ChainTxn(self._txn_ids, sender, recipient, token_id=token_id)
+        error = self._validate(txn, self._state)
+        if error:
+            self.rejected.append((txn, error))
+            raise LedgerError(error)
+        self._apply(txn, self._state)
+        self._enqueue(txn)
+        return txn
+
+    def _enqueue(self, txn: ChainTxn) -> None:
+        self._pending.append(txn)
+        if len(self._pending) >= self.block_size:
+            self.seal_block()
+
+    def seal_block(self) -> Block | None:
+        if not self._pending:
+            return None
+        txns = tuple(self._pending)
+        block = Block(
+            height=len(self.blocks),
+            prev_hash=self.blocks[-1].block_hash() if self.blocks else self.GENESIS_HASH,
+            txn_root=Block.compute_txn_root(txns),
+            txns=txns,
+        )
+        self.blocks.append(block)
+        self._pending = []
+        return block
+
+    # -- validation ------------------------------------------------------------
+
+    @staticmethod
+    def _validate(txn: ChainTxn, state: _State) -> str | None:
+        if txn.is_nft:
+            assert txn.token_id is not None
+            owner = state.nft_owner.get(txn.token_id)
+            if txn.sender is None:
+                if owner is not None:
+                    return f"token {txn.token_id!r} already minted"
+                return None
+            if owner != txn.sender:
+                return f"{txn.sender} does not own {txn.token_id!r}"
+            return None
+        if txn.sender is None:
+            return "transfers need a sender"
+        if txn.amount <= 0:
+            return "amount must be positive"
+        if state.balances.get(txn.sender, 0.0) < txn.amount:
+            return f"{txn.sender} has insufficient balance"
+        return None
+
+    @staticmethod
+    def _apply(txn: ChainTxn, state: _State) -> None:
+        if txn.is_nft:
+            assert txn.token_id is not None
+            state.nft_owner[txn.token_id] = txn.recipient
+            return
+        assert txn.sender is not None
+        state.balances[txn.sender] -= txn.amount
+        state.balances[txn.recipient] = state.balances.get(txn.recipient, 0.0) + txn.amount
+
+    def validate_chain(self, initial_balances: dict[str, float] | None = None) -> bool:
+        """Re-verify hashes, Merkle roots, and every transaction's legality.
+
+        ``initial_balances`` reproduces faucet issuance for replay; defaults
+        to "infinitely funded" accounts being disallowed, i.e. the caller
+        should pass the same issuance used originally.
+        """
+        state = _State(balances=dict(initial_balances or {}))
+        prev = self.GENESIS_HASH
+        for block in self.blocks:
+            if block.prev_hash != prev:
+                return False
+            if Block.compute_txn_root(block.txns) != block.txn_root:
+                return False
+            for txn in block.txns:
+                if self._validate(txn, state) is not None:
+                    return False
+                self._apply(txn, state)
+            prev = block.block_hash()
+        return True
+
+    def provenance(self, token_id: str) -> list[ChainTxn]:
+        """The full on-chain ownership history of an NFT."""
+        out = []
+        for block in self.blocks:
+            out.extend(t for t in block.txns if t.token_id == token_id)
+        out.extend(t for t in self._pending if t.token_id == token_id)
+        return out

@@ -1,0 +1,213 @@
+"""Verifiable ledger database (paper Sec. IV-D; [87], [90]).
+
+"One possible solution is to use verifiable ledger database systems with a
+trusted third party serving as the auditor."  :class:`LedgerDB` is an
+append-only transaction log sealed into hash-chained blocks whose entries
+live in a global Merkle tree:
+
+* clients append transactions and later obtain *receipts* (inclusion proofs
+  against a signed-equivalent tree head);
+* an :class:`Auditor` keeps the latest head it has verified and accepts new
+  heads only with a valid consistency proof — any history rewrite is caught;
+* current key state is materialized so reads are O(1) while every state
+  transition stays provable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.errors import LedgerError
+from .merkle import (
+    ConsistencyProof,
+    InclusionProof,
+    MerkleTree,
+    verify_consistency,
+    verify_inclusion,
+)
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One committed transaction record."""
+
+    index: int
+    timestamp: float
+    operation: str     # "put" | "delete"
+    key: str
+    value: Any
+
+    def serialize(self) -> bytes:
+        return json.dumps(
+            {
+                "i": self.index,
+                "t": self.timestamp,
+                "op": self.operation,
+                "k": self.key,
+                "v": self.value,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """A sealed block: hash-chained and committing to the tree head."""
+
+    height: int
+    prev_hash: str
+    tree_size: int
+    tree_root: str
+    entry_range: tuple[int, int]  # [start, end)
+
+    def block_hash(self) -> str:
+        body = f"{self.height}|{self.prev_hash}|{self.tree_size}|{self.tree_root}"
+        return hashlib.sha256(body.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """Client-held proof that an entry is in the ledger."""
+
+    entry: LedgerEntry
+    proof: InclusionProof
+    tree_root: bytes
+
+
+class LedgerDB:
+    """Append-only verifiable key-value ledger."""
+
+    def __init__(self, block_size: int = 16) -> None:
+        if block_size < 1:
+            raise LedgerError("block_size must be >= 1")
+        self.block_size = block_size
+        self.tree = MerkleTree()
+        self.entries: list[LedgerEntry] = []
+        self.blocks: list[BlockHeader] = []
+        self._state: dict[str, Any] = {}
+        self._unsealed = 0
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, value: Any, timestamp: float = 0.0) -> LedgerEntry:
+        return self._append("put", key, value, timestamp)
+
+    def delete(self, key: str, timestamp: float = 0.0) -> LedgerEntry:
+        return self._append("delete", key, None, timestamp)
+
+    def _append(self, operation: str, key: str, value: Any, timestamp: float) -> LedgerEntry:
+        entry = LedgerEntry(
+            index=len(self.entries),
+            timestamp=timestamp,
+            operation=operation,
+            key=key,
+            value=value,
+        )
+        self.entries.append(entry)
+        self.tree.append(entry.serialize())
+        if operation == "put":
+            self._state[key] = value
+        else:
+            self._state.pop(key, None)
+        self._unsealed += 1
+        if self._unsealed >= self.block_size:
+            self.seal_block()
+        return entry
+
+    def seal_block(self) -> BlockHeader | None:
+        """Seal pending entries into a block (no-op when nothing pending)."""
+        if self._unsealed == 0:
+            return None
+        start = self.blocks[-1].entry_range[1] if self.blocks else 0
+        header = BlockHeader(
+            height=len(self.blocks),
+            prev_hash=self.blocks[-1].block_hash() if self.blocks else "0" * 64,
+            tree_size=len(self.tree),
+            tree_root=self.tree.root().hex(),
+            entry_range=(start, len(self.entries)),
+        )
+        self.blocks.append(header)
+        self._unsealed = 0
+        return header
+
+    # -- reads -----------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        if key not in self._state:
+            raise LedgerError(f"key not found: {key!r}")
+        return self._state[key]
+
+    def get_or(self, key: str, default: Any = None) -> Any:
+        return self._state.get(key, default)
+
+    def history(self, key: str) -> list[LedgerEntry]:
+        """Full provable history of one key."""
+        return [e for e in self.entries if e.key == key]
+
+    # -- proofs ------------------------------------------------------------------
+
+    def receipt(self, index: int) -> Receipt:
+        """Inclusion receipt for entry ``index`` against the current head."""
+        if not 0 <= index < len(self.entries):
+            raise LedgerError(f"no entry {index}")
+        return Receipt(
+            entry=self.entries[index],
+            proof=self.tree.inclusion_proof(index),
+            tree_root=self.tree.root(),
+        )
+
+    @staticmethod
+    def verify_receipt(receipt: Receipt) -> bool:
+        return verify_inclusion(
+            receipt.entry.serialize(), receipt.proof, receipt.tree_root
+        )
+
+    def consistency_proof(self, old_size: int) -> ConsistencyProof:
+        return self.tree.consistency_proof(old_size)
+
+    def verify_chain(self) -> bool:
+        """Recompute the block hash chain; False on any tampering."""
+        prev = "0" * 64
+        for block in self.blocks:
+            if block.prev_hash != prev:
+                return False
+            prev = block.block_hash()
+        return True
+
+
+class Auditor:
+    """A third-party auditor tracking the ledger's advertised heads.
+
+    The auditor stores the last (size, root) it verified.  Each new head
+    must come with a consistency proof; if the ledger operator rewrote
+    history, verification fails and the auditor flags it.
+    """
+
+    def __init__(self, ledger: LedgerDB) -> None:
+        self.ledger = ledger
+        self.trusted_size = 0
+        self.trusted_root: bytes | None = None
+        self.checks = 0
+        self.failures = 0
+
+    def checkpoint(self) -> bool:
+        """Verify the current head against the last trusted one."""
+        self.checks += 1
+        size = len(self.ledger.tree)
+        root = self.ledger.tree.root()
+        if self.trusted_root is None or self.trusted_size == 0:
+            self.trusted_size, self.trusted_root = size, root
+            return True
+        if size < self.trusted_size:
+            self.failures += 1
+            return False
+        proof = self.ledger.consistency_proof(self.trusted_size)
+        ok = verify_consistency(self.trusted_root, root, proof, self.ledger.tree)
+        if ok:
+            self.trusted_size, self.trusted_root = size, root
+        else:
+            self.failures += 1
+        return ok

@@ -1,0 +1,44 @@
+"""Network substrate: simulated links, P2P overlays, pub/sub, dissemination."""
+
+from .dissemination import (
+    CoherencySource,
+    CoherencySubscription,
+    Delivery,
+    DisseminationTree,
+    OutageBuffer,
+    PriorityScheduler,
+)
+from .overlay import BatonTree, ChordRing, LookupResult, stable_hash
+from .p2p_pubsub import P2PDeliveryReport, P2PPubSub
+from .pubsub import (
+    AttributePredicate,
+    Broker,
+    Publication,
+    Region,
+    Subscription,
+)
+from .simnet import Link, Message, Node, SimulatedNetwork
+
+__all__ = [
+    "AttributePredicate",
+    "BatonTree",
+    "Broker",
+    "ChordRing",
+    "CoherencySource",
+    "CoherencySubscription",
+    "Delivery",
+    "DisseminationTree",
+    "Link",
+    "LookupResult",
+    "Message",
+    "Node",
+    "OutageBuffer",
+    "P2PDeliveryReport",
+    "P2PPubSub",
+    "PriorityScheduler",
+    "Publication",
+    "Region",
+    "SimulatedNetwork",
+    "Subscription",
+    "stable_hash",
+]

@@ -1,0 +1,101 @@
+"""Publish/subscribe over a P2P overlay (paper Sec. IV-E).
+
+"We envision a publish/subscribe system over peer-to-peer networks where
+each peer may be a highly parallel cluster that can support a large number
+of mobile clients."
+
+:class:`P2PPubSub` shards subscription state across peers on a
+:class:`~repro.net.overlay.ChordRing`: a subscription for topic T lives on
+``owner(T)``; a publication routes through the ring to the same owner
+(O(log n) hops) and is matched only against that peer's local broker.
+Compared with one giant broker, per-peer matching state shrinks ~n-fold and
+publication work is spread across owners; the routing hop count is the
+price, which the paper's architecture accepts for scale-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from .overlay import ChordRing
+from .pubsub import Broker, Publication, Subscription
+
+
+@dataclass
+class P2PDeliveryReport:
+    """Result of one routed publication."""
+
+    owner: str
+    hops: int
+    matched: list[Subscription]
+
+
+class P2PPubSub:
+    """Topic-sharded brokers over a Chord ring."""
+
+    def __init__(self, peers: list[str], grid_cell: float = 100.0) -> None:
+        if not peers:
+            raise ConfigurationError("need at least one peer")
+        self.ring = ChordRing()
+        self.brokers: dict[str, Broker] = {}
+        for peer in peers:
+            self.ring.join(peer)
+            self.brokers[peer] = Broker(grid_cell=grid_cell)
+        self.total_hops = 0
+        self.publications = 0
+
+    # -- membership --------------------------------------------------------
+
+    def add_peer(self, peer: str) -> None:
+        if peer in self.brokers:
+            raise ConfigurationError(f"peer {peer!r} already present")
+        self.ring.join(peer)
+        self.brokers[peer] = Broker()
+        # Subscriptions are re-homed lazily in real systems; here we re-home
+        # eagerly so correctness is unconditional.
+        self._rehome()
+
+    def _rehome(self) -> None:
+        all_subs: list[Subscription] = []
+        for broker in self.brokers.values():
+            all_subs.extend(broker._subs.values())
+        for peer in self.brokers:
+            self.brokers[peer] = Broker()
+        for sub in all_subs:
+            self.brokers[self._owner_of(sub.topic_pattern)].subscribe(sub)
+
+    def _owner_of(self, topic_pattern: str) -> str:
+        # Shard by the topic's first segment so 'shop.*' and 'shop.sale'
+        # land on the same owner.
+        root = topic_pattern.split(".")[0].rstrip("*") or "_"
+        return self.ring.owner_of(root)
+
+    # -- pub/sub -------------------------------------------------------------
+
+    def subscribe(self, sub: Subscription) -> str:
+        """Install ``sub`` at its topic owner; returns the owning peer."""
+        owner = self._owner_of(sub.topic_pattern)
+        self.brokers[owner].subscribe(sub)
+        return owner
+
+    def publish(self, pub: Publication, from_peer: str | None = None) -> P2PDeliveryReport:
+        """Route ``pub`` to its topic owner and match there."""
+        root = pub.topic.split(".")[0]
+        lookup = self.ring.lookup(root, start_peer=from_peer)
+        matched = self.brokers[lookup.owner].publish(pub)
+        self.total_hops += lookup.hops
+        self.publications += 1
+        return P2PDeliveryReport(owner=lookup.owner, hops=lookup.hops, matched=matched)
+
+    # -- accounting ------------------------------------------------------------
+
+    def mean_hops(self) -> float:
+        return self.total_hops / self.publications if self.publications else 0.0
+
+    def max_peer_state(self) -> int:
+        """Largest per-peer subscription count (the scale-out win)."""
+        return max(len(broker) for broker in self.brokers.values())
+
+    def total_subscriptions(self) -> int:
+        return sum(len(broker) for broker in self.brokers.values())

@@ -1,0 +1,195 @@
+"""Simulated network substrate.
+
+The paper's dissemination, consistency, and distributed-transaction
+arguments (Sec. IV-C, IV-E) all hinge on network latency and bandwidth
+constraints.  ``SimulatedNetwork`` provides a deterministic message fabric:
+nodes register handlers; links have latency, bandwidth, and loss; messages
+are delivered through the shared :class:`~repro.core.clock.EventScheduler`.
+
+This substitutes for the paper's real wide-area / 5G network — the results
+we reproduce depend on latency/bandwidth *ratios*, which the model captures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.clock import EventScheduler
+from ..core.errors import ConfigurationError, NetworkError, PartitionedError
+from ..core.metrics import MetricsRegistry
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A message in flight between two nodes."""
+
+    src: str
+    dst: str
+    topic: str
+    payload: Any
+    size_bytes: int = 256
+    sent_at: float = 0.0
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+
+@dataclass
+class Link:
+    """Directed link properties.
+
+    ``latency_s`` is propagation delay; ``bandwidth_bps`` bounds throughput
+    (serialization delay = size / bandwidth); ``loss_rate`` drops messages
+    independently at random.
+    """
+
+    latency_s: float = 0.001
+    bandwidth_bps: float = 1e9
+    loss_rate: float = 0.0
+
+    def transfer_delay(self, size_bytes: int) -> float:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        return self.latency_s + (size_bytes * 8.0) / self.bandwidth_bps
+
+
+class Node:
+    """A network endpoint with per-topic handlers."""
+
+    def __init__(self, name: str, network: "SimulatedNetwork") -> None:
+        self.name = name
+        self.network = network
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self.received: list[Message] = []
+        self.keep_received = False
+
+    def on(self, topic: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages with ``topic``."""
+        self._handlers[topic] = handler
+
+    def deliver(self, message: Message) -> None:
+        if self.keep_received:
+            self.received.append(message)
+        handler = self._handlers.get(message.topic)
+        if handler is None:
+            handler = self._handlers.get("*")
+        if handler is not None:
+            handler(message)
+
+    def send(self, dst: str, topic: str, payload: Any, size_bytes: int = 256) -> Message:
+        return self.network.send(self.name, dst, topic, payload, size_bytes)
+
+
+class SimulatedNetwork:
+    """Deterministic message fabric over an :class:`EventScheduler`.
+
+    A default link applies between any pair without an explicit link.
+    Partitions are sets of unordered node pairs that drop all traffic.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        default_link: Link | None = None,
+        seed: int = 0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.default_link = default_link if default_link is not None else Link()
+        self.nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._partitioned: set[frozenset[str]] = set()
+        self._rng = random.Random(seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- topology ---------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        if name in self.nodes:
+            raise ConfigurationError(f"node {name!r} already exists")
+        node = Node(name, self)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def set_link(self, src: str, dst: str, link: Link, symmetric: bool = True) -> None:
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def link_for(self, src: str, dst: str) -> Link:
+        return self._links.get((src, dst), self.default_link)
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever connectivity between ``a`` and ``b`` (both directions)."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._partitioned.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitioned
+
+    # -- transport --------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        topic: str,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> Message:
+        """Send a message; it is delivered asynchronously via the scheduler.
+
+        Raises :class:`PartitionedError` immediately if the pair is
+        partitioned (the sender can observe the failure, as a real RPC
+        timeout would surface it).
+        """
+        if dst not in self.nodes:
+            raise NetworkError(f"unknown destination {dst!r}")
+        if self.is_partitioned(src, dst):
+            self.metrics.counter("net.partitioned_sends").inc()
+            raise PartitionedError(f"{src} -> {dst} is partitioned")
+        message = Message(
+            src=src,
+            dst=dst,
+            topic=topic,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.scheduler.clock.now,
+        )
+        link = self.link_for(src, dst)
+        self.metrics.counter("net.messages_sent").inc()
+        self.metrics.counter("net.bytes_sent").inc(size_bytes)
+        if link.loss_rate > 0 and self._rng.random() < link.loss_rate:
+            self.metrics.counter("net.messages_dropped").inc()
+            return message
+        delay = link.transfer_delay(size_bytes)
+        self.scheduler.schedule(delay, lambda: self._deliver(message))
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        # A partition raised mid-flight also drops the message.
+        if self.is_partitioned(message.src, message.dst):
+            self.metrics.counter("net.messages_dropped").inc()
+            return
+        node = self.nodes.get(message.dst)
+        if node is None:
+            return
+        self.metrics.counter("net.messages_delivered").inc()
+        self.metrics.histogram("net.delivery_latency").observe(
+            self.scheduler.clock.now - message.sent_at
+        )
+        node.deliver(message)

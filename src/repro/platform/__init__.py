@@ -1,0 +1,11 @@
+"""The device-cloud-storage platform facade (paper Fig. 7)."""
+
+from .gateway import DeviceGateway
+from .platform import ExecutorStats, MetaversePlatform, PurchaseOutcome
+
+__all__ = [
+    "DeviceGateway",
+    "ExecutorStats",
+    "MetaversePlatform",
+    "PurchaseOutcome",
+]

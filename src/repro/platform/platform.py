@@ -1,0 +1,210 @@
+"""The device–cloud–storage platform facade (paper Fig. 7).
+
+:class:`MetaversePlatform` wires the three tiers of the disaggregated
+architecture:
+
+* **device** — :class:`~repro.platform.gateway.DeviceGateway` instances
+  doing optional on-device aggregation;
+* **cloud** — transaction executors (MVCC, partitioned by product hash),
+  the pub/sub broker, and a buffer pool in front of storage;
+* **storage** — the KV store (hot structured data) plus an object store.
+
+It exposes the operations the Section-II scenarios need: sensor ingestion,
+flash-sale purchasing with space-aware priority, pub/sub subscriptions,
+and point reads through the buffer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError, KeyNotFoundError, WriteConflictError
+from ..core.metrics import MetricsRegistry
+from ..core.records import DataKind, DataRecord, Space
+from ..net.overlay import stable_hash
+from ..net.pubsub import Broker, Publication
+from ..platform.gateway import DeviceGateway
+from ..storage.bufferpool import BufferPool, PageMeta
+from ..storage.kv import KVStore
+from ..storage.objectstore import ObjectStore
+from ..txn.mvcc import TransactionManager
+from ..workloads.marketplace import PurchaseRequest
+
+
+@dataclass
+class PurchaseOutcome:
+    request: PurchaseRequest
+    success: bool
+    reason: str = ""
+
+
+@dataclass
+class ExecutorStats:
+    """Per-executor accounting for throughput/makespan analysis."""
+
+    processed: int = 0
+    busy_time: float = 0.0
+
+
+class MetaversePlatform:
+    """The end-to-end platform facade."""
+
+    def __init__(
+        self,
+        n_executors: int = 4,
+        buffer_pool_pages: int = 256,
+        physical_priority: bool = True,
+        txn_cost_s: float = 1e-4,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if n_executors < 1:
+            raise ConfigurationError("need at least one executor")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Storage tier.
+        self.kv = KVStore(metrics=self.metrics)
+        self.objects = ObjectStore(metrics=self.metrics)
+        # Cloud tier.
+        self.txn = TransactionManager()
+        self.broker = Broker(metrics=self.metrics)
+        self.n_executors = n_executors
+        self.executors = [ExecutorStats() for _ in range(n_executors)]
+        self.txn_cost_s = txn_cost_s
+        self.physical_priority = physical_priority
+        self.pool = BufferPool(
+            capacity=buffer_pool_pages,
+            loader=self._load_page,
+            metrics=self.metrics,
+        )
+        self.storage_reads = 0
+        # Device tier (gateways registered per source population).
+        self.gateways: dict[str, DeviceGateway] = {}
+
+    # -- storage access -----------------------------------------------------
+
+    def _load_page(self, key) -> tuple[object, PageMeta]:
+        self.storage_reads += 1
+        try:
+            value = self.kv.get(str(key))
+        except KeyNotFoundError:
+            value = None
+        return value, PageMeta(space=Space.PHYSICAL, kind=DataKind.STRUCTURED)
+
+    def read(self, key: str):
+        """Point read through the buffer pool."""
+        return self.pool.get(key)
+
+    def write_record(self, record: DataRecord) -> None:
+        """Persist a record to the KV tier and invalidate its cached page."""
+        self.kv.put(
+            record.key,
+            {
+                "payload": record.payload,
+                "space": record.space.value,
+                "timestamp": record.timestamp,
+            },
+        )
+        self.pool.invalidate(record.key)
+
+    # -- device tier ------------------------------------------------------------
+
+    def register_gateway(self, name: str, gateway: DeviceGateway) -> None:
+        if name in self.gateways:
+            raise ConfigurationError(f"duplicate gateway {name!r}")
+        self.gateways[name] = gateway
+
+    def flush_gateways(self) -> tuple[int, int]:
+        """Flush every gateway into storage; return (records, uplink bytes)."""
+        total_records = 0
+        total_bytes = 0
+        for gateway in self.gateways.values():
+            records, uplink = gateway.flush()
+            total_bytes += uplink
+            for record in records:
+                self.write_record(record)
+                self.broker.publish(
+                    Publication(
+                        topic=f"ingest.{record.source}",
+                        payload={**record.payload, "key": record.key},
+                        timestamp=record.timestamp,
+                        size_bytes=record.size_bytes(),
+                    )
+                )
+                total_records += 1
+        self.metrics.counter("platform.ingested_records").inc(total_records)
+        self.metrics.counter("platform.uplink_bytes").inc(total_bytes)
+        return total_records, total_bytes
+
+    # -- marketplace transactions --------------------------------------------------
+
+    def load_catalog(self, records: list[DataRecord]) -> None:
+        for record in records:
+            txn = self.txn.begin()
+            txn.write(record.key, dict(record.payload))
+            self.txn.commit(txn)
+
+    def _executor_for(self, product_id: str) -> int:
+        return stable_hash(product_id) % self.n_executors
+
+    def process_purchases(
+        self, requests: list[PurchaseRequest], max_retries: int = 2
+    ) -> list[PurchaseOutcome]:
+        """Execute a batch of purchases with space-aware ordering.
+
+        Requests are ordered by (priority, time): with
+        ``physical_priority`` on, physical-space shoppers win ties on the
+        last unit — the paper's example policy.  Each purchase is an MVCC
+        transaction decrementing the product's stock; conflicts retry up to
+        ``max_retries`` times.
+        """
+        def sort_key(request: PurchaseRequest):
+            priority = 0 if (
+                self.physical_priority and request.space is Space.PHYSICAL
+            ) else 1
+            return (priority, request.timestamp)
+
+        outcomes = []
+        for request in sorted(requests, key=sort_key):
+            outcomes.append(self._purchase_one(request, max_retries))
+        return outcomes
+
+    def _purchase_one(
+        self, request: PurchaseRequest, max_retries: int
+    ) -> PurchaseOutcome:
+        executor = self.executors[self._executor_for(request.product_id)]
+        for _ in range(max_retries + 1):
+            executor.busy_time += self.txn_cost_s
+            txn = self.txn.begin()
+            try:
+                product = txn.read(request.product_id)
+            except KeyNotFoundError:
+                self.txn.abort(txn)
+                return PurchaseOutcome(request, False, "no such product")
+            stock = product.get("stock", 0)
+            if stock < request.quantity:
+                self.txn.abort(txn)
+                self.metrics.counter("platform.soldout").inc()
+                return PurchaseOutcome(request, False, "sold out")
+            updated = dict(product)
+            updated["stock"] = stock - request.quantity
+            txn.write(request.product_id, updated)
+            try:
+                self.txn.commit(txn)
+            except WriteConflictError:
+                self.metrics.counter("platform.retries").inc()
+                continue
+            executor.processed += 1
+            self.metrics.counter("platform.purchases").inc()
+            return PurchaseOutcome(request, True)
+        return PurchaseOutcome(request, False, "conflict retries exhausted")
+
+    def stock_of(self, product_id: str) -> int:
+        txn = self.txn.begin()
+        return int(txn.read(product_id).get("stock", 0))
+
+    def makespan(self) -> float:
+        """Simulated completion time: the busiest executor's busy time."""
+        return max(e.busy_time for e in self.executors)
+
+    def throughput(self, n_requests: int) -> float:
+        makespan = self.makespan()
+        return n_requests / makespan if makespan > 0 else float("inf")

@@ -1,0 +1,51 @@
+"""Privacy and collaboration: DP mechanisms, federated learning, incentives."""
+
+from .dp import (
+    DpQueryEngine,
+    PrivacyAccountant,
+    gaussian_mechanism,
+    laplace_expected_error,
+    laplace_mechanism,
+    noisy_histogram,
+    randomized_response,
+    randomized_response_estimate,
+)
+from .federated import (
+    ClientData,
+    FederatedTrainer,
+    RoundReport,
+    accuracy,
+    dirichlet_partition,
+    local_sgd,
+    logistic_loss,
+    make_synthetic_dataset,
+)
+from .incentives import (
+    detect_free_riders,
+    efficiency_gap,
+    proportional_rewards,
+    shapley_values,
+)
+
+__all__ = [
+    "ClientData",
+    "DpQueryEngine",
+    "FederatedTrainer",
+    "PrivacyAccountant",
+    "RoundReport",
+    "accuracy",
+    "detect_free_riders",
+    "dirichlet_partition",
+    "efficiency_gap",
+    "gaussian_mechanism",
+    "laplace_expected_error",
+    "laplace_mechanism",
+    "local_sgd",
+    "logistic_loss",
+    "make_synthetic_dataset",
+    "noisy_histogram",
+    "proportional_rewards",
+    "randomized_response",
+    "randomized_response_estimate",
+    "shapley_values",
+]

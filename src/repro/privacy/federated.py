@@ -1,0 +1,218 @@
+"""Federated learning simulation with Non-IID clients (paper Sec. IV-B).
+
+"Privacy-preserving data and knowledge sharing mechanisms with fair
+contributions of useful data have to be designed ... users are likely to be
+heterogeneous in data qualities and quantities, possibly with Non-IID
+[data]."  This module provides the substrate for those claims ([49]):
+
+* :func:`dirichlet_partition` — split a labelled dataset across clients
+  with label-distribution skew controlled by the Dirichlet alpha (small
+  alpha = severe Non-IID);
+* :class:`FederatedTrainer` — FedAvg over a logistic-regression model:
+  each round, sampled clients run local SGD epochs and the server averages
+  weight deltas weighted by example counts;
+* optional per-client DP noise on updates.
+
+Experiment E10 measures convergence versus alpha and feeds the incentive
+scoring of :mod:`repro.privacy.incentives`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass
+class ClientData:
+    """One client's local dataset."""
+
+    client_id: str
+    features: np.ndarray  # (n, d)
+    labels: np.ndarray    # (n,), values in {0, 1}
+
+    def __post_init__(self) -> None:
+        if len(self.features) != len(self.labels):
+            raise ConfigurationError("features/labels length mismatch")
+
+    @property
+    def n_examples(self) -> int:
+        return len(self.labels)
+
+
+def make_synthetic_dataset(
+    n: int, dim: int = 10, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """A linearly separable-ish binary classification dataset."""
+    rng = np.random.default_rng(seed)
+    true_w = rng.normal(size=dim)
+    features = rng.normal(size=(n, dim))
+    logits = features @ true_w
+    labels = (logits + rng.normal(scale=0.5, size=n) > 0).astype(float)
+    return features, labels
+
+
+def dirichlet_partition(
+    features: np.ndarray,
+    labels: np.ndarray,
+    n_clients: int,
+    alpha: float,
+    seed: int = 0,
+) -> list[ClientData]:
+    """Label-skewed partition: per label, client shares ~ Dirichlet(alpha).
+
+    alpha -> infinity approaches IID; alpha ~ 0.1 gives each client a few
+    dominant labels, the standard Non-IID benchmark construction.
+    """
+    if n_clients < 1 or alpha <= 0:
+        raise ConfigurationError("need n_clients >= 1 and alpha > 0")
+    rng = np.random.default_rng(seed)
+    client_indices: list[list[int]] = [[] for _ in range(n_clients)]
+    for label in np.unique(labels):
+        label_idx = np.flatnonzero(labels == label)
+        rng.shuffle(label_idx)
+        shares = rng.dirichlet([alpha] * n_clients)
+        cuts = (np.cumsum(shares) * len(label_idx)).astype(int)[:-1]
+        for client, chunk in enumerate(np.split(label_idx, cuts)):
+            client_indices[client].extend(chunk.tolist())
+    clients = []
+    for i, idx in enumerate(client_indices):
+        idx_arr = np.array(sorted(idx), dtype=int)
+        clients.append(
+            ClientData(
+                client_id=f"client-{i}",
+                features=features[idx_arr] if len(idx_arr) else features[:0],
+                labels=labels[idx_arr] if len(idx_arr) else labels[:0],
+            )
+        )
+    return clients
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+def logistic_loss(weights: np.ndarray, features: np.ndarray, labels: np.ndarray) -> float:
+    p = _sigmoid(features @ weights)
+    eps = 1e-9
+    return float(-np.mean(labels * np.log(p + eps) + (1 - labels) * np.log(1 - p + eps)))
+
+
+def accuracy(weights: np.ndarray, features: np.ndarray, labels: np.ndarray) -> float:
+    if len(labels) == 0:
+        return 0.0
+    predictions = (_sigmoid(features @ weights) > 0.5).astype(float)
+    return float(np.mean(predictions == labels))
+
+
+def local_sgd(
+    weights: np.ndarray,
+    client: ClientData,
+    epochs: int,
+    lr: float,
+    batch_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Run local SGD epochs; return the updated weights."""
+    w = weights.copy()
+    n = client.n_examples
+    if n == 0:
+        return w
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for start in range(0, n, batch_size):
+            batch = order[start : start + batch_size]
+            x = client.features[batch]
+            y = client.labels[batch]
+            gradient = x.T @ (_sigmoid(x @ w) - y) / len(batch)
+            w -= lr * gradient
+    return w
+
+
+@dataclass
+class RoundReport:
+    round_index: int
+    loss: float
+    accuracy: float
+    participants: list[str] = field(default_factory=list)
+
+
+class FederatedTrainer:
+    """FedAvg server loop over logistic regression."""
+
+    def __init__(
+        self,
+        clients: list[ClientData],
+        dim: int,
+        lr: float = 0.5,
+        local_epochs: int = 1,
+        batch_size: int = 32,
+        clients_per_round: int | None = None,
+        update_noise_sigma: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not clients:
+            raise ConfigurationError("need at least one client")
+        self.clients = clients
+        self.weights = np.zeros(dim)
+        self.lr = lr
+        self.local_epochs = local_epochs
+        self.batch_size = batch_size
+        self.clients_per_round = clients_per_round or len(clients)
+        self.update_noise_sigma = update_noise_sigma
+        self._rng = np.random.default_rng(seed)
+        self.history: list[RoundReport] = []
+
+    def run_round(
+        self, eval_features: np.ndarray, eval_labels: np.ndarray
+    ) -> RoundReport:
+        participating = list(
+            self._rng.choice(
+                len(self.clients),
+                size=min(self.clients_per_round, len(self.clients)),
+                replace=False,
+            )
+        )
+        total_examples = 0
+        weighted_delta = np.zeros_like(self.weights)
+        names = []
+        for idx in participating:
+            client = self.clients[idx]
+            if client.n_examples == 0:
+                continue
+            names.append(client.client_id)
+            local_weights = local_sgd(
+                self.weights,
+                client,
+                self.local_epochs,
+                self.lr,
+                self.batch_size,
+                self._rng,
+            )
+            delta = local_weights - self.weights
+            if self.update_noise_sigma > 0:
+                delta = delta + self._rng.normal(
+                    scale=self.update_noise_sigma, size=delta.shape
+                )
+            weighted_delta += client.n_examples * delta
+            total_examples += client.n_examples
+        if total_examples > 0:
+            self.weights = self.weights + weighted_delta / total_examples
+        report = RoundReport(
+            round_index=len(self.history),
+            loss=logistic_loss(self.weights, eval_features, eval_labels),
+            accuracy=accuracy(self.weights, eval_features, eval_labels),
+            participants=names,
+        )
+        self.history.append(report)
+        return report
+
+    def train(
+        self, rounds: int, eval_features: np.ndarray, eval_labels: np.ndarray
+    ) -> list[RoundReport]:
+        for _ in range(rounds):
+            self.run_round(eval_features, eval_labels)
+        return self.history

@@ -1,0 +1,131 @@
+"""Contribution scoring and free-rider detection (paper Sec. IV-B; [58]).
+
+"To promote data collaboration and to discourage free-riders from
+intentionally obtaining the others' data and parameters without doing their
+part, effective and computationally efficient incentive models have to be
+designed."
+
+The canonical fair-attribution tool is the Shapley value over a coalition
+utility function (here: model accuracy trained on the coalition's pooled
+data).  Exact Shapley is exponential; :func:`shapley_values` does exact
+enumeration for small n and Monte-Carlo permutation sampling beyond that.
+:func:`detect_free_riders` flags participants whose marginal value is
+indistinguishable from zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Callable, Hashable, Sequence
+
+from ..core.errors import ConfigurationError
+
+Utility = Callable[[frozenset], float]
+
+
+def shapley_values(
+    players: Sequence[Hashable],
+    utility: Utility,
+    exact_threshold: int = 8,
+    samples: int = 200,
+    seed: int = 0,
+) -> dict[Hashable, float]:
+    """Shapley value of each player under ``utility``.
+
+    Exact (all permutations, via subset enumeration) when
+    ``len(players) <= exact_threshold``; otherwise Monte-Carlo over random
+    permutations with ``samples`` draws.
+    """
+    if not players:
+        raise ConfigurationError("need at least one player")
+    if len(set(players)) != len(players):
+        raise ConfigurationError("players must be unique")
+    if len(players) <= exact_threshold:
+        return _exact_shapley(list(players), utility)
+    return _monte_carlo_shapley(list(players), utility, samples, seed)
+
+
+def _exact_shapley(players: list[Hashable], utility: Utility) -> dict[Hashable, float]:
+    n = len(players)
+    values = {p: 0.0 for p in players}
+    cache: dict[frozenset, float] = {}
+
+    def u(coalition: frozenset) -> float:
+        if coalition not in cache:
+            cache[coalition] = utility(coalition)
+        return cache[coalition]
+
+    for player in players:
+        others = [p for p in players if p != player]
+        for size in range(n):
+            weight = (
+                math.factorial(size) * math.factorial(n - size - 1) / math.factorial(n)
+            )
+            for subset in itertools.combinations(others, size):
+                coalition = frozenset(subset)
+                marginal = u(coalition | {player}) - u(coalition)
+                values[player] += weight * marginal
+    return values
+
+
+def _monte_carlo_shapley(
+    players: list[Hashable], utility: Utility, samples: int, seed: int
+) -> dict[Hashable, float]:
+    rng = random.Random(seed)
+    values = {p: 0.0 for p in players}
+    cache: dict[frozenset, float] = {}
+
+    def u(coalition: frozenset) -> float:
+        if coalition not in cache:
+            cache[coalition] = utility(coalition)
+        return cache[coalition]
+
+    for _ in range(samples):
+        order = players[:]
+        rng.shuffle(order)
+        coalition: frozenset = frozenset()
+        previous = u(coalition)
+        for player in order:
+            coalition = coalition | {player}
+            current = u(coalition)
+            values[player] += current - previous
+            previous = current
+    return {p: v / samples for p, v in values.items()}
+
+
+def efficiency_gap(
+    values: dict[Hashable, float], utility: Utility
+) -> float:
+    """|sum of Shapley values - grand coalition utility| (0 for exact)."""
+    grand = utility(frozenset(values))
+    return abs(sum(values.values()) - grand)
+
+
+def detect_free_riders(
+    values: dict[Hashable, float], threshold_fraction: float = 0.05
+) -> set[Hashable]:
+    """Players whose share is below ``threshold_fraction`` of the mean
+    positive share."""
+    if not 0 <= threshold_fraction < 1:
+        raise ConfigurationError("threshold_fraction must be in [0, 1)")
+    positives = [v for v in values.values() if v > 0]
+    if not positives:
+        return set(values)
+    mean_positive = sum(positives) / len(positives)
+    cutoff = threshold_fraction * mean_positive
+    return {p for p, v in values.items() if v <= cutoff}
+
+
+def proportional_rewards(
+    values: dict[Hashable, float], budget: float
+) -> dict[Hashable, float]:
+    """Split a reward budget proportionally to (non-negative) Shapley shares."""
+    if budget < 0:
+        raise ConfigurationError("budget must be >= 0")
+    clipped = {p: max(0.0, v) for p, v in values.items()}
+    total = sum(clipped.values())
+    if total == 0:
+        return {p: budget / len(values) for p in values}
+    return {p: budget * v / total for p, v in clipped.items()}

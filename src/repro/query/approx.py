@@ -1,0 +1,160 @@
+"""Approximation and degradation policies (paper Sec. IV-C/IV-G).
+
+"For a cyber user, while real-time information is highly desirable,
+approximate data may be tolerated (e.g., instead of a high resolution video
+stream, a low-resolution stream or animation may be acceptable)."
+
+Three mechanisms:
+
+* :class:`ResolutionLadder` — media degradation: pick the best variant that
+  fits a bandwidth budget.
+* :func:`sample_aggregate` — sampling-based approximate aggregation with a
+  CLT-based confidence interval.
+* :class:`SpaceAwareDegrader` — the paper's "space-aware" policy: physical
+  shoppers get exact data, cyber users get degraded data under pressure.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError, QueryError
+from ..core.records import DataRecord, Space
+
+
+@dataclass(frozen=True)
+class MediaVariant:
+    """One resolution rung of a media asset."""
+
+    label: str
+    bytes_per_second: float
+    quality: float  # in (0, 1], 1 = original
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second <= 0 or not 0 < self.quality <= 1:
+            raise ConfigurationError("invalid media variant")
+
+
+class ResolutionLadder:
+    """An ordered set of media variants plus budget-based selection."""
+
+    def __init__(self, variants: list[MediaVariant]) -> None:
+        if not variants:
+            raise ConfigurationError("ladder needs at least one variant")
+        self.variants = sorted(variants, key=lambda v: v.bytes_per_second)
+        qualities = [v.quality for v in self.variants]
+        if qualities != sorted(qualities):
+            raise ConfigurationError("quality must increase with bitrate")
+
+    @property
+    def best(self) -> MediaVariant:
+        return self.variants[-1]
+
+    @property
+    def worst(self) -> MediaVariant:
+        return self.variants[0]
+
+    def select(self, budget_bytes_per_second: float) -> MediaVariant | None:
+        """Highest-quality variant within budget (None if even the lowest
+        rung does not fit)."""
+        chosen = None
+        for variant in self.variants:
+            if variant.bytes_per_second <= budget_bytes_per_second:
+                chosen = variant
+        return chosen
+
+
+@dataclass
+class ApproximateResult:
+    """A sampled aggregate with its confidence interval."""
+
+    estimate: float
+    half_width: float
+    sample_size: int
+    population: int
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (self.estimate - self.half_width, self.estimate + self.half_width)
+
+
+def sample_aggregate(
+    values: list[float],
+    fraction: float,
+    agg: str = "avg",
+    seed: int = 0,
+    z: float = 1.96,
+) -> ApproximateResult:
+    """Estimate sum/avg from a uniform sample with a CLT interval.
+
+    ``fraction`` in (0, 1]: the sampled share of the population.  The
+    half-width uses the sample standard deviation, scaled up for ``sum``.
+    """
+    if not values:
+        raise QueryError("cannot aggregate an empty population")
+    if not 0 < fraction <= 1:
+        raise QueryError("fraction must be in (0, 1]")
+    if agg not in ("avg", "sum"):
+        raise QueryError(f"unsupported approximate aggregate {agg!r}")
+    n = max(1, int(round(len(values) * fraction)))
+    rng = random.Random(seed)
+    sample = values if n >= len(values) else rng.sample(values, n)
+    mean = sum(sample) / len(sample)
+    if len(sample) > 1:
+        var = sum((v - mean) ** 2 for v in sample) / (len(sample) - 1)
+        sem = math.sqrt(var / len(sample))
+    else:
+        sem = 0.0
+    if agg == "avg":
+        return ApproximateResult(mean, z * sem, len(sample), len(values))
+    scale = float(len(values))
+    return ApproximateResult(mean * scale, z * sem * scale, len(sample), len(values))
+
+
+class SpaceAwareDegrader:
+    """Route records to exact or degraded processing by space and load.
+
+    Under light load everyone gets exact data.  Above ``pressure_threshold``
+    (a load factor in [0, 1]), virtual-space consumers get degraded records:
+    numeric fields rounded to ``precision`` decimals and media payloads
+    swapped for their low-resolution variant.  Physical-space consumers are
+    never degraded — the paper's example priority ("prioritize sales for a
+    shopper in a physical mall").
+    """
+
+    def __init__(self, pressure_threshold: float = 0.7, precision: int = 0) -> None:
+        if not 0 <= pressure_threshold <= 1:
+            raise ConfigurationError("pressure_threshold must be in [0, 1]")
+        self.pressure_threshold = pressure_threshold
+        self.precision = precision
+        self.degraded_count = 0
+        self.exact_count = 0
+
+    def should_degrade(self, consumer_space: Space, load: float) -> bool:
+        return consumer_space is Space.VIRTUAL and load > self.pressure_threshold
+
+    def process(
+        self, record: DataRecord, consumer_space: Space, load: float
+    ) -> DataRecord:
+        if not self.should_degrade(consumer_space, load):
+            self.exact_count += 1
+            return record
+        self.degraded_count += 1
+        payload = {}
+        for key, value in record.payload.items():
+            if isinstance(value, float):
+                payload[key] = round(value, self.precision)
+            elif key == "size_bytes" and isinstance(value, int):
+                payload[key] = max(1, value // 10)  # low-res media stand-in
+            else:
+                payload[key] = value
+        return DataRecord(
+            key=record.key,
+            payload=payload,
+            space=record.space,
+            timestamp=record.timestamp,
+            kind=record.kind,
+            source=f"{record.source}+degraded",
+        )

@@ -1,0 +1,171 @@
+"""Cost-based optimization (paper Sec. IV-G).
+
+Two optimizations the paper calls out:
+
+* **Expensive-predicate ordering** ([39], Hellerstein): given a conjunction
+  of filters with per-row costs and selectivities, the cost-minimal order
+  applies them by ascending ``rank = (selectivity - 1) / cost``.
+  :func:`order_predicates` implements it and :func:`chain_filters` rebuilds
+  the operator chain.
+
+* **Device-aware placement** ([50], [61], [10]): the disaggregated
+  architecture lets operators run on the metaverse device or in the cloud.
+  :class:`PlacementOptimizer` chooses, per pipeline prefix, whether to run
+  it device-side (slower CPU, but upstream of the network, so filtering
+  early shrinks the transfer) or cloud-side, minimizing total latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import PlanningError
+from .operators import Filter, Operator
+
+
+def predicate_rank(selectivity: float, cost: float) -> float:
+    """Hellerstein's rank; lower ranks run first."""
+    if cost <= 0:
+        raise PlanningError("predicate cost must be positive")
+    return (selectivity - 1.0) / cost
+
+
+def order_predicates(filters: list[Filter]) -> list[Filter]:
+    """Order filters by ascending rank (optimal for a filter chain)."""
+    return sorted(filters, key=lambda f: predicate_rank(f.selectivity, f.cost))
+
+
+def chain_filters(source: Operator, filters: list[Filter]) -> Operator:
+    """Rebuild a filter chain over ``source`` in the given order."""
+    node: Operator = source
+    for filt in filters:
+        node = Filter(
+            node,
+            filt.predicate,
+            cost=filt.cost,
+            selectivity=filt.selectivity,
+            label=filt.label,
+        )
+    return node
+
+
+def expected_chain_cost(filters: list[Filter], input_rows: float = 1.0) -> float:
+    """Expected per-input-row cost of applying filters in the given order."""
+    cost = 0.0
+    rows = input_rows
+    for filt in filters:
+        cost += rows * filt.cost
+        rows *= filt.selectivity
+    return cost
+
+
+def optimize_filter_chain(source: Operator, filters: list[Filter]) -> Operator:
+    """The standard pipeline: rank-order the filters, rebuild the chain."""
+    return chain_filters(source, order_predicates(filters))
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of a linear ingest pipeline for placement purposes.
+
+    ``cost_per_row`` is in abstract work units; ``selectivity`` scales the
+    downstream row count (aggregations use values < 1, enrichments > 1);
+    ``bytes_per_row_out`` is the wire size of the stage's output rows.
+    """
+
+    name: str
+    cost_per_row: float
+    selectivity: float
+    bytes_per_row_out: float
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Relative execution environment (paper Fig. 7).
+
+    ``device_speed`` and ``cloud_speed`` are work units per second;
+    ``uplink_bps`` is the device-to-cloud bandwidth.
+    """
+
+    device_speed: float
+    cloud_speed: float
+    uplink_bps: float
+    raw_bytes_per_row: float = 64.0
+
+    def __post_init__(self) -> None:
+        if min(self.device_speed, self.cloud_speed, self.uplink_bps) <= 0:
+            raise PlanningError("profile rates must be positive")
+
+
+@dataclass
+class PlacementPlan:
+    """Result of placement: stages [0, split) on device, rest in cloud."""
+
+    split: int
+    device_stages: list[str]
+    cloud_stages: list[str]
+    latency_per_row: float
+    uplink_bytes_per_row: float
+
+
+class PlacementOptimizer:
+    """Choose the device/cloud split point of a linear pipeline.
+
+    For each candidate split ``k`` (0 = everything in the cloud), the
+    per-source-row latency is::
+
+        sum(device work of stages < k) / device_speed
+        + (bytes crossing the uplink after stage k-1) * 8 / uplink_bps
+        + sum(cloud work of stages >= k) / cloud_speed
+
+    and the optimizer returns the argmin.  This captures the paper's point
+    that "part of the computation [can] be further separated from the cloud
+    side to the device side": device-side aggregation wins exactly when the
+    row-count/byte reduction beats the slower device CPU.
+    """
+
+    def __init__(self, profile: DeviceProfile) -> None:
+        self.profile = profile
+
+    def _latency_for_split(self, stages: list[PipelineStage], split: int) -> tuple[float, float]:
+        rows = 1.0
+        device_work = 0.0
+        for stage in stages[:split]:
+            device_work += rows * stage.cost_per_row
+            rows *= stage.selectivity
+        if split == 0:
+            uplink_bytes = self.profile.raw_bytes_per_row
+        else:
+            uplink_bytes = rows * stages[split - 1].bytes_per_row_out
+        cloud_work = 0.0
+        for stage in stages[split:]:
+            cloud_work += rows * stage.cost_per_row
+            rows *= stage.selectivity
+        latency = (
+            device_work / self.profile.device_speed
+            + uplink_bytes * 8.0 / self.profile.uplink_bps
+            + cloud_work / self.profile.cloud_speed
+        )
+        return latency, uplink_bytes
+
+    def optimize(self, stages: list[PipelineStage]) -> PlacementPlan:
+        if not stages:
+            raise PlanningError("pipeline has no stages")
+        best_split, best_latency, best_bytes = 0, float("inf"), 0.0
+        for split in range(len(stages) + 1):
+            latency, uplink_bytes = self._latency_for_split(stages, split)
+            if latency < best_latency:
+                best_split, best_latency, best_bytes = split, latency, uplink_bytes
+        return PlacementPlan(
+            split=best_split,
+            device_stages=[s.name for s in stages[:best_split]],
+            cloud_stages=[s.name for s in stages[best_split:]],
+            latency_per_row=best_latency,
+            uplink_bytes_per_row=best_bytes,
+        )
+
+    def latency_all_cloud(self, stages: list[PipelineStage]) -> float:
+        return self._latency_for_split(stages, 0)[0]
+
+    def latency_all_device(self, stages: list[PipelineStage]) -> float:
+        return self._latency_for_split(stages, len(stages))[0]

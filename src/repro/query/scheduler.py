@@ -1,0 +1,160 @@
+"""Multi-query QoS scheduling for continuous queries (paper Sec. IV-C; [69]).
+
+Hundreds of continuous queries with heterogeneous Quality-of-Service needs
+share one execution budget.  Each :class:`ContinuousQuerySpec` declares a
+period (how often it should run) and a relative deadline; the scheduler
+picks which due queries to run each tick under a fixed per-tick execution
+budget.  Policies:
+
+* :class:`RoundRobinPolicy` — QoS-blind baseline,
+* :class:`EdfPolicy` — earliest deadline first,
+* :class:`QosAwarePolicy` — weighted slack: deadline urgency scaled by the
+  query's QoS weight, so tight classes win under overload ([69]'s theme).
+
+Experiment E17 measures deadline hit rates per class under each policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass
+class ContinuousQuerySpec:
+    """One registered continuous query."""
+
+    query_id: str
+    period: float
+    deadline: float  # relative to release time
+    cost: float = 1.0  # execution budget units per run
+    weight: float = 1.0  # QoS importance (higher = more critical)
+
+    def __post_init__(self) -> None:
+        if min(self.period, self.deadline, self.cost, self.weight) <= 0:
+            raise ConfigurationError("spec parameters must be positive")
+
+
+@dataclass
+class _QueryState:
+    spec: ContinuousQuerySpec
+    next_release: float = 0.0
+    pending_since: float | None = None
+    runs: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+@dataclass
+class TickReport:
+    executed: list[str]
+    budget_used: float
+
+
+class SchedulingPolicy:
+    """Orders the due queries; subclasses override :meth:`priority`."""
+
+    def priority(self, state: _QueryState, now: float) -> float:
+        raise NotImplementedError
+
+    def order(self, due: list[_QueryState], now: float) -> list[_QueryState]:
+        return sorted(due, key=lambda s: self.priority(s, now))
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """FIFO by release time, ignoring deadlines and weights."""
+
+    def priority(self, state: _QueryState, now: float) -> float:
+        return state.pending_since if state.pending_since is not None else now
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest absolute deadline first."""
+
+    def priority(self, state: _QueryState, now: float) -> float:
+        released = state.pending_since if state.pending_since is not None else now
+        return released + state.spec.deadline
+
+
+class QosAwarePolicy(SchedulingPolicy):
+    """Weighted slack: slack / weight, so heavy classes preempt."""
+
+    def priority(self, state: _QueryState, now: float) -> float:
+        released = state.pending_since if state.pending_since is not None else now
+        slack = (released + state.spec.deadline) - now
+        return slack / state.spec.weight
+
+
+class QosScheduler:
+    """Releases periodic queries and executes them under a budget."""
+
+    def __init__(self, policy: SchedulingPolicy, budget_per_tick: float) -> None:
+        if budget_per_tick <= 0:
+            raise ConfigurationError("budget must be positive")
+        self.policy = policy
+        self.budget_per_tick = budget_per_tick
+        self._states: dict[str, _QueryState] = {}
+        self.now = 0.0
+
+    def register(self, spec: ContinuousQuerySpec) -> None:
+        if spec.query_id in self._states:
+            raise ConfigurationError(f"duplicate query id {spec.query_id!r}")
+        self._states[spec.query_id] = _QueryState(spec=spec, next_release=0.0)
+
+    def tick(self, dt: float = 1.0) -> TickReport:
+        """Advance time by ``dt``, release due queries, run what fits."""
+        self.now += dt
+        # Release phase: a query whose release time passed becomes pending.
+        for state in self._states.values():
+            if state.pending_since is None and self.now >= state.next_release:
+                state.pending_since = state.next_release
+                state.next_release += state.spec.period
+            elif state.pending_since is not None and self.now >= state.next_release:
+                # Missed a whole period while still pending: count the miss
+                # and re-release (skip the stale instance).
+                state.misses += 1
+                state.pending_since = state.next_release
+                state.next_release += state.spec.period
+        due = [s for s in self._states.values() if s.pending_since is not None]
+        ordered = self.policy.order(due, self.now)
+        executed: list[str] = []
+        budget = self.budget_per_tick
+        for state in ordered:
+            if state.spec.cost > budget:
+                continue
+            budget -= state.spec.cost
+            released = state.pending_since
+            assert released is not None
+            state.pending_since = None
+            state.runs += 1
+            if self.now - released <= state.spec.deadline:
+                state.hits += 1
+            else:
+                state.misses += 1
+            executed.append(state.spec.query_id)
+        return TickReport(executed=executed, budget_used=self.budget_per_tick - budget)
+
+    def run(self, ticks: int, dt: float = 1.0) -> None:
+        for _ in range(ticks):
+            self.tick(dt)
+
+    # -- reporting ---------------------------------------------------------
+
+    def hit_rate(self, query_id: str) -> float:
+        state = self._states[query_id]
+        total = state.hits + state.misses
+        return state.hits / total if total else 1.0
+
+    def hit_rate_by_weight(self) -> dict[float, float]:
+        """Aggregate hit rate per QoS weight class."""
+        hits: dict[float, int] = {}
+        totals: dict[float, int] = {}
+        for state in self._states.values():
+            weight = state.spec.weight
+            hits[weight] = hits.get(weight, 0) + state.hits
+            totals[weight] = totals.get(weight, 0) + state.hits + state.misses
+        return {
+            weight: (hits[weight] / totals[weight] if totals[weight] else 1.0)
+            for weight in totals
+        }

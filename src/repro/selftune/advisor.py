@@ -1,0 +1,164 @@
+"""Workload-driven physical-design advice and knob tuning (paper Sec. IV-H).
+
+Two self-driving components:
+
+* :class:`IndexAdvisor` — watches a spatial workload trace (update/query
+  ratio, query extent) and recommends an index (grid / R-tree / Bx) plus a
+  grid cell size, using the measured cost model from experiment E6's
+  structures;
+* :class:`CoherencyTuner` — a feedback controller for the twin-sync
+  epsilon: given a message budget per tick, it adjusts the coherency bound
+  to use the budget while minimizing staleness — turning Sec. IV-C's manual
+  trade-off into a self-tuning knob.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass
+class WorkloadProfile:
+    """Observed spatial-workload statistics."""
+
+    updates: int = 0
+    range_queries: int = 0
+    query_extents: list[float] = field(default_factory=list)
+    object_count: int = 0
+
+    def record_update(self, n: int = 1) -> None:
+        self.updates += n
+
+    def record_query(self, extent: float) -> None:
+        self.range_queries += 1
+        self.query_extents.append(extent)
+
+    @property
+    def update_ratio(self) -> float:
+        total = self.updates + self.range_queries
+        return self.updates / total if total else 0.0
+
+    @property
+    def mean_extent(self) -> float:
+        if not self.query_extents:
+            return 0.0
+        return sum(self.query_extents) / len(self.query_extents)
+
+
+@dataclass(frozen=True)
+class IndexRecommendation:
+    index: str          # "grid" | "rtree" | "bx"
+    cell_size: float | None
+    rationale: str
+
+
+class IndexAdvisor:
+    """Rule-of-thumb advisor matching E6's measured cost asymmetries.
+
+    * update-dominated (>50% updates) + dead-reckonable motion -> Bx;
+    * update-dominated otherwise -> grid with cell ~ mean query extent
+      (each query touches ~O(1) cells while moves stay cheap);
+    * query-dominated static data -> R-tree.
+    """
+
+    def __init__(self, bx_friendly_motion: bool = False) -> None:
+        self.bx_friendly_motion = bx_friendly_motion
+
+    def recommend(self, profile: WorkloadProfile) -> IndexRecommendation:
+        if profile.updates + profile.range_queries == 0:
+            raise ConfigurationError("empty workload profile")
+        if profile.update_ratio > 0.5:
+            if self.bx_friendly_motion:
+                return IndexRecommendation(
+                    "bx", None,
+                    "update-dominated with predictable motion: index predicted "
+                    "positions, avoid per-tick updates",
+                )
+            cell = self._cell_size(profile)
+            return IndexRecommendation(
+                "grid", cell,
+                f"update-dominated ({profile.update_ratio:.0%}): O(1) moves; "
+                f"cell sized to mean query extent {profile.mean_extent:.0f}",
+            )
+        return IndexRecommendation(
+            "rtree", None,
+            f"query-dominated ({1 - profile.update_ratio:.0%} queries): "
+            "R-tree wins static range search",
+        )
+
+    @staticmethod
+    def _cell_size(profile: WorkloadProfile) -> float:
+        extent = profile.mean_extent or 100.0
+        # One query should overlap a handful of cells: cell ~ extent / 2,
+        # clamped to sane bounds.
+        return max(10.0, min(1000.0, extent / 2.0))
+
+
+class CoherencyTuner:
+    """Feedback controller for the sync epsilon (multiplicative update).
+
+    Each control tick the caller reports the messages actually sent; the
+    tuner nudges epsilon down when under budget (buy accuracy) and up when
+    over budget (shed traffic).  Multiplicative-increase/decrease converges
+    to the budget boundary for monotone traffic curves.
+    """
+
+    def __init__(
+        self,
+        initial_epsilon: float,
+        budget_per_tick: float,
+        adjust_factor: float = 1.25,
+        epsilon_bounds: tuple[float, float] = (0.1, 1000.0),
+    ) -> None:
+        if initial_epsilon <= 0 or budget_per_tick <= 0 or adjust_factor <= 1:
+            raise ConfigurationError("invalid tuner configuration")
+        self.epsilon = initial_epsilon
+        self.budget_per_tick = budget_per_tick
+        self.adjust_factor = adjust_factor
+        self.epsilon_bounds = epsilon_bounds
+        self.history: list[tuple[float, float]] = []  # (epsilon, messages)
+
+    def observe(self, messages_sent: float) -> float:
+        """Report a tick's traffic; returns the epsilon for the next tick."""
+        self.history.append((self.epsilon, messages_sent))
+        lo, hi = self.epsilon_bounds
+        if messages_sent > self.budget_per_tick:
+            self.epsilon = min(hi, self.epsilon * self.adjust_factor)
+        elif messages_sent < 0.7 * self.budget_per_tick:
+            self.epsilon = max(lo, self.epsilon / self.adjust_factor)
+        return self.epsilon
+
+    def converged(self, window: int = 5, tolerance: float = 0.35) -> bool:
+        """Recent traffic within tolerance of the budget?"""
+        if len(self.history) < window:
+            return False
+        recent = [messages for _, messages in self.history[-window:]]
+        mean = sum(recent) / len(recent)
+        return abs(mean - self.budget_per_tick) <= tolerance * self.budget_per_tick
+
+
+def knee_epsilon(epsilon_to_messages: dict[float, float]) -> float:
+    """Pick the elbow of a measured epsilon->traffic curve.
+
+    Utility used by reports: the knee is where doubling epsilon stops
+    halving the traffic (largest second-difference in log space).
+    """
+    if len(epsilon_to_messages) < 3:
+        raise ConfigurationError("need at least three sweep points")
+    points = sorted(epsilon_to_messages.items())
+    best_epsilon, best_curvature = points[1][0], -math.inf
+    for i in range(1, len(points) - 1):
+        _, prev_messages = points[i - 1]
+        epsilon, messages = points[i]
+        _, next_messages = points[i + 1]
+        curvature = (
+            math.log(max(prev_messages, 1.0))
+            - 2 * math.log(max(messages, 1.0))
+            + math.log(max(next_messages, 1.0))
+        )
+        if curvature > best_curvature:
+            best_epsilon, best_curvature = epsilon, curvature
+    return best_epsilon

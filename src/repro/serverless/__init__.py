@@ -1,0 +1,33 @@
+"""Serverless runtime model: functions, autoscaling, billing, TEE."""
+
+from .autoscale import Autoscaler, ScalingDecision
+from .billing import (
+    PricingModel,
+    pay_per_use_cost,
+    peak_concurrency,
+    provisioned_cost,
+    utilization,
+)
+from .functions import FunctionSpec, Invocation, ServerlessRuntime
+from .tee import AppStage, Enclave, EnclaveProfile, PartitionedApp
+from .triggers import TriggerBinder, TriggerBinding, TriggerFiring
+
+__all__ = [
+    "AppStage",
+    "Autoscaler",
+    "Enclave",
+    "EnclaveProfile",
+    "FunctionSpec",
+    "Invocation",
+    "PartitionedApp",
+    "PricingModel",
+    "ScalingDecision",
+    "ServerlessRuntime",
+    "TriggerBinder",
+    "TriggerBinding",
+    "TriggerFiring",
+    "pay_per_use_cost",
+    "peak_concurrency",
+    "provisioned_cost",
+    "utilization",
+]

@@ -1,0 +1,90 @@
+"""Reactive autoscaling for the cloud executor tier (paper Sec. IV-E).
+
+"The loads need to be adaptively balanced and new nodes can be easily added
+without substantial reconfiguration effort ... transaction/query executors
+and buffer pools can scale elastically based on the workload."
+
+:class:`Autoscaler` implements the standard target-utilization controller:
+each control tick it compares observed load against capacity and scales the
+replica count toward ``load / target_utilization``, bounded by min/max and
+a cooldown.  Experiments drive it with bursty request traces (flash sales)
+and check capacity tracks demand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass
+class ScalingDecision:
+    tick: int
+    load: float
+    replicas_before: int
+    replicas_after: int
+
+
+class Autoscaler:
+    """Target-utilization scaling controller."""
+
+    def __init__(
+        self,
+        capacity_per_replica: float,
+        target_utilization: float = 0.7,
+        min_replicas: int = 1,
+        max_replicas: int = 64,
+        cooldown_ticks: int = 2,
+    ) -> None:
+        if capacity_per_replica <= 0 or not 0 < target_utilization <= 1:
+            raise ConfigurationError("invalid capacity/target")
+        if not 1 <= min_replicas <= max_replicas:
+            raise ConfigurationError("need 1 <= min <= max replicas")
+        if cooldown_ticks < 0:
+            raise ConfigurationError("cooldown must be >= 0")
+        self.capacity_per_replica = capacity_per_replica
+        self.target_utilization = target_utilization
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.cooldown_ticks = cooldown_ticks
+        self.replicas = min_replicas
+        self._tick = 0
+        self._last_scale_tick = -10**9
+        self.decisions: list[ScalingDecision] = []
+
+    @property
+    def capacity(self) -> float:
+        return self.replicas * self.capacity_per_replica
+
+    def utilization(self, load: float) -> float:
+        return load / self.capacity if self.capacity else float("inf")
+
+    def observe(self, load: float) -> ScalingDecision:
+        """Feed one tick's observed load; maybe scale."""
+        if load < 0:
+            raise ConfigurationError("load must be >= 0")
+        self._tick += 1
+        before = self.replicas
+        desired = self._desired(load)
+        can_scale = self._tick - self._last_scale_tick >= self.cooldown_ticks
+        if desired != self.replicas and can_scale:
+            self.replicas = desired
+            self._last_scale_tick = self._tick
+        decision = ScalingDecision(
+            tick=self._tick,
+            load=load,
+            replicas_before=before,
+            replicas_after=self.replicas,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _desired(self, load: float) -> int:
+        needed = math.ceil(load / (self.capacity_per_replica * self.target_utilization))
+        return max(self.min_replicas, min(self.max_replicas, max(1, needed)))
+
+    def dropped_load(self, load: float) -> float:
+        """Load exceeding capacity this tick (shed requests)."""
+        return max(0.0, load - self.capacity)

@@ -1,0 +1,156 @@
+"""Serverless function runtime model (paper Sec. IV-E3).
+
+"Clients only need to upload the execution logic and define the trigger
+upon which the job is executed ... clients are charged based on the actual
+amount of resources consumed."  This module models the lifecycle that makes
+those properties interesting:
+
+* :class:`FunctionSpec` — execution time, memory footprint, cold-start
+  penalty;
+* :class:`ServerlessRuntime` — instance pool per function with keep-alive:
+  an invocation reuses a warm instance when one is free, otherwise pays the
+  cold start; idle instances are reaped after ``keep_alive_s``;
+* per-invocation records feed :mod:`repro.serverless.billing`.
+
+Experiment E12 reproduces the cold-start tail and pay-per-use economics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A registered serverless function."""
+
+    name: str
+    exec_time_s: float
+    memory_mb: int
+    cold_start_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.exec_time_s <= 0 or self.memory_mb <= 0 or self.cold_start_s < 0:
+            raise ConfigurationError("invalid function spec")
+
+
+@dataclass
+class Invocation:
+    """One completed invocation."""
+
+    function: str
+    submitted_at: float
+    started_at: float
+    finished_at: float
+    cold_start: bool
+    memory_mb: int
+
+    @property
+    def latency(self) -> float:
+        return self.finished_at - self.submitted_at
+
+    @property
+    def exec_duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def gb_seconds(self) -> float:
+        return (self.memory_mb / 1024.0) * self.exec_duration
+
+
+@dataclass
+class _Instance:
+    instance_id: int
+    busy_until: float
+    last_used: float
+
+
+class ServerlessRuntime:
+    """Warm-pool instance manager with keep-alive reaping."""
+
+    def __init__(self, keep_alive_s: float = 60.0, max_instances: int = 1000) -> None:
+        if keep_alive_s < 0 or max_instances < 1:
+            raise ConfigurationError("invalid runtime configuration")
+        self.keep_alive_s = keep_alive_s
+        self.max_instances = max_instances
+        self._specs: dict[str, FunctionSpec] = {}
+        self._pools: dict[str, list[_Instance]] = {}
+        self._ids = itertools.count(1)
+        self.invocations: list[Invocation] = []
+        self.cold_starts = 0
+        self.warm_hits = 0
+        self.rejected = 0
+
+    def register(self, spec: FunctionSpec) -> None:
+        if spec.name in self._specs:
+            raise ConfigurationError(f"function {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        self._pools[spec.name] = []
+
+    def _reap(self, pool: list[_Instance], now: float) -> None:
+        pool[:] = [
+            inst
+            for inst in pool
+            if inst.busy_until > now or now - inst.last_used <= self.keep_alive_s
+        ]
+
+    def invoke(self, name: str, now: float) -> Invocation | None:
+        """Invoke ``name`` at simulated time ``now``.
+
+        Returns the invocation record, or None when the instance cap is hit
+        (throttled).  A free warm instance serves immediately; otherwise a
+        new instance pays the cold start.
+        """
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigurationError(f"unknown function {name!r}")
+        pool = self._pools[name]
+        self._reap(pool, now)
+        warm = next((i for i in pool if i.busy_until <= now), None)
+        if warm is not None:
+            self.warm_hits += 1
+            started = now
+            finished = started + spec.exec_time_s
+            warm.busy_until = finished
+            warm.last_used = finished
+            cold = False
+        else:
+            if sum(len(p) for p in self._pools.values()) >= self.max_instances:
+                self.rejected += 1
+                return None
+            self.cold_starts += 1
+            started = now + spec.cold_start_s
+            finished = started + spec.exec_time_s
+            pool.append(
+                _Instance(next(self._ids), busy_until=finished, last_used=finished)
+            )
+            cold = True
+        invocation = Invocation(
+            function=name,
+            submitted_at=now,
+            started_at=started,
+            finished_at=finished,
+            cold_start=cold,
+            memory_mb=spec.memory_mb,
+        )
+        self.invocations.append(invocation)
+        return invocation
+
+    def warm_instances(self, name: str, now: float) -> int:
+        pool = self._pools.get(name, [])
+        self._reap(pool, now)
+        return len(pool)
+
+    def latencies(self, name: str | None = None) -> list[float]:
+        return [
+            inv.latency
+            for inv in self.invocations
+            if name is None or inv.function == name
+        ]
+
+    def cold_fraction(self) -> float:
+        total = self.cold_starts + self.warm_hits
+        return self.cold_starts / total if total else 0.0

@@ -1,0 +1,77 @@
+"""Event-triggered serverless functions (paper Sec. IV-E3).
+
+"Clients only need to upload the execution logic and define the trigger
+upon which the job is executed."  :class:`TriggerBinder` wires the pub/sub
+broker to the serverless runtime: a binding maps a topic pattern (plus
+optional predicates) to a registered function; matching publications invoke
+the function, inheriting the runtime's cold/warm behaviour and billing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..net.pubsub import AttributePredicate, Broker, Publication, Subscription
+from .functions import Invocation, ServerlessRuntime
+
+
+@dataclass
+class TriggerBinding:
+    """One trigger rule: publications matching -> invoke function."""
+
+    function: str
+    topic_pattern: str
+    predicates: tuple[AttributePredicate, ...] = ()
+
+
+@dataclass
+class TriggerFiring:
+    binding: TriggerBinding
+    publication: Publication
+    invocation: Invocation | None  # None when throttled
+
+
+class TriggerBinder:
+    """Connects a :class:`Broker` to a :class:`ServerlessRuntime`."""
+
+    def __init__(self, broker: Broker, runtime: ServerlessRuntime) -> None:
+        self.broker = broker
+        self.runtime = runtime
+        self.firings: list[TriggerFiring] = []
+        self._bindings: list[TriggerBinding] = []
+
+    def bind(self, binding: TriggerBinding) -> None:
+        """Install a trigger; the function must already be registered."""
+        if binding.function not in self.runtime._specs:
+            raise ConfigurationError(
+                f"function {binding.function!r} not registered"
+            )
+        self._bindings.append(binding)
+        self.broker.subscribe(
+            Subscription(
+                subscriber=f"trigger:{binding.function}",
+                topic_pattern=binding.topic_pattern,
+                predicates=binding.predicates,
+                callback=lambda pub, b=binding: self._fire(b, pub),
+            )
+        )
+
+    def _fire(self, binding: TriggerBinding, pub: Publication) -> None:
+        invocation = self.runtime.invoke(binding.function, now=pub.timestamp)
+        self.firings.append(
+            TriggerFiring(binding=binding, publication=pub, invocation=invocation)
+        )
+
+    # -- accounting ------------------------------------------------------------
+
+    def firings_of(self, function: str) -> list[TriggerFiring]:
+        return [f for f in self.firings if f.binding.function == function]
+
+    def end_to_end_latencies(self, function: str) -> list[float]:
+        """Publication time -> function completion, per firing."""
+        return [
+            f.invocation.finished_at - f.publication.timestamp
+            for f in self.firings_of(function)
+            if f.invocation is not None
+        ]

@@ -1,0 +1,29 @@
+"""Spatial indexing: geometry, B+-tree, grid, R-tree, Bx moving-object
+index, HDoV visibility tree, and trajectory storage."""
+
+from .btree import BPlusTree, BTreeMultimap
+from .bxtree import BxTree, interleave_bits
+from .geometry import BBox, Point, Velocity, predicted_position
+from .grid import GridIndex
+from .hdov import HDoVTree, SceneObject, VisibleObject
+from .rtree import RTree
+from .trajectory import Trajectory, TrajectorySample, TrajectoryStore
+
+__all__ = [
+    "BBox",
+    "BPlusTree",
+    "BTreeMultimap",
+    "BxTree",
+    "GridIndex",
+    "HDoVTree",
+    "Point",
+    "RTree",
+    "SceneObject",
+    "Trajectory",
+    "TrajectorySample",
+    "TrajectoryStore",
+    "Velocity",
+    "VisibleObject",
+    "interleave_bits",
+    "predicted_position",
+]

@@ -1,0 +1,217 @@
+"""In-memory B+-tree.
+
+The general ordered index the platform uses wherever sorted access matters:
+it underlies the Bx-style moving-object index (:mod:`repro.spatial.bxtree`)
+and is available directly for one-dimensional attributes.  Leaves are
+chained for fast range scans, the property the paper's update-intensive
+indexing discussion ([47], [22]) relies on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.keys: list[Any] = []
+        self.children: list[_Node] = []   # interior only
+        self.values: list[Any] = []       # leaf only
+        self.next_leaf: _Node | None = None
+
+
+class BPlusTree:
+    """A B+-tree mapping orderable keys to values.
+
+    ``order`` is the maximum number of keys per node; nodes split at
+    ``order + 1`` keys.  Duplicate keys overwrite (it is a map, not a
+    multimap); use composite keys for multimap behaviour.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ConfigurationError("order must be >= 3")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- lookup -------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: Any) -> Any:
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        raise KeyNotFoundError(key)
+
+    def get_or(self, key: Any, default: Any = None) -> Any:
+        try:
+            return self.get(key)
+        except KeyNotFoundError:
+            return default
+
+    def __contains__(self, key: Any) -> bool:
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    def range(self, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield (key, value) with lo <= key <= hi in ascending key order."""
+        leaf = self._find_leaf(lo)
+        idx = bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                if leaf.keys[idx] > hi:
+                    return
+                yield leaf.keys[idx], leaf.values[idx]
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def keys(self) -> Iterator[Any]:
+        for key, _ in self.items():
+            yield key
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        root = self._root
+        split = self._insert(root, key, value)
+        if split is not None:
+            sep_key, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [root, right]
+            self._root = new_root
+
+    def _insert(self, node: _Node, key: Any, value: Any) -> tuple[Any, _Node] | None:
+        if node.is_leaf:
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep_key, right = split
+        node.keys.insert(idx, sep_key)
+        node.children.insert(idx + 1, right)
+        if len(node.keys) > self.order:
+            return self._split_interior(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_interior(self, node: _Node) -> tuple[Any, _Node]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_key, right
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` if absent.
+
+        Deletion is lazy (no rebalancing): entries are removed from leaves
+        and underfull nodes are tolerated.  Update-intensive moving-object
+        workloads delete and reinsert constantly, and lazy deletion keeps
+        those paths cheap; a full rebuild (``rebuilt()``) restores balance.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            raise KeyNotFoundError(key)
+        leaf.keys.pop(idx)
+        leaf.values.pop(idx)
+        self._size -= 1
+
+    def rebuilt(self) -> "BPlusTree":
+        """A fresh, balanced tree with the same contents."""
+        tree = BPlusTree(order=self.order)
+        for key, value in self.items():
+            tree.insert(key, value)
+        return tree
+
+    # -- introspection --------------------------------------------------------
+
+    def depth(self) -> int:
+        depth = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            depth += 1
+        return depth
+
+
+class BTreeMultimap:
+    """A multimap built from a B+-tree with composite (key, seq) entries."""
+
+    def __init__(self, order: int = 32) -> None:
+        self._tree = BPlusTree(order=order)
+        self._seq = 0
+
+    def insert(self, key: Any, value: Any) -> None:
+        self._tree.insert((key, self._seq), value)
+        self._seq += 1
+
+    def get_all(self, key: Any) -> list[Any]:
+        return [v for _, v in self._tree.range((key, -1), (key, self._seq + 1))]
+
+    def range(self, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        for (key, _), value in self._tree.range((lo, -1), (hi, self._seq + 1)):
+            yield key, value
+
+    def remove(self, key: Any, value: Any) -> bool:
+        """Remove one entry equal to (key, value); returns True if found."""
+        for composite, candidate in list(self._tree.range((key, -1), (key, self._seq + 1))):
+            if candidate == value:
+                self._tree.delete(composite)
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._tree)

@@ -1,0 +1,213 @@
+"""Bx-style moving-object index (paper Sec. IV-F; [47], [22]).
+
+A B+-tree over space-filling-curve keys with time-phased labels, in the
+spirit of the Bx-tree of Jensen, Lin and Ooi: each moving object is indexed
+at the position *predicted for its phase's label timestamp* using a Z-order
+(Morton) key, so position updates are plain B+-tree delete/insert — the
+property that makes the structure update-intensive-friendly, unlike R-tree
+maintenance.  Range queries enlarge the search window by the maximum object
+speed times the time gap to each phase's label timestamp, probe the covered
+curve cells, and filter candidates at their dead-reckoned positions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+from .btree import BPlusTree
+from .geometry import BBox, Point, Velocity, predicted_position
+
+
+def interleave_bits(x: int, y: int, bits: int) -> int:
+    """Morton/Z-order interleave of two ``bits``-bit integers."""
+    z = 0
+    for i in range(bits):
+        z |= ((x >> i) & 1) << (2 * i)
+        z |= ((y >> i) & 1) << (2 * i + 1)
+    return z
+
+
+@dataclass
+class _MotionState:
+    point: Point
+    velocity: Velocity
+    update_time: float
+    phase: int
+    key: tuple[int, int, Hashable]
+
+
+class BxTree:
+    """Moving-object index over Z-order keys with time-phased labels.
+
+    Parameters
+    ----------
+    domain:
+        The spatial extent being indexed; positions outside are clamped.
+    resolution_bits:
+        The curve grid is ``2^resolution_bits`` cells per axis.
+    phase_interval:
+        Label timestamps are the phase boundaries ``k * phase_interval``;
+        an update at time t is indexed at the *next* boundary.
+    max_speed:
+        Upper bound on object speed, used to enlarge query windows.
+    """
+
+    def __init__(
+        self,
+        domain: BBox,
+        resolution_bits: int = 8,
+        phase_interval: float = 30.0,
+        max_speed: float = 10.0,
+        order: int = 64,
+    ) -> None:
+        if not 2 <= resolution_bits <= 16:
+            raise ConfigurationError("resolution_bits must be in [2, 16]")
+        if phase_interval <= 0 or max_speed < 0:
+            raise ConfigurationError("invalid phase_interval/max_speed")
+        self.domain = domain
+        self.resolution_bits = resolution_bits
+        self.cells_per_axis = 1 << resolution_bits
+        self.phase_interval = phase_interval
+        self.max_speed = max_speed
+        self._tree = BPlusTree(order=order)
+        self._objects: dict[Hashable, _MotionState] = {}
+        self._phase_counts: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: Hashable) -> bool:
+        return object_id in self._objects
+
+    # -- key computation ------------------------------------------------------
+
+    def _cell(self, point: Point) -> tuple[int, int]:
+        fx = (point.x - self.domain.x_min) / max(self.domain.width, 1e-12)
+        fy = (point.y - self.domain.y_min) / max(self.domain.height, 1e-12)
+        cx = min(self.cells_per_axis - 1, max(0, int(fx * self.cells_per_axis)))
+        cy = min(self.cells_per_axis - 1, max(0, int(fy * self.cells_per_axis)))
+        return cx, cy
+
+    def _zvalue(self, point: Point) -> int:
+        cx, cy = self._cell(point)
+        return interleave_bits(cx, cy, self.resolution_bits)
+
+    def _phase_of(self, timestamp: float) -> int:
+        return int(math.ceil(timestamp / self.phase_interval))
+
+    def _label_time(self, phase: int) -> float:
+        return phase * self.phase_interval
+
+    # -- updates --------------------------------------------------------------
+
+    def update(
+        self,
+        object_id: Hashable,
+        point: Point,
+        velocity: Velocity,
+        now: float,
+    ) -> None:
+        """Insert or refresh an object's motion state at time ``now``."""
+        if velocity.speed > self.max_speed * (1 + 1e-9):
+            raise ConfigurationError(
+                f"object speed {velocity.speed:.3f} exceeds max_speed {self.max_speed}"
+            )
+        if object_id in self._objects:
+            self._delete_entry(object_id)
+        phase = self._phase_of(now)
+        label_pos = predicted_position(point, velocity, self._label_time(phase) - now)
+        key = (phase, self._zvalue(label_pos), object_id)
+        state = _MotionState(point, velocity, now, phase, key)
+        self._tree.insert(key, state)
+        self._objects[object_id] = state
+        self._phase_counts[phase] = self._phase_counts.get(phase, 0) + 1
+
+    def remove(self, object_id: Hashable) -> None:
+        if object_id not in self._objects:
+            raise KeyNotFoundError(object_id)
+        self._delete_entry(object_id)
+
+    def _delete_entry(self, object_id: Hashable) -> None:
+        state = self._objects.pop(object_id)
+        self._tree.delete(state.key)
+        self._phase_counts[state.phase] -= 1
+        if self._phase_counts[state.phase] == 0:
+            del self._phase_counts[state.phase]
+
+    def position_at(self, object_id: Hashable, t: float) -> Point:
+        """Dead-reckoned position of ``object_id`` at time ``t``."""
+        state = self._objects.get(object_id)
+        if state is None:
+            raise KeyNotFoundError(object_id)
+        return predicted_position(state.point, state.velocity, t - state.update_time)
+
+    # -- queries ------------------------------------------------------------------
+
+    def query_range(self, box: BBox, t: float) -> list[Hashable]:
+        """Objects whose dead-reckoned position at time ``t`` is inside ``box``."""
+        results: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for phase in list(self._phase_counts):
+            dt = abs(self._label_time(phase) - t)
+            margin = self.max_speed * dt
+            enlarged = BBox(
+                box.x_min - margin,
+                box.y_min - margin,
+                box.x_max + margin,
+                box.y_max + margin,
+            )
+            for object_id, state in self._probe_phase(phase, enlarged):
+                if object_id in seen:
+                    continue
+                pos = predicted_position(
+                    state.point, state.velocity, t - state.update_time
+                )
+                if box.contains_point(pos):
+                    seen.add(object_id)
+                    results.append(object_id)
+        return results
+
+    def _probe_phase(self, phase: int, box: BBox) -> list[tuple[Hashable, _MotionState]]:
+        """Probe every curve cell overlapping ``box`` within one phase."""
+        lo_cx, lo_cy = self._cell(Point(box.x_min, box.y_min))
+        hi_cx, hi_cy = self._cell(Point(box.x_max, box.y_max))
+        out: list[tuple[Hashable, _MotionState]] = []
+        for cx in range(lo_cx, hi_cx + 1):
+            for cy in range(lo_cy, hi_cy + 1):
+                z = interleave_bits(cx, cy, self.resolution_bits)
+                lo_key = (phase, z, _MIN_ID)
+                hi_key = (phase, z, _MAX_ID)
+                for key, state in self._tree.range(lo_key, hi_key):
+                    out.append((key[2], state))
+        return out
+
+    @property
+    def active_phases(self) -> list[int]:
+        return sorted(self._phase_counts)
+
+
+class _MinId:
+    """Sorts before every object id."""
+
+    def __lt__(self, other: object) -> bool:
+        return True
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+
+class _MaxId:
+    """Sorts after every object id."""
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return True
+
+
+_MIN_ID = _MinId()
+_MAX_ID = _MaxId()

@@ -1,0 +1,135 @@
+"""Planar geometry primitives shared by all spatial indexes.
+
+The metaverse twin model tracks entities in a 2-D plane (the paper's
+exercises, malls, and city grids are all ground-plane scenarios); altitude,
+where needed, rides in record payloads.  Points and boxes are immutable so
+they can key dictionaries and live safely inside index nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class BBox:
+    """An axis-aligned bounding box, inclusive on all edges."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_min > self.x_max or self.y_min > self.y_max:
+            raise ConfigurationError(f"degenerate bbox: {self}")
+
+    @classmethod
+    def from_points(cls, points: list[Point]) -> "BBox":
+        if not points:
+            raise ConfigurationError("cannot bound an empty point set")
+        return cls(
+            min(p.x for p in points),
+            min(p.y for p in points),
+            max(p.x for p in points),
+            max(p.y for p in points),
+        )
+
+    @classmethod
+    def around(cls, center: Point, radius: float) -> "BBox":
+        """The square box circumscribing a radius-``radius`` disk."""
+        if radius < 0:
+            raise ConfigurationError("radius must be >= 0")
+        return cls(
+            center.x - radius, center.y - radius, center.x + radius, center.y + radius
+        )
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+    def contains_point(self, point: Point) -> bool:
+        return (
+            self.x_min <= point.x <= self.x_max
+            and self.y_min <= point.y <= self.y_max
+        )
+
+    def contains_box(self, other: "BBox") -> bool:
+        return (
+            self.x_min <= other.x_min
+            and self.y_min <= other.y_min
+            and self.x_max >= other.x_max
+            and self.y_max >= other.y_max
+        )
+
+    def intersects(self, other: "BBox") -> bool:
+        return not (
+            other.x_min > self.x_max
+            or other.x_max < self.x_min
+            or other.y_min > self.y_max
+            or other.y_max < self.y_min
+        )
+
+    def union(self, other: "BBox") -> "BBox":
+        return BBox(
+            min(self.x_min, other.x_min),
+            min(self.y_min, other.y_min),
+            max(self.x_max, other.x_max),
+            max(self.y_max, other.y_max),
+        )
+
+    def enlargement(self, other: "BBox") -> float:
+        """Area growth needed to also cover ``other`` (R-tree choose-leaf)."""
+        return self.union(other).area - self.area
+
+    def min_distance_to(self, point: Point) -> float:
+        """Minimum distance from ``point`` to this box (0 if inside)."""
+        dx = max(self.x_min - point.x, 0.0, point.x - self.x_max)
+        dy = max(self.y_min - point.y, 0.0, point.y - self.y_max)
+        return math.hypot(dx, dy)
+
+
+@dataclass(frozen=True)
+class Velocity:
+    """A velocity vector in units per second."""
+
+    vx: float
+    vy: float
+
+    @property
+    def speed(self) -> float:
+        return math.hypot(self.vx, self.vy)
+
+
+def predicted_position(origin: Point, velocity: Velocity, dt: float) -> Point:
+    """Linear dead-reckoning: where a mover will be after ``dt`` seconds."""
+    return Point(origin.x + velocity.vx * dt, origin.y + velocity.vy * dt)

@@ -1,0 +1,142 @@
+"""Uniform grid index over points.
+
+The workhorse for update-intensive location data: O(1) insert/remove/move
+and region queries that touch only overlapping cells.  Used directly for
+physical-space location streams and as the incremental substrate for moving
+continuous queries (Sec. IV-G).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Iterator
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+from .geometry import BBox, Point
+
+Cell = tuple[int, int]
+
+
+class GridIndex:
+    """A uniform grid mapping object ids to points."""
+
+    def __init__(self, cell_size: float = 50.0) -> None:
+        if cell_size <= 0:
+            raise ConfigurationError("cell_size must be positive")
+        self.cell_size = cell_size
+        self._cells: dict[Cell, set[Hashable]] = defaultdict(set)
+        self._positions: dict[Hashable, Point] = {}
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, object_id: Hashable) -> bool:
+        return object_id in self._positions
+
+    def cell_of(self, point: Point) -> Cell:
+        return (
+            math.floor(point.x / self.cell_size),
+            math.floor(point.y / self.cell_size),
+        )
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, object_id: Hashable, point: Point) -> None:
+        if object_id in self._positions:
+            self.move(object_id, point)
+            return
+        self._positions[object_id] = point
+        self._cells[self.cell_of(point)].add(object_id)
+
+    def move(self, object_id: Hashable, point: Point) -> None:
+        """Update an object's position; cheap when it stays in its cell."""
+        old = self._positions.get(object_id)
+        if old is None:
+            raise KeyNotFoundError(object_id)
+        old_cell = self.cell_of(old)
+        new_cell = self.cell_of(point)
+        self._positions[object_id] = point
+        if old_cell != new_cell:
+            self._cells[old_cell].discard(object_id)
+            if not self._cells[old_cell]:
+                del self._cells[old_cell]
+            self._cells[new_cell].add(object_id)
+
+    def remove(self, object_id: Hashable) -> None:
+        point = self._positions.pop(object_id, None)
+        if point is None:
+            raise KeyNotFoundError(object_id)
+        cell = self.cell_of(point)
+        self._cells[cell].discard(object_id)
+        if not self._cells[cell]:
+            del self._cells[cell]
+
+    def position(self, object_id: Hashable) -> Point:
+        try:
+            return self._positions[object_id]
+        except KeyError:
+            raise KeyNotFoundError(object_id) from None
+
+    # -- queries ----------------------------------------------------------------
+
+    def _cells_overlapping(self, box: BBox) -> Iterator[Cell]:
+        x0 = math.floor(box.x_min / self.cell_size)
+        x1 = math.floor(box.x_max / self.cell_size)
+        y0 = math.floor(box.y_min / self.cell_size)
+        y1 = math.floor(box.y_max / self.cell_size)
+        for cx in range(x0, x1 + 1):
+            for cy in range(y0, y1 + 1):
+                if (cx, cy) in self._cells:
+                    yield (cx, cy)
+
+    def query_range(self, box: BBox) -> list[Hashable]:
+        """Object ids whose position lies inside ``box``."""
+        out = []
+        for cell in self._cells_overlapping(box):
+            for object_id in self._cells[cell]:
+                if box.contains_point(self._positions[object_id]):
+                    out.append(object_id)
+        return out
+
+    def query_radius(self, center: Point, radius: float) -> list[Hashable]:
+        """Object ids within ``radius`` of ``center``."""
+        if radius < 0:
+            raise ConfigurationError("radius must be >= 0")
+        box = BBox.around(center, radius)
+        out = []
+        for cell in self._cells_overlapping(box):
+            for object_id in self._cells[cell]:
+                if self._positions[object_id].distance_to(center) <= radius:
+                    out.append(object_id)
+        return out
+
+    def nearest(self, center: Point, k: int = 1) -> list[Hashable]:
+        """The ``k`` nearest objects to ``center`` (expanding ring search)."""
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if not self._positions:
+            return []
+        # Expand the search radius ring by ring until k candidates are safe:
+        # every object within distance r is found once the ring covers r.
+        radius = self.cell_size
+        while True:
+            candidates = self.query_radius(center, radius)
+            if len(candidates) >= k or radius > self._max_extent(center):
+                candidates.sort(key=lambda oid: self._positions[oid].distance_to(center))
+                return candidates[:k]
+            radius *= 2
+
+    def _max_extent(self, center: Point) -> float:
+        """A radius guaranteed to cover every indexed object."""
+        extent = 0.0
+        for point in self._positions.values():
+            extent = max(extent, point.distance_to(center))
+        return extent + self.cell_size
+
+    def objects_in_cell(self, cell: Cell) -> set[Hashable]:
+        return set(self._cells.get(cell, set()))
+
+    @property
+    def occupied_cells(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,186 @@
+"""Trajectory storage, interpolation, and simplification (paper Sec. IV-F).
+
+"The metaverse would have a huge amount of trajectory and virtual
+walkthrough data" — this module stores per-object time-ordered position
+samples, answers time-slice and time-range queries with linear
+interpolation, and compresses trajectories with Douglas-Peucker
+simplification so storage grows with path complexity rather than sample
+count.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+from .geometry import BBox, Point
+
+
+@dataclass(frozen=True)
+class TrajectorySample:
+    """One (time, position) sample."""
+
+    t: float
+    point: Point
+
+
+class Trajectory:
+    """A time-ordered sequence of position samples for one object."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._points: list[Point] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, t: float, point: Point) -> None:
+        """Append a sample; timestamps must be strictly increasing."""
+        if self._times and t <= self._times[-1]:
+            raise ConfigurationError(
+                f"samples must be strictly increasing in time ({t} <= {self._times[-1]})"
+            )
+        self._times.append(t)
+        self._points.append(point)
+
+    @property
+    def start_time(self) -> float:
+        if not self._times:
+            raise ConfigurationError("empty trajectory")
+        return self._times[0]
+
+    @property
+    def end_time(self) -> float:
+        if not self._times:
+            raise ConfigurationError("empty trajectory")
+        return self._times[-1]
+
+    def samples(self) -> list[TrajectorySample]:
+        return [TrajectorySample(t, p) for t, p in zip(self._times, self._points)]
+
+    def position_at(self, t: float) -> Point:
+        """Linearly interpolated position at time ``t`` (clamped at ends)."""
+        if not self._times:
+            raise ConfigurationError("empty trajectory")
+        if t <= self._times[0]:
+            return self._points[0]
+        if t >= self._times[-1]:
+            return self._points[-1]
+        idx = bisect_right(self._times, t)
+        t0, t1 = self._times[idx - 1], self._times[idx]
+        p0, p1 = self._points[idx - 1], self._points[idx]
+        frac = (t - t0) / (t1 - t0)
+        return Point(p0.x + frac * (p1.x - p0.x), p0.y + frac * (p1.y - p0.y))
+
+    def slice(self, t_start: float, t_end: float) -> list[TrajectorySample]:
+        """Samples with t_start <= t <= t_end."""
+        if t_start > t_end:
+            raise ConfigurationError("t_start must not exceed t_end")
+        i = bisect_left(self._times, t_start)
+        j = bisect_right(self._times, t_end)
+        return [
+            TrajectorySample(t, p)
+            for t, p in zip(self._times[i:j], self._points[i:j])
+        ]
+
+    def length(self) -> float:
+        """Total path length."""
+        return sum(
+            self._points[i].distance_to(self._points[i + 1])
+            for i in range(len(self._points) - 1)
+        )
+
+    def simplified(self, tolerance: float) -> "Trajectory":
+        """Douglas-Peucker simplification with perpendicular ``tolerance``."""
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be >= 0")
+        if len(self._times) <= 2:
+            out = Trajectory()
+            for t, p in zip(self._times, self._points):
+                out.append(t, p)
+            return out
+        keep = [False] * len(self._times)
+        keep[0] = keep[-1] = True
+        stack = [(0, len(self._times) - 1)]
+        while stack:
+            lo, hi = stack.pop()
+            if hi <= lo + 1:
+                continue
+            worst_dist, worst_idx = -1.0, -1
+            for idx in range(lo + 1, hi):
+                dist = _perpendicular_distance(
+                    self._points[idx], self._points[lo], self._points[hi]
+                )
+                if dist > worst_dist:
+                    worst_dist, worst_idx = dist, idx
+            if worst_dist > tolerance:
+                keep[worst_idx] = True
+                stack.append((lo, worst_idx))
+                stack.append((worst_idx, hi))
+        out = Trajectory()
+        for flag, t, p in zip(keep, self._times, self._points):
+            if flag:
+                out.append(t, p)
+        return out
+
+
+def _perpendicular_distance(point: Point, start: Point, end: Point) -> float:
+    dx, dy = end.x - start.x, end.y - start.y
+    norm = (dx * dx + dy * dy) ** 0.5
+    if norm == 0.0:
+        return point.distance_to(start)
+    return abs(dy * point.x - dx * point.y + end.x * start.y - end.y * start.x) / norm
+
+
+class TrajectoryStore:
+    """A collection of trajectories with cross-object spatio-temporal queries."""
+
+    def __init__(self) -> None:
+        self._trajectories: dict[Hashable, Trajectory] = {}
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __contains__(self, object_id: Hashable) -> bool:
+        return object_id in self._trajectories
+
+    def append(self, object_id: Hashable, t: float, point: Point) -> None:
+        self._trajectories.setdefault(object_id, Trajectory()).append(t, point)
+
+    def trajectory(self, object_id: Hashable) -> Trajectory:
+        try:
+            return self._trajectories[object_id]
+        except KeyError:
+            raise KeyNotFoundError(object_id) from None
+
+    def objects_in_region_during(
+        self, box: BBox, t_start: float, t_end: float
+    ) -> list[Hashable]:
+        """Objects with at least one sample inside ``box`` during the window."""
+        out = []
+        for object_id, trajectory in self._trajectories.items():
+            if any(
+                box.contains_point(sample.point)
+                for sample in trajectory.slice(t_start, t_end)
+            ):
+                out.append(object_id)
+        return out
+
+    def positions_at(self, t: float) -> dict[Hashable, Point]:
+        """Interpolated positions of all objects active at time ``t``."""
+        out: dict[Hashable, Point] = {}
+        for object_id, trajectory in self._trajectories.items():
+            if len(trajectory) and trajectory.start_time <= t <= trajectory.end_time:
+                out[object_id] = trajectory.position_at(t)
+        return out
+
+    def total_samples(self) -> int:
+        return sum(len(t) for t in self._trajectories.values())
+
+    def simplified(self, tolerance: float) -> "TrajectoryStore":
+        out = TrajectoryStore()
+        for object_id, trajectory in self._trajectories.items():
+            out._trajectories[object_id] = trajectory.simplified(tolerance)
+        return out

@@ -1,0 +1,36 @@
+"""Storage tiers: WAL, LSM KV store, object store, block store, buffer pool."""
+
+from .blockstore import BlockStore, Extent
+from .bufferpool import (
+    BufferPool,
+    LRUKPolicy,
+    LRUPolicy,
+    PageMeta,
+    SpaceAwarePolicy,
+)
+from .kv import KVStore, MemTable, SSTable
+from .objectstore import ObjectRef, ObjectStore
+from .polystore import PolyStore, PolyStoreStats
+from .sharded import ShardedKVCluster, Versioned
+from .wal import WalEntry, WriteAheadLog
+
+__all__ = [
+    "BlockStore",
+    "BufferPool",
+    "Extent",
+    "KVStore",
+    "LRUKPolicy",
+    "LRUPolicy",
+    "MemTable",
+    "ObjectRef",
+    "ObjectStore",
+    "PageMeta",
+    "PolyStore",
+    "PolyStoreStats",
+    "SSTable",
+    "ShardedKVCluster",
+    "SpaceAwarePolicy",
+    "Versioned",
+    "WalEntry",
+    "WriteAheadLog",
+]

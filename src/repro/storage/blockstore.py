@@ -1,0 +1,129 @@
+"""Fixed-size block store (paper Sec. IV-E2, the "block store" tier).
+
+A virtual block device with allocate/free/read/write of fixed-size blocks
+and simple extent allocation, the substrate a page-organized engine mounts.
+Reads and writes are accounted so experiments can attribute I/O cost to the
+storage layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError, StorageError
+from ..core.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A run of contiguous block ids."""
+
+    start: int
+    count: int
+
+    def blocks(self) -> range:
+        return range(self.start, self.start + self.count)
+
+
+class BlockStore:
+    """A bounded array of fixed-size blocks with a free list."""
+
+    def __init__(
+        self,
+        block_size: int = 4096,
+        capacity_blocks: int = 16384,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if block_size <= 0 or capacity_blocks <= 0:
+            raise ConfigurationError("block_size and capacity must be positive")
+        self.block_size = block_size
+        self.capacity_blocks = capacity_blocks
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._blocks: dict[int, bytes] = {}
+        self._allocated: set[int] = set()
+        self._next_fresh = 0
+        self._free: list[int] = []
+
+    # -- allocation ---------------------------------------------------------
+
+    def allocate(self, count: int = 1) -> Extent:
+        """Allocate ``count`` blocks; contiguous when served from fresh space."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        if len(self._allocated) + count > self.capacity_blocks:
+            raise StorageError("block store is full")
+        if count == 1 and self._free:
+            block_id = self._free.pop()
+            extent = Extent(block_id, 1)
+        elif self._next_fresh + count <= self.capacity_blocks:
+            extent = Extent(self._next_fresh, count)
+            self._next_fresh += count
+        else:
+            run = self._find_free_run(count)
+            if run is None:
+                raise StorageError("fragmented: no contiguous free run")
+            extent = run
+            for block_id in extent.blocks():
+                self._free.remove(block_id)
+        self._allocated.update(extent.blocks())
+        return extent
+
+    def _find_free_run(self, count: int) -> Extent | None:
+        """Find ``count`` contiguous block ids in the free list."""
+        free = sorted(self._free)
+        run_start = None
+        run_len = 0
+        prev = None
+        for block_id in free:
+            if prev is not None and block_id == prev + 1:
+                run_len += 1
+            else:
+                run_start = block_id
+                run_len = 1
+            if run_len == count:
+                assert run_start is not None
+                return Extent(run_start, count)
+            prev = block_id
+        return None
+
+    def free(self, extent: Extent) -> None:
+        for block_id in extent.blocks():
+            if block_id not in self._allocated:
+                raise StorageError(f"double free of block {block_id}")
+            self._allocated.discard(block_id)
+            self._blocks.pop(block_id, None)
+            self._free.append(block_id)
+
+    @property
+    def allocated_blocks(self) -> int:
+        return len(self._allocated)
+
+    # -- I/O ------------------------------------------------------------------
+
+    def write_block(self, block_id: int, data: bytes) -> None:
+        if block_id not in self._allocated:
+            raise StorageError(f"write to unallocated block {block_id}")
+        if len(data) > self.block_size:
+            raise StorageError(
+                f"data ({len(data)} B) exceeds block size ({self.block_size} B)"
+            )
+        self._blocks[block_id] = bytes(data)
+        self.metrics.counter("blk.writes").inc()
+        self.metrics.counter("blk.bytes_written").inc(len(data))
+
+    def read_block(self, block_id: int) -> bytes:
+        if block_id not in self._allocated:
+            raise StorageError(f"read of unallocated block {block_id}")
+        self.metrics.counter("blk.reads").inc()
+        return self._blocks.get(block_id, b"")
+
+    def write_extent(self, extent: Extent, data: bytes) -> None:
+        """Stripe ``data`` across the extent's blocks."""
+        if len(data) > extent.count * self.block_size:
+            raise StorageError("data exceeds extent capacity")
+        for offset, block_id in enumerate(extent.blocks()):
+            chunk = data[offset * self.block_size : (offset + 1) * self.block_size]
+            self.write_block(block_id, chunk)
+
+    def read_extent(self, extent: Extent) -> bytes:
+        return b"".join(self.read_block(block_id) for block_id in extent.blocks())

@@ -1,0 +1,261 @@
+"""LSM-style key-value store (paper Sec. IV-E2, the "KV store" tier).
+
+An update-optimized store in the log-structured-merge mold: writes go to a
+WAL and an in-memory memtable; when the memtable exceeds its budget it is
+flushed to an immutable sorted run (SSTable); reads consult the memtable and
+then runs newest-first; ranged scans merge all runs.  A tiered compactor
+bounds the run count.  Deletes are tombstones.
+
+This is the storage tier the disaggregated architecture (Fig. 7) mounts for
+hot structured data; the experiments that use it care about its update-heavy
+performance profile, which the LSM design provides.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+from ..core.metrics import MetricsRegistry
+from .wal import WriteAheadLog
+
+_TOMBSTONE = object()
+
+
+@dataclass(frozen=True)
+class _Versioned:
+    """A value with its global write sequence number."""
+
+    seqno: int
+    value: object  # _TOMBSTONE marks deletion
+
+
+class MemTable:
+    """Sorted in-memory write buffer."""
+
+    def __init__(self) -> None:
+        self._keys: list[str] = []
+        self._data: dict[str, _Versioned] = {}
+        self.approx_bytes = 0
+
+    def put(self, key: str, versioned: _Versioned) -> None:
+        if key not in self._data:
+            insort(self._keys, key)
+            self.approx_bytes += len(key)
+        self._data[key] = versioned
+        if versioned.value is not _TOMBSTONE:
+            self.approx_bytes += _value_size(versioned.value)
+
+    def get(self, key: str) -> _Versioned | None:
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def scan(self, lo: str, hi: str) -> Iterator[tuple[str, _Versioned]]:
+        start = bisect_left(self._keys, lo)
+        for idx in range(start, len(self._keys)):
+            key = self._keys[idx]
+            if key > hi:
+                return
+            yield key, self._data[key]
+
+    def items(self) -> Iterator[tuple[str, _Versioned]]:
+        for key in self._keys:
+            yield key, self._data[key]
+
+
+class SSTable:
+    """An immutable sorted run."""
+
+    def __init__(self, entries: list[tuple[str, _Versioned]]) -> None:
+        self._keys = [k for k, _ in entries]
+        self._values = [v for _, v in entries]
+        self.min_key = self._keys[0] if self._keys else ""
+        self.max_key = self._keys[-1] if self._keys else ""
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def get(self, key: str) -> _Versioned | None:
+        if not self._keys or not (self.min_key <= key <= self.max_key):
+            return None
+        idx = bisect_left(self._keys, key)
+        if idx < len(self._keys) and self._keys[idx] == key:
+            return self._values[idx]
+        return None
+
+    def scan(self, lo: str, hi: str) -> Iterator[tuple[str, _Versioned]]:
+        idx = bisect_left(self._keys, lo)
+        while idx < len(self._keys) and self._keys[idx] <= hi:
+            yield self._keys[idx], self._values[idx]
+            idx += 1
+
+    def items(self) -> Iterator[tuple[str, _Versioned]]:
+        yield from zip(self._keys, self._values)
+
+
+def _value_size(value: object) -> int:
+    try:
+        return len(json.dumps(value))
+    except (TypeError, ValueError):
+        return len(repr(value))
+
+
+class KVStore:
+    """The public LSM store.
+
+    Parameters
+    ----------
+    memtable_budget_bytes:
+        Flush threshold for the memtable.
+    max_runs:
+        Compact (merge all runs) once the run count exceeds this.
+    wal:
+        Optional external WAL; a fresh one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        memtable_budget_bytes: int = 64 * 1024,
+        max_runs: int = 6,
+        wal: WriteAheadLog | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if memtable_budget_bytes <= 0 or max_runs < 1:
+            raise ConfigurationError("invalid KVStore configuration")
+        self.memtable_budget_bytes = memtable_budget_bytes
+        self.max_runs = max_runs
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._memtable = MemTable()
+        self._runs: list[SSTable] = []  # newest first
+        self._seqno = 0
+
+    # -- mutations ----------------------------------------------------------
+
+    def put(self, key: str, value: object) -> None:
+        """Insert or overwrite ``key``. Value must be JSON-serializable."""
+        self._log("put", key, value)
+        self._apply_put(key, value)
+
+    def delete(self, key: str) -> None:
+        """Delete ``key`` (idempotent — deleting a missing key is a no-op)."""
+        self._log("del", key, None)
+        self._apply_delete(key)
+
+    def _log(self, op: str, key: str, value: object) -> None:
+        payload = json.dumps({"op": op, "k": key, "v": value}).encode("utf-8")
+        self.wal.append(payload)
+
+    def _apply_put(self, key: str, value: object) -> None:
+        self._seqno += 1
+        self._memtable.put(key, _Versioned(self._seqno, value))
+        self.metrics.counter("kv.puts").inc()
+        self._maybe_flush()
+
+    def _apply_delete(self, key: str) -> None:
+        self._seqno += 1
+        self._memtable.put(key, _Versioned(self._seqno, _TOMBSTONE))
+        self.metrics.counter("kv.deletes").inc()
+        self._maybe_flush()
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, key: str) -> object:
+        """Return the live value for ``key`` or raise KeyNotFoundError."""
+        self.metrics.counter("kv.gets").inc()
+        found = self._memtable.get(key)
+        if found is None:
+            for run in self._runs:
+                found = run.get(key)
+                if found is not None:
+                    break
+        if found is None or found.value is _TOMBSTONE:
+            raise KeyNotFoundError(key)
+        return found.value
+
+    def get_or(self, key: str, default: object = None) -> object:
+        try:
+            return self.get(key)
+        except KeyNotFoundError:
+            return default
+
+    def __contains__(self, key: str) -> bool:
+        return self.get_or(key, _TOMBSTONE) is not _TOMBSTONE
+
+    def scan(self, lo: str, hi: str) -> Iterator[tuple[str, object]]:
+        """Yield live (key, value) pairs with lo <= key <= hi, ascending."""
+        self.metrics.counter("kv.scans").inc()
+        best: dict[str, _Versioned] = {}
+        for source in [self._memtable, *self._runs]:
+            for key, versioned in source.scan(lo, hi):
+                current = best.get(key)
+                if current is None or versioned.seqno > current.seqno:
+                    best[key] = versioned
+        for key in sorted(best):
+            if best[key].value is not _TOMBSTONE:
+                yield key, best[key].value
+
+    def keys(self) -> list[str]:
+        return [k for k, _ in self.scan("", "￿")]
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- maintenance ----------------------------------------------------------
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.approx_bytes >= self.memtable_budget_bytes:
+            self.flush()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new run."""
+        if len(self._memtable) == 0:
+            return
+        self._runs.insert(0, SSTable(list(self._memtable.items())))
+        self._memtable = MemTable()
+        self.metrics.counter("kv.flushes").inc()
+        if len(self._runs) > self.max_runs:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge all runs into one, discarding shadowed versions/tombstones."""
+        best: dict[str, _Versioned] = {}
+        for run in self._runs:
+            for key, versioned in run.items():
+                current = best.get(key)
+                if current is None or versioned.seqno > current.seqno:
+                    best[key] = versioned
+        live = [
+            (key, versioned)
+            for key, versioned in sorted(best.items())
+            if versioned.value is not _TOMBSTONE
+        ]
+        self._runs = [SSTable(live)] if live else []
+        self.metrics.counter("kv.compactions").inc()
+
+    # -- recovery ---------------------------------------------------------
+
+    def recover(self) -> int:
+        """Rebuild state by replaying the WAL; return entries applied.
+
+        Used after simulated crashes: construct a fresh ``KVStore`` sharing
+        the old WAL, call ``recover()``, and the committed prefix returns.
+        """
+        applied = 0
+        for entry in self.wal.replay():
+            record = json.loads(entry.payload.decode("utf-8"))
+            if record["op"] == "put":
+                self._apply_put(record["k"], record["v"])
+            else:
+                self._apply_delete(record["k"])
+            applied += 1
+        return applied

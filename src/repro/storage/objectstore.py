@@ -1,0 +1,128 @@
+"""Content-addressed object store (paper Sec. IV-E2, the "object store" tier).
+
+Holds large immutable blobs — media, meshes, LOD levels — addressed by the
+SHA-256 of their content, with named, versioned references on top (the same
+shape as a cloud blob service plus a small metadata index).  Deduplication
+falls out of content addressing: storing the same bytes twice costs one copy,
+which matters for the AR/VR asset experiments (E14) where shared
+representations are the point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..core.errors import KeyNotFoundError, StorageError
+from ..core.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """A named, versioned pointer to a content hash."""
+
+    name: str
+    version: int
+    content_hash: str
+    size_bytes: int
+    metadata: tuple[tuple[str, str], ...] = field(default=())
+
+    def meta(self) -> dict[str, str]:
+        return dict(self.metadata)
+
+
+class ObjectStore:
+    """Content-addressed blobs with versioned names."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._blobs: dict[str, bytes] = {}
+        self._refcount: dict[str, int] = {}
+        self._versions: dict[str, list[ObjectRef]] = {}
+
+    # -- blobs --------------------------------------------------------------
+
+    @staticmethod
+    def content_hash(data: bytes) -> str:
+        return hashlib.sha256(data).hexdigest()
+
+    def put(self, name: str, data: bytes, metadata: dict[str, str] | None = None) -> ObjectRef:
+        """Store ``data`` under ``name``; returns the new version's ref."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise StorageError("object data must be bytes")
+        digest = self.content_hash(bytes(data))
+        if digest not in self._blobs:
+            self._blobs[digest] = bytes(data)
+            self._refcount[digest] = 0
+            self.metrics.counter("obj.unique_bytes").inc(len(data))
+        else:
+            self.metrics.counter("obj.dedup_hits").inc()
+        self._refcount[digest] += 1
+        versions = self._versions.setdefault(name, [])
+        ref = ObjectRef(
+            name=name,
+            version=len(versions) + 1,
+            content_hash=digest,
+            size_bytes=len(data),
+            metadata=tuple(sorted((metadata or {}).items())),
+        )
+        versions.append(ref)
+        self.metrics.counter("obj.puts").inc()
+        self.metrics.counter("obj.logical_bytes").inc(len(data))
+        return ref
+
+    def get(self, name: str, version: int | None = None) -> bytes:
+        """Fetch the blob for ``name`` (latest version by default)."""
+        ref = self.ref(name, version)
+        self.metrics.counter("obj.gets").inc()
+        return self._blobs[ref.content_hash]
+
+    def get_by_hash(self, content_hash: str) -> bytes:
+        try:
+            return self._blobs[content_hash]
+        except KeyError:
+            raise KeyNotFoundError(content_hash) from None
+
+    def ref(self, name: str, version: int | None = None) -> ObjectRef:
+        versions = self._versions.get(name)
+        if not versions:
+            raise KeyNotFoundError(name)
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise KeyNotFoundError(f"{name}@v{version}")
+        return versions[version - 1]
+
+    def delete(self, name: str) -> None:
+        """Drop all versions of ``name``; blobs are GC'd by refcount."""
+        versions = self._versions.pop(name, None)
+        if versions is None:
+            raise KeyNotFoundError(name)
+        for ref in versions:
+            self._refcount[ref.content_hash] -= 1
+            if self._refcount[ref.content_hash] == 0:
+                del self._blobs[ref.content_hash]
+                del self._refcount[ref.content_hash]
+
+    # -- introspection ------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._versions)
+
+    def versions(self, name: str) -> list[ObjectRef]:
+        return list(self._versions.get(name, []))
+
+    def physical_bytes(self) -> int:
+        """Bytes actually stored (after dedup)."""
+        return sum(len(blob) for blob in self._blobs.values())
+
+    def logical_bytes(self) -> int:
+        """Bytes as seen by clients (sum over all live refs)."""
+        return sum(
+            ref.size_bytes for versions in self._versions.values() for ref in versions
+        )
+
+    def iter_refs(self) -> Iterator[ObjectRef]:
+        for versions in self._versions.values():
+            yield from versions

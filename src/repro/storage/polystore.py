@@ -1,0 +1,137 @@
+"""Polystore facade over the heterogeneous storage tier (Sec. IV-A / IV-E2).
+
+"Recent works on polyglot data management offer a good starting point" —
+the storage layer of Fig. 7 "contains heterogeneous data stores, including
+the key-value (KV) store, object store, block store".  :class:`PolyStore`
+is the single entry point over all three: records route by
+:class:`~repro.core.records.DataKind` (structured/location/sensor/event to
+the KV store, media blobs to the object store, bulk page payloads to the
+block store), and reads come back uniformly without the caller knowing
+which engine holds what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+from ..core.records import DataKind, DataRecord
+from .blockstore import BlockStore, Extent
+from .kv import KVStore
+from .objectstore import ObjectStore
+
+
+@dataclass
+class PolyStoreStats:
+    kv_rows: int
+    media_objects: int
+    bulk_extents: int
+    media_physical_bytes: int
+
+
+class PolyStore:
+    """Routes records to the right engine; answers uniform reads."""
+
+    BULK_THRESHOLD = 64 * 1024  # payload bytes above which blobs go to blocks
+
+    def __init__(
+        self,
+        kv: KVStore | None = None,
+        objects: ObjectStore | None = None,
+        blocks: BlockStore | None = None,
+    ) -> None:
+        self.kv = kv if kv is not None else KVStore()
+        self.objects = objects if objects is not None else ObjectStore()
+        self.blocks = blocks if blocks is not None else BlockStore(
+            block_size=4096, capacity_blocks=1 << 16
+        )
+        self._block_index: dict[str, Extent] = {}
+
+    # -- writes -----------------------------------------------------------------
+
+    def put_record(self, record: DataRecord) -> str:
+        """Store a record; returns the engine name that took it."""
+        if record.kind is DataKind.MEDIA:
+            data = record.payload.get("data")
+            if not isinstance(data, (bytes, bytearray)):
+                raise ConfigurationError(
+                    "media records need a bytes 'data' payload entry"
+                )
+            if len(data) >= self.BULK_THRESHOLD:
+                self._put_bulk(record.key, bytes(data))
+                return "block"
+            self.objects.put(
+                record.key,
+                bytes(data),
+                metadata={"source": record.source, "t": str(record.timestamp)},
+            )
+            return "object"
+        self.kv.put(
+            record.key,
+            {
+                "payload": record.payload,
+                "space": record.space.value,
+                "kind": record.kind.value,
+                "timestamp": record.timestamp,
+            },
+        )
+        return "kv"
+
+    def _put_bulk(self, key: str, data: bytes) -> None:
+        old = self._block_index.pop(key, None)
+        if old is not None:
+            self.blocks.free(old)
+        n_blocks = -(-len(data) // self.blocks.block_size)
+        extent = self.blocks.allocate(n_blocks)
+        self.blocks.write_extent(extent, data)
+        # Track true length: read_extent pads to block size.
+        self._block_index[key] = extent
+        self.kv.put(f"__bulk__/{key}", {"length": len(data)})
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Uniform read: structured dict, or media bytes, wherever it lives."""
+        if key in self._block_index:
+            meta = self.kv.get(f"__bulk__/{key}")
+            raw = self.blocks.read_extent(self._block_index[key])
+            return raw[: int(meta["length"])]
+        try:
+            return self.objects.get(key)
+        except KeyNotFoundError:
+            pass
+        try:
+            return self.kv.get(key)
+        except KeyNotFoundError:
+            raise KeyNotFoundError(key) from None
+
+    def engine_of(self, key: str) -> str:
+        if key in self._block_index:
+            return "block"
+        try:
+            self.objects.ref(key)
+            return "object"
+        except KeyNotFoundError:
+            pass
+        if key in self.kv:
+            return "kv"
+        raise KeyNotFoundError(key)
+
+    def scan_structured(self, lo: str, hi: str):
+        """Range scan over the structured rows only."""
+        for key, value in self.kv.scan(lo, hi):
+            if not key.startswith("__bulk__/"):
+                yield key, value
+
+    # -- introspection --------------------------------------------------------------
+
+    def stats(self) -> PolyStoreStats:
+        return PolyStoreStats(
+            kv_rows=sum(
+                1 for k in self.kv.keys() if not k.startswith("__bulk__/")
+            ),
+            media_objects=len(self.objects.names()),
+            bulk_extents=len(self._block_index),
+            media_physical_bytes=self.objects.physical_bytes(),
+        )

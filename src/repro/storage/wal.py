@@ -1,0 +1,90 @@
+"""Write-ahead log.
+
+The KV store (and the ledger on top of it) logs every mutation before
+applying it, so a crash-restart (simulated by dropping in-memory state and
+replaying) recovers exactly the committed prefix.  Entries are serialized to
+bytes with a checksum so torn/corrupt tails are detected and truncated on
+replay — the standard WAL recovery contract.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import StorageError
+
+_HEADER = struct.Struct("<IIQ")  # crc32, length, lsn
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One logged mutation."""
+
+    lsn: int
+    payload: bytes
+
+
+class WriteAheadLog:
+    """Append-only log with checksummed, length-prefixed entries.
+
+    The log body is a single ``bytearray``; ``tail_corrupt()`` can chop bytes
+    off the end to simulate a torn write, and ``replay`` stops cleanly at the
+    first bad entry.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._next_lsn = 1
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def append(self, payload: bytes) -> int:
+        """Append ``payload``; return its log sequence number."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StorageError("WAL payload must be bytes")
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        crc = zlib.crc32(payload)
+        self._buf += _HEADER.pack(crc, len(payload), lsn)
+        self._buf += payload
+        return lsn
+
+    def replay(self) -> Iterator[WalEntry]:
+        """Yield entries in order, stopping at the first corrupt record."""
+        offset = 0
+        buf = self._buf
+        while offset + _HEADER.size <= len(buf):
+            crc, length, lsn = _HEADER.unpack_from(buf, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > len(buf):
+                return  # torn tail
+            payload = bytes(buf[start:end])
+            if zlib.crc32(payload) != crc:
+                return  # corrupt record: stop replay here
+            yield WalEntry(lsn=lsn, payload=payload)
+            offset = end
+
+    def truncate_before(self, lsn: int) -> None:
+        """Drop entries with LSN < ``lsn`` (checkpointing)."""
+        kept = bytearray()
+        for entry in self.replay():
+            if entry.lsn >= lsn:
+                crc = zlib.crc32(entry.payload)
+                kept += _HEADER.pack(crc, len(entry.payload), entry.lsn)
+                kept += entry.payload
+        self._buf = kept
+
+    def corrupt_tail(self, nbytes: int) -> None:
+        """Chop ``nbytes`` off the end to simulate a torn write (tests)."""
+        if nbytes < 0:
+            raise StorageError("nbytes must be >= 0")
+        self._buf = self._buf[: max(0, len(self._buf) - nbytes)]

@@ -1,0 +1,25 @@
+"""AR/VR asset management: LOD pyramids, shared avatar codebooks,
+bandwidth-adaptive streaming."""
+
+from .adaptive import AdaptiveStreamer, FrameReport, naive_full_fetch_bytes
+from .avatars import (
+    EncodedAvatar,
+    SharedCodebook,
+    StorageReport,
+    generate_avatar_population,
+    storage_comparison,
+)
+from .lod import LodLevel, VoxelAsset
+
+__all__ = [
+    "AdaptiveStreamer",
+    "EncodedAvatar",
+    "FrameReport",
+    "LodLevel",
+    "SharedCodebook",
+    "StorageReport",
+    "VoxelAsset",
+    "generate_avatar_population",
+    "naive_full_fetch_bytes",
+    "storage_comparison",
+]

@@ -1,0 +1,165 @@
+"""Shared avatar representations (paper Sec. IV-I).
+
+"In contrast to learning a representation for each avatar or object
+independently, a promising research direction is to create generalizable
+representation that can be shared among similar avatars."
+
+The model: an avatar is a high-dimensional feature vector (standing in for
+a neural asset's parameters).  A shared *codebook* of basis vectors is
+learned from the population (k-means); each avatar is then stored as a
+codeword id plus a sparse residual, instead of the full vector.  Storage
+accounting compares:
+
+* independent: ``n_avatars x dim`` floats;
+* shared: ``k x dim`` (codebook) + per-avatar (id + top-``r`` residual
+  components).
+
+Reconstruction error quantifies the fidelity cost.  Experiment E14 sweeps
+population size and similarity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+_FLOAT_BYTES = 4
+_INDEX_BYTES = 4
+
+
+def generate_avatar_population(
+    n_avatars: int,
+    dim: int = 256,
+    n_archetypes: int = 8,
+    within_archetype_sigma: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """Avatars clustered around archetypes (humans are similar to humans)."""
+    if n_avatars < 1 or dim < 1 or n_archetypes < 1:
+        raise ConfigurationError("invalid population parameters")
+    rng = np.random.default_rng(seed)
+    archetypes = rng.normal(size=(n_archetypes, dim))
+    assignments = rng.integers(0, n_archetypes, size=n_avatars)
+    noise = rng.normal(scale=within_archetype_sigma, size=(n_avatars, dim))
+    return archetypes[assignments] + noise
+
+
+def _kmeans(data: np.ndarray, k: int, iterations: int, seed: int) -> np.ndarray:
+    """Plain Lloyd's k-means returning centroids (k, dim)."""
+    rng = np.random.default_rng(seed)
+    centroids = data[rng.choice(len(data), size=min(k, len(data)), replace=False)]
+    if len(centroids) < k:
+        extra = rng.normal(size=(k - len(centroids), data.shape[1]))
+        centroids = np.vstack([centroids, extra])
+    for _ in range(iterations):
+        distances = ((data[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = distances.argmin(axis=1)
+        for j in range(k):
+            members = data[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    return centroids
+
+
+@dataclass
+class EncodedAvatar:
+    """Codeword id + sparse residual."""
+
+    codeword: int
+    residual_indices: np.ndarray
+    residual_values: np.ndarray
+
+    def size_bytes(self) -> int:
+        return _INDEX_BYTES + len(self.residual_indices) * (
+            _INDEX_BYTES + _FLOAT_BYTES
+        )
+
+
+class SharedCodebook:
+    """K-means codebook with sparse-residual encoding."""
+
+    def __init__(
+        self,
+        k: int = 16,
+        residual_components: int = 16,
+        iterations: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if k < 1 or residual_components < 0:
+            raise ConfigurationError("invalid codebook parameters")
+        self.k = k
+        self.residual_components = residual_components
+        self.iterations = iterations
+        self.seed = seed
+        self.centroids: np.ndarray | None = None
+
+    def fit(self, avatars: np.ndarray) -> "SharedCodebook":
+        self.centroids = _kmeans(avatars, self.k, self.iterations, self.seed)
+        return self
+
+    def _require_fit(self) -> np.ndarray:
+        if self.centroids is None:
+            raise ConfigurationError("codebook not fitted")
+        return self.centroids
+
+    def encode(self, avatar: np.ndarray) -> EncodedAvatar:
+        centroids = self._require_fit()
+        distances = ((centroids - avatar) ** 2).sum(axis=1)
+        codeword = int(distances.argmin())
+        residual = avatar - centroids[codeword]
+        order = np.argsort(-np.abs(residual))[: self.residual_components]
+        return EncodedAvatar(
+            codeword=codeword,
+            residual_indices=order.astype(np.int32),
+            residual_values=residual[order].astype(np.float32),
+        )
+
+    def decode(self, encoded: EncodedAvatar, dim: int) -> np.ndarray:
+        centroids = self._require_fit()
+        out = centroids[encoded.codeword].copy()
+        out[encoded.residual_indices] += encoded.residual_values
+        return out
+
+    def codebook_bytes(self) -> int:
+        centroids = self._require_fit()
+        return centroids.size * _FLOAT_BYTES
+
+
+@dataclass
+class StorageReport:
+    """E14's headline numbers."""
+
+    n_avatars: int
+    independent_bytes: int
+    shared_bytes: int
+    mean_reconstruction_error: float
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.independent_bytes / max(1, self.shared_bytes)
+
+
+def storage_comparison(
+    avatars: np.ndarray, codebook: SharedCodebook
+) -> StorageReport:
+    """Store the population both ways; report sizes and fidelity."""
+    codebook.fit(avatars)
+    independent = avatars.size * _FLOAT_BYTES
+    shared = codebook.codebook_bytes()
+    errors = []
+    dim = avatars.shape[1]
+    for avatar in avatars:
+        encoded = codebook.encode(avatar)
+        shared += encoded.size_bytes()
+        reconstructed = codebook.decode(encoded, dim)
+        scale = float(np.linalg.norm(avatar)) or 1.0
+        errors.append(float(np.linalg.norm(reconstructed - avatar)) / scale)
+    return StorageReport(
+        n_avatars=len(avatars),
+        independent_bytes=independent,
+        shared_bytes=shared,
+        mean_reconstruction_error=float(np.mean(errors)),
+    )

@@ -1,0 +1,17 @@
+"""Transactions: MVCC snapshot isolation, 2PL locking, two-phase commit."""
+
+from .locks import LockManager, LockMode
+from .mvcc import MVStore, Transaction, TransactionManager
+from .twopc import Coordinator, DistributedTxn, Participant, TxnOutcome
+
+__all__ = [
+    "Coordinator",
+    "DistributedTxn",
+    "LockManager",
+    "LockMode",
+    "MVStore",
+    "Participant",
+    "Transaction",
+    "TransactionManager",
+    "TxnOutcome",
+]

@@ -1,0 +1,185 @@
+"""Two-phase-locking lock manager with deadlock detection.
+
+Strict 2PL is the alternative concurrency-control discipline offered by the
+platform (MVCC being the other).  The lock table supports shared and
+exclusive modes with upgrades; a waits-for graph is maintained and checked
+on every blocked request, and a cycle aborts the *requesting* transaction
+with :class:`DeadlockError` (the simplest deterministic victim policy).
+
+The manager is simulation-friendly: "blocking" is explicit — a request
+either grants immediately, or registers a wait and reports it, letting the
+discrete-event caller decide what to do.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..core.errors import DeadlockError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Lock table keyed by resource name."""
+
+    def __init__(self) -> None:
+        self._locks: dict[str, _LockState] = defaultdict(_LockState)
+        self._held_by_txn: dict[int, set[str]] = defaultdict(set)
+        self.deadlocks_detected = 0
+
+    # -- compatibility ------------------------------------------------------
+
+    @staticmethod
+    def _compatible(requested: LockMode, held: LockMode) -> bool:
+        return requested is LockMode.SHARED and held is LockMode.SHARED
+
+    def _can_grant(self, state: _LockState, txn_id: int, mode: LockMode) -> bool:
+        for holder, held_mode in state.holders.items():
+            if holder == txn_id:
+                continue
+            if not self._compatible(mode, held_mode):
+                return False
+        return True
+
+    # -- acquire / release ----------------------------------------------------
+
+    def acquire(self, txn_id: int, resource: str, mode: LockMode) -> bool:
+        """Try to take ``resource`` in ``mode``.
+
+        Returns True if granted.  If the request must wait, it is queued and
+        False is returned — unless waiting would create a deadlock, in which
+        case :class:`DeadlockError` is raised and nothing is queued.
+        """
+        state = self._locks[resource]
+        current = state.holders.get(txn_id)
+        if current is not None:
+            if current is mode or current is LockMode.EXCLUSIVE:
+                return True  # re-entrant / already stronger
+            # Upgrade S -> X: grantable only if sole holder.
+            if len(state.holders) == 1:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                return True
+        if self._can_grant(state, txn_id, mode) and not self._blocking_waiters(
+            state, txn_id
+        ):
+            state.holders[txn_id] = self._strongest(current, mode)
+            self._held_by_txn[txn_id].add(resource)
+            return True
+        # Would wait: check the waits-for graph with this edge added.
+        blockers = self._blockers_of(state, txn_id, mode)
+        if self._would_deadlock(txn_id, blockers):
+            self.deadlocks_detected += 1
+            raise DeadlockError(
+                f"txn {txn_id} waiting on {resource!r} would deadlock"
+            )
+        state.waiters.append((txn_id, mode))
+        return False
+
+    @staticmethod
+    def _strongest(current: LockMode | None, requested: LockMode) -> LockMode:
+        if current is LockMode.EXCLUSIVE or requested is LockMode.EXCLUSIVE:
+            return LockMode.EXCLUSIVE
+        return LockMode.SHARED
+
+    def _blocking_waiters(self, state: _LockState, txn_id: int) -> bool:
+        """FIFO fairness: exclusive waiters block new shared grants."""
+        return any(
+            mode is LockMode.EXCLUSIVE and waiter != txn_id
+            for waiter, mode in state.waiters
+        )
+
+    def _blockers_of(
+        self, state: _LockState, txn_id: int, mode: LockMode
+    ) -> set[int]:
+        blockers = {
+            holder
+            for holder, held in state.holders.items()
+            if holder != txn_id and not self._compatible(mode, held)
+        }
+        blockers |= {
+            waiter
+            for waiter, wmode in state.waiters
+            if waiter != txn_id and wmode is LockMode.EXCLUSIVE
+        }
+        return blockers
+
+    def release_all(self, txn_id: int) -> list[tuple[int, str]]:
+        """Release every lock of ``txn_id``; grant eligible waiters.
+
+        Returns the (txn_id, resource) pairs that were granted as a result,
+        so the caller can resume those transactions.
+        """
+        granted: list[tuple[int, str]] = []
+        for resource in list(self._held_by_txn.pop(txn_id, set())):
+            state = self._locks[resource]
+            state.holders.pop(txn_id, None)
+            granted.extend(self._grant_waiters(resource))
+        # Also drop any queued waits of this transaction.
+        for state in self._locks.values():
+            state.waiters = [(t, m) for t, m in state.waiters if t != txn_id]
+        return granted
+
+    def _grant_waiters(self, resource: str) -> list[tuple[int, str]]:
+        state = self._locks[resource]
+        granted = []
+        while state.waiters:
+            txn_id, mode = state.waiters[0]
+            if not self._can_grant(state, txn_id, mode):
+                break
+            state.waiters.pop(0)
+            state.holders[txn_id] = self._strongest(state.holders.get(txn_id), mode)
+            self._held_by_txn[txn_id].add(resource)
+            granted.append((txn_id, resource))
+            if mode is LockMode.EXCLUSIVE:
+                break
+        return granted
+
+    # -- deadlock detection ------------------------------------------------------
+
+    def _wait_edges(self) -> dict[int, set[int]]:
+        """Current waits-for graph: waiter -> holders/earlier-waiters."""
+        edges: dict[int, set[int]] = defaultdict(set)
+        for state in self._locks.values():
+            for waiter, mode in state.waiters:
+                edges[waiter] |= self._blockers_of(state, waiter, mode)
+        return edges
+
+    def _would_deadlock(self, txn_id: int, new_blockers: set[int]) -> bool:
+        """Does adding edges txn_id -> new_blockers close a cycle?"""
+        edges = self._wait_edges()
+        edges[txn_id] = set(edges[txn_id]) | new_blockers
+        # DFS from each blocker looking for a path back to txn_id.
+        stack = list(new_blockers)
+        seen: set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node == txn_id:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+        return False
+
+    # -- introspection ---------------------------------------------------------
+
+    def holders_of(self, resource: str) -> dict[int, LockMode]:
+        return dict(self._locks[resource].holders)
+
+    def waiters_of(self, resource: str) -> list[tuple[int, LockMode]]:
+        return list(self._locks[resource].waiters)
+
+    def locks_held(self, txn_id: int) -> set[str]:
+        return set(self._held_by_txn.get(txn_id, set()))

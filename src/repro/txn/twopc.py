@@ -1,0 +1,202 @@
+"""Two-phase commit over the simulated network (paper Sec. IV-E1).
+
+Decentralized metaverse databases need distributed transactions across data
+centers; the paper notes they are "hard to process at scale ... due to the
+network partition and non-negligible inter-data-center network latency".
+This module implements the canonical blocking 2PC protocol over
+:class:`~repro.net.simnet.SimulatedNetwork`, so experiments can measure
+exactly that latency cost (message rounds x inter-DC RTT) and observe abort
+behaviour under participant failure and partitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import TransactionAborted
+from ..net.simnet import Message, SimulatedNetwork
+
+_txn_ids = itertools.count(1)
+
+
+@dataclass
+class DistributedTxn:
+    """A transaction writing key -> value at multiple participants."""
+
+    writes_by_participant: dict[str, dict[str, Any]]
+    txn_id: int = field(default_factory=lambda: next(_txn_ids))
+
+
+@dataclass
+class TxnOutcome:
+    txn_id: int
+    committed: bool
+    reason: str = ""
+    prepare_latency: float = 0.0
+    total_latency: float = 0.0
+
+
+class Participant:
+    """A resource manager holding a local key-value state.
+
+    ``fail_prepares`` makes the participant vote NO (simulating a local
+    integrity failure); ``crashed`` makes it silent (simulating a crash),
+    which stalls the coordinator until its timeout.
+    """
+
+    def __init__(self, network: SimulatedNetwork, name: str) -> None:
+        self.name = name
+        self.network = network
+        self.node = network.add_node(name)
+        self.data: dict[str, Any] = {}
+        self._staged: dict[int, dict[str, Any]] = {}
+        self.fail_prepares = False
+        self.crashed = False
+        self.node.on("2pc.prepare", self._on_prepare)
+        self.node.on("2pc.commit", self._on_commit)
+        self.node.on("2pc.abort", self._on_abort)
+
+    def _on_prepare(self, message: Message) -> None:
+        if self.crashed:
+            return
+        txn_id = message.payload["txn_id"]
+        writes = message.payload["writes"]
+        if self.fail_prepares:
+            vote = False
+        else:
+            self._staged[txn_id] = writes
+            vote = True
+        self.node.send(
+            message.src,
+            "2pc.vote",
+            {"txn_id": txn_id, "participant": self.name, "vote": vote},
+        )
+
+    def _on_commit(self, message: Message) -> None:
+        if self.crashed:
+            return
+        txn_id = message.payload["txn_id"]
+        staged = self._staged.pop(txn_id, None)
+        if staged is not None:
+            self.data.update(staged)
+        self.node.send(message.src, "2pc.ack", {"txn_id": txn_id})
+
+    def _on_abort(self, message: Message) -> None:
+        if self.crashed:
+            return
+        txn_id = message.payload["txn_id"]
+        self._staged.pop(txn_id, None)
+        self.node.send(message.src, "2pc.ack", {"txn_id": txn_id})
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)
+
+
+class Coordinator:
+    """Drives 2PC rounds; one instance can coordinate many transactions."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        name: str = "coordinator",
+        timeout_s: float = 5.0,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.node = network.add_node(name)
+        self.timeout_s = timeout_s
+        self._votes: dict[int, dict[str, bool]] = {}
+        self._acks: dict[int, set[str]] = {}
+        self.node.on("2pc.vote", self._on_vote)
+        self.node.on("2pc.ack", self._on_ack)
+        self.outcomes: dict[int, TxnOutcome] = {}
+
+    def _on_vote(self, message: Message) -> None:
+        payload = message.payload
+        self._votes.setdefault(payload["txn_id"], {})[payload["participant"]] = payload[
+            "vote"
+        ]
+
+    def _on_ack(self, message: Message) -> None:
+        self._acks.setdefault(message.payload["txn_id"], set()).add(message.src)
+
+    def execute(self, txn: DistributedTxn) -> TxnOutcome:
+        """Run the full protocol to completion on the shared scheduler.
+
+        The call drives the event scheduler; when it returns, the decision
+        has been made and (for reachable participants) applied.
+        """
+        scheduler = self.network.scheduler
+        start = scheduler.clock.now
+        participants = list(txn.writes_by_participant)
+        self._votes[txn.txn_id] = {}
+        self._acks[txn.txn_id] = set()
+
+        # Phase 1: prepare.
+        unreachable: list[str] = []
+        for participant in participants:
+            try:
+                self.node.send(
+                    participant,
+                    "2pc.prepare",
+                    {
+                        "txn_id": txn.txn_id,
+                        "writes": txn.writes_by_participant[participant],
+                    },
+                )
+            except TransactionAborted:  # pragma: no cover - defensive
+                unreachable.append(participant)
+            except Exception:
+                unreachable.append(participant)
+        deadline = scheduler.clock.now + self.timeout_s
+        while (
+            len(self._votes[txn.txn_id]) < len(participants) - len(unreachable)
+            and scheduler.clock.now < deadline
+            and scheduler.next_event_time is not None
+        ):
+            scheduler.run_until(min(deadline, scheduler.next_event_time))
+        prepare_latency = scheduler.clock.now - start
+
+        votes = self._votes[txn.txn_id]
+        all_yes = (
+            not unreachable
+            and len(votes) == len(participants)
+            and all(votes.values())
+        )
+
+        # Phase 2: decision.
+        decision_topic = "2pc.commit" if all_yes else "2pc.abort"
+        for participant in participants:
+            try:
+                self.node.send(participant, decision_topic, {"txn_id": txn.txn_id})
+            except Exception:
+                pass
+        deadline = scheduler.clock.now + self.timeout_s
+        while (
+            len(self._acks[txn.txn_id]) < len(participants)
+            and scheduler.clock.now < deadline
+            and scheduler.next_event_time is not None
+        ):
+            scheduler.run_until(min(deadline, scheduler.next_event_time))
+
+        reason = ""
+        if not all_yes:
+            if unreachable:
+                reason = f"unreachable: {sorted(unreachable)}"
+            elif len(votes) < len(participants):
+                reason = "prepare timeout"
+            else:
+                noes = sorted(p for p, v in votes.items() if not v)
+                reason = f"voted no: {noes}"
+        outcome = TxnOutcome(
+            txn_id=txn.txn_id,
+            committed=all_yes,
+            reason=reason,
+            prepare_latency=prepare_latency,
+            total_latency=scheduler.clock.now - start,
+        )
+        self.outcomes[txn.txn_id] = outcome
+        return outcome

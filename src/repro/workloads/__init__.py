@@ -1,0 +1,34 @@
+"""Synthetic workload generators for the five Section-II use cases."""
+
+from .gaming import Capture, GameConfig, LocationBasedGame
+from .healthcare import (
+    AnomalyEpisode,
+    SurgerySession,
+    VitalsStream,
+    is_anomalous,
+)
+from .marketplace import FlashSaleConfig, MarketplaceWorkload, PurchaseRequest
+from .military import MilitaryConfig, MilitaryExercise
+from .movement import PatrolRoute, RandomWaypoint, diurnal_rate, zipf_sampler
+from .smartcity import CityConfig, SensorGrid
+
+__all__ = [
+    "AnomalyEpisode",
+    "Capture",
+    "CityConfig",
+    "FlashSaleConfig",
+    "GameConfig",
+    "LocationBasedGame",
+    "MarketplaceWorkload",
+    "MilitaryConfig",
+    "MilitaryExercise",
+    "PatrolRoute",
+    "PurchaseRequest",
+    "RandomWaypoint",
+    "SensorGrid",
+    "SurgerySession",
+    "VitalsStream",
+    "diurnal_rate",
+    "is_anomalous",
+    "zipf_sampler",
+]

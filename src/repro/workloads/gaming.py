@@ -1,0 +1,137 @@
+"""Location-based gaming and social networking workload (paper Sec. II).
+
+Players move through a city with GPS handsets (Pokemon-GO-style LBG); game
+objects ("spawns") appear at locations; a player near a spawn captures it.
+Social matching finds physical players near virtual friends — the paper's
+cross-space encounter scenario — using the twin world's avatar index.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from ..core.records import DataKind, DataRecord, Space
+from ..spatial.geometry import BBox, Point
+from ..world.entities import Avatar, Entity
+from ..world.twin import MetaverseWorld
+from .movement import RandomWaypoint
+
+
+@dataclass
+class GameConfig:
+    city: BBox = field(default_factory=lambda: BBox(0, 0, 2000, 2000))
+    n_players: int = 200
+    n_virtual_players: int = 100
+    n_spawns: int = 50
+    capture_radius: float = 20.0
+    player_speed: tuple[float, float] = (1.0, 3.0)
+
+    def __post_init__(self) -> None:
+        if self.n_players < 1 or self.capture_radius <= 0:
+            raise ConfigurationError("invalid game config")
+
+
+@dataclass(frozen=True)
+class Capture:
+    player_id: str
+    spawn_id: str
+    timestamp: float
+
+
+class LocationBasedGame:
+    """Drives players and spawns over a :class:`MetaverseWorld`."""
+
+    def __init__(
+        self, world: MetaverseWorld, config: GameConfig | None = None, seed: int = 0
+    ) -> None:
+        self.world = world
+        self.config = config if config is not None else GameConfig()
+        self._rng = random.Random(seed)
+        self._movers: dict[str, RandomWaypoint] = {}
+        self.spawns: dict[str, Point] = {}
+        self.captures: list[Capture] = []
+        self._install_players()
+        self._install_spawns()
+
+    def _install_players(self) -> None:
+        for i in range(self.config.n_players):
+            player_id = f"player-{i:04d}"
+            mover = RandomWaypoint(
+                self.config.city,
+                speed_range=self.config.player_speed,
+                seed=self._rng.randrange(1 << 30),
+            )
+            self._movers[player_id] = mover
+            self.world.physical.add(
+                Entity(entity_id=player_id, position=mover.position, kind="player")
+            )
+        for i in range(self.config.n_virtual_players):
+            avatar_id = f"vplayer-{i:04d}"
+            self.world.virtual.add_avatar(
+                Avatar(
+                    avatar_id=avatar_id,
+                    position=Point(
+                        self._rng.uniform(self.config.city.x_min, self.config.city.x_max),
+                        self._rng.uniform(self.config.city.y_min, self.config.city.y_max),
+                    ),
+                )
+            )
+
+    def _install_spawns(self) -> None:
+        for i in range(self.config.n_spawns):
+            self.spawns[f"spawn-{i:04d}"] = Point(
+                self._rng.uniform(self.config.city.x_min, self.config.city.x_max),
+                self._rng.uniform(self.config.city.y_min, self.config.city.y_max),
+            )
+
+    def tick(self, dt: float) -> list[Capture]:
+        """Move players, resolve captures, sync the twin world."""
+        for player_id, mover in self._movers.items():
+            mover.step(dt)
+            entity = self.world.physical.entities[player_id]
+            entity.position = mover.position
+            self.world.physical.index.move(player_id, entity.position)
+        self.world.now += dt
+        self.world.sync()
+        captured = []
+        for spawn_id, position in list(self.spawns.items()):
+            nearby = self.world.physical.index.query_radius(
+                position, self.config.capture_radius
+            )
+            if nearby:
+                winner = min(nearby)  # deterministic tie-break
+                capture = Capture(
+                    player_id=winner, spawn_id=spawn_id, timestamp=self.world.now
+                )
+                self.captures.append(capture)
+                captured.append(capture)
+                del self.spawns[spawn_id]
+                self._respawn()
+        return captured
+
+    def _respawn(self) -> None:
+        spawn_id = f"spawn-{len(self.captures) + self.config.n_spawns:04d}"
+        self.spawns[spawn_id] = Point(
+            self._rng.uniform(self.config.city.x_min, self.config.city.x_max),
+            self._rng.uniform(self.config.city.y_min, self.config.city.y_max),
+        )
+
+    def social_encounters(self, radius: float = 30.0):
+        """Cross-space meetups (the paper's comrade-detection scenario)."""
+        return self.world.cross_space_encounters(radius)
+
+    def position_records(self) -> list[DataRecord]:
+        """The update stream LBG pushes into the platform each tick."""
+        return [
+            DataRecord(
+                key=player_id,
+                payload={"x": mover.position.x, "y": mover.position.y},
+                space=Space.PHYSICAL,
+                timestamp=self.world.now,
+                kind=DataKind.LOCATION,
+                source="gps",
+            )
+            for player_id, mover in self._movers.items()
+        ]

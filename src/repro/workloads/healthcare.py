@@ -1,0 +1,125 @@
+"""Smart-healthcare workload (paper Sec. II "Smart Healthcare").
+
+Telemedicine vitals streams: each monitored patient emits heart rate,
+SpO2, and blood pressure at a fixed cadence, with configurable anomaly
+episodes (tachycardia, desaturation) that monitoring rules must catch.
+Remote assisted surgery is modeled as a media session with a bitrate
+ladder, feeding the approximation machinery (low-res fallback under
+constrained bandwidth, Sec. IV-G).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.records import DataKind, DataRecord, Space
+
+
+@dataclass(frozen=True)
+class AnomalyEpisode:
+    """A window during which a patient's vitals go abnormal."""
+
+    patient_index: int
+    start: float
+    end: float
+    kind: str  # "tachycardia" | "desaturation"
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+class VitalsStream:
+    """Periodic vitals for a patient cohort."""
+
+    NORMAL_HR = 72.0
+    NORMAL_SPO2 = 98.0
+
+    def __init__(
+        self,
+        n_patients: int = 20,
+        interval_s: float = 1.0,
+        episodes: list[AnomalyEpisode] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if n_patients < 1 or interval_s <= 0:
+            raise ConfigurationError("invalid vitals config")
+        self.n_patients = n_patients
+        self.interval_s = interval_s
+        self.episodes = list(episodes or [])
+        self._rng = random.Random(seed)
+
+    def _episode_for(self, patient: int, t: float) -> AnomalyEpisode | None:
+        for episode in self.episodes:
+            if episode.patient_index == patient and episode.active(t):
+                return episode
+        return None
+
+    def readings_at(self, t: float) -> list[DataRecord]:
+        out = []
+        for patient in range(self.n_patients):
+            heart_rate = self.NORMAL_HR + 5 * math.sin(t / 30.0 + patient)
+            spo2 = self.NORMAL_SPO2
+            episode = self._episode_for(patient, t)
+            if episode is not None:
+                if episode.kind == "tachycardia":
+                    heart_rate = 150.0 + self._rng.gauss(0, 5)
+                elif episode.kind == "desaturation":
+                    spo2 = 85.0 + self._rng.gauss(0, 2)
+            out.append(
+                DataRecord(
+                    key=f"patient-{patient:03d}",
+                    payload={
+                        "heart_rate": heart_rate + self._rng.gauss(0, 1),
+                        "spo2": spo2 + self._rng.gauss(0, 0.3),
+                    },
+                    space=Space.PHYSICAL,
+                    timestamp=t,
+                    kind=DataKind.SENSOR,
+                    source="vitals-monitor",
+                )
+            )
+        return out
+
+    def stream(self, duration_s: float) -> list[DataRecord]:
+        out: list[DataRecord] = []
+        t = 0.0
+        while t < duration_s:
+            out.extend(self.readings_at(t))
+            t += self.interval_s
+        return out
+
+
+def is_anomalous(record: DataRecord) -> bool:
+    """The monitoring predicate: out-of-range vitals."""
+    heart_rate = record.payload.get("heart_rate", 0.0)
+    spo2 = record.payload.get("spo2", 100.0)
+    return heart_rate > 120.0 or heart_rate < 45.0 or spo2 < 90.0
+
+
+@dataclass(frozen=True)
+class SurgerySession:
+    """A remote assisted-surgery media session (paper Fig. 5)."""
+
+    session_id: str
+    required_bps: float = 25e6    # full-fidelity holographic feed
+    fallback_bps: float = 4e6     # degraded but usable
+    duration_s: float = 3600.0
+
+    def feasible(self, available_bps: float) -> str | None:
+        """'full' / 'fallback' / None given the available bandwidth."""
+        if available_bps >= self.required_bps:
+            return "full"
+        if available_bps >= self.fallback_bps:
+            return "fallback"
+        return None
+
+    def bytes_transferred(self, available_bps: float) -> float:
+        mode = self.feasible(available_bps)
+        if mode == "full":
+            return self.required_bps / 8 * self.duration_s
+        if mode == "fallback":
+            return self.fallback_bps / 8 * self.duration_s
+        return 0.0

@@ -1,0 +1,139 @@
+"""The military-exercise workload (paper Sec. II, Fig. 2).
+
+A small physical exercise area embedded in a much larger virtual theatre:
+ground units patrol the physical space emitting tracked positions and
+status; the virtual command layer injects events (air-raids, reinforcement
+orders) whose consequences must reach the ground — the paper's "if a region
+... were air-raided, then the troops should perish" rule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+from ..core.events import Event, Rule
+from ..core.records import Space
+from ..spatial.geometry import BBox, Point
+from ..world.entities import Entity
+from ..world.twin import MetaverseWorld
+from .movement import RandomWaypoint
+
+
+@dataclass
+class MilitaryConfig:
+    physical_area: BBox = field(default_factory=lambda: BBox(0, 0, 5000, 5000))
+    n_units: int = 100
+    unit_speed: tuple[float, float] = (1.0, 4.0)
+    gps_sigma: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1:
+            raise ConfigurationError("need at least one unit")
+
+
+class MilitaryExercise:
+    """Drives units in a :class:`MetaverseWorld` and wires the airstrike rule."""
+
+    def __init__(
+        self, world: MetaverseWorld, config: MilitaryConfig | None = None, seed: int = 0
+    ) -> None:
+        self.world = world
+        self.config = config if config is not None else MilitaryConfig()
+        self._rng = random.Random(seed)
+        self._movers: dict[str, RandomWaypoint] = {}
+        self.casualties: set[str] = set()
+        self._install_units()
+        self._install_rules()
+
+    def _install_units(self) -> None:
+        for i in range(self.config.n_units):
+            unit_id = f"unit-{i:04d}"
+            mover = RandomWaypoint(
+                self.config.physical_area,
+                speed_range=self.config.unit_speed,
+                seed=self._rng.randrange(1 << 30),
+            )
+            self._movers[unit_id] = mover
+            self.world.physical.add(
+                Entity(
+                    entity_id=unit_id,
+                    position=mover.position,
+                    kind="unit",
+                    attributes={"status": "active", "firepower": 100},
+                )
+            )
+
+    def _install_rules(self) -> None:
+        def on_airstrike(event: Event):
+            box = BBox(*event.attributes["region"])
+            hit = [
+                entity.entity_id
+                for entity in self.world.physical.in_region(box)
+                if entity.attributes.get("status") == "active"
+            ]
+            follow_ups = []
+            for unit_id in hit:
+                self.world.physical.entities[unit_id].attributes["status"] = "down"
+                self.casualties.add(unit_id)
+                follow_ups.append(
+                    Event(
+                        topic="ground.perish",
+                        space=Space.PHYSICAL,
+                        timestamp=event.timestamp,
+                        attributes={"unit": unit_id},
+                    )
+                )
+            return follow_ups
+
+        self.world.bus.add_rule(
+            Rule(
+                name="airstrike-kills-units",
+                topic_pattern="command.airstrike",
+                space=Space.VIRTUAL,
+                action=on_airstrike,
+            )
+        )
+
+    # -- driving ------------------------------------------------------------
+
+    def tick(self, dt: float) -> int:
+        """Move active units, sync the twin; return mirror updates sent."""
+        for unit_id, mover in self._movers.items():
+            entity = self.world.physical.entities[unit_id]
+            if entity.attributes.get("status") != "active":
+                continue
+            mover.step(dt)
+            entity.position = mover.position
+            self.world.physical.index.move(unit_id, entity.position)
+        self.world.now += dt
+        return self.world.sync()
+
+    def order_airstrike(self, region: BBox) -> list[Event]:
+        """Virtual command orders an airstrike on ``region``."""
+        return self.world.bus.publish(
+            Event(
+                topic="command.airstrike",
+                space=Space.VIRTUAL,
+                timestamp=self.world.now,
+                attributes={
+                    "region": (region.x_min, region.y_min, region.x_max, region.y_max)
+                },
+            )
+        )
+
+    def active_units(self) -> int:
+        return sum(
+            1
+            for entity in self.world.physical.entities.values()
+            if entity.attributes.get("status") == "active"
+        )
+
+    def noisy_position(self, unit_id: str) -> Point:
+        """The GPS-observed position of a unit (sensing substitution)."""
+        true = self.world.physical.entities[unit_id].position
+        return Point(
+            true.x + self._rng.gauss(0, self.config.gps_sigma),
+            true.y + self._rng.gauss(0, self.config.gps_sigma),
+        )

@@ -1,0 +1,133 @@
+"""Movement models for simulated populations.
+
+Standard mobility models from the ad-hoc-networking literature, used by the
+military, gaming, and marketplace workloads to drive entity positions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..core.errors import ConfigurationError
+from ..spatial.geometry import BBox, Point, Velocity
+
+
+class RandomWaypoint:
+    """Random-waypoint mobility: pick a target, walk to it, repeat."""
+
+    def __init__(
+        self,
+        domain: BBox,
+        speed_range: tuple[float, float] = (1.0, 5.0),
+        seed: int = 0,
+        start: Point | None = None,
+    ) -> None:
+        if speed_range[0] <= 0 or speed_range[0] > speed_range[1]:
+            raise ConfigurationError("need 0 < min_speed <= max_speed")
+        self.domain = domain
+        self.speed_range = speed_range
+        self._rng = random.Random(seed)
+        self.position = start if start is not None else self._random_point()
+        self._target = self._random_point()
+        self._speed = self._rng.uniform(*speed_range)
+
+    def _random_point(self) -> Point:
+        return Point(
+            self._rng.uniform(self.domain.x_min, self.domain.x_max),
+            self._rng.uniform(self.domain.y_min, self.domain.y_max),
+        )
+
+    @property
+    def velocity(self) -> Velocity:
+        distance = self.position.distance_to(self._target)
+        if distance < 1e-9:
+            return Velocity(0.0, 0.0)
+        return Velocity(
+            (self._target.x - self.position.x) / distance * self._speed,
+            (self._target.y - self.position.y) / distance * self._speed,
+        )
+
+    def step(self, dt: float) -> Point:
+        """Advance ``dt`` seconds; returns the new position."""
+        remaining = self.position.distance_to(self._target)
+        travel = self._speed * dt
+        if travel >= remaining:
+            self.position = self._target
+            self._target = self._random_point()
+            self._speed = self._rng.uniform(*self.speed_range)
+        else:
+            velocity = self.velocity
+            self.position = Point(
+                self.position.x + velocity.vx * dt,
+                self.position.y + velocity.vy * dt,
+            )
+        return self.position
+
+
+class PatrolRoute:
+    """Deterministic looped patrol through waypoints at constant speed."""
+
+    def __init__(self, waypoints: list[Point], speed: float = 2.0) -> None:
+        if len(waypoints) < 2:
+            raise ConfigurationError("patrol needs >= 2 waypoints")
+        if speed <= 0:
+            raise ConfigurationError("speed must be positive")
+        self.waypoints = list(waypoints)
+        self.speed = speed
+        self.position = waypoints[0]
+        self._leg = 0
+
+    def step(self, dt: float) -> Point:
+        remaining_time = dt
+        while remaining_time > 1e-12:
+            target = self.waypoints[(self._leg + 1) % len(self.waypoints)]
+            distance = self.position.distance_to(target)
+            travel = self.speed * remaining_time
+            if travel >= distance:
+                self.position = target
+                self._leg = (self._leg + 1) % len(self.waypoints)
+                remaining_time -= distance / self.speed if self.speed else 0.0
+            else:
+                frac = travel / distance
+                self.position = Point(
+                    self.position.x + (target.x - self.position.x) * frac,
+                    self.position.y + (target.y - self.position.y) * frac,
+                )
+                remaining_time = 0.0
+        return self.position
+
+
+def zipf_sampler(n_items: int, skew: float, seed: int = 0):
+    """A callable sampling item indices [0, n) with Zipf(skew) popularity."""
+    if n_items < 1 or skew < 0:
+        raise ConfigurationError("need n_items >= 1 and skew >= 0")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**skew) for rank in range(1, n_items + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        u = rng.random()
+        lo, hi = 0, n_items - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    return sample
+
+
+def diurnal_rate(base_rate: float, hour: float, peak_hour: float = 18.0, amplitude: float = 0.6) -> float:
+    """A daily sinusoidal arrival-rate profile (smart-city sensors)."""
+    if base_rate < 0 or not 0 <= amplitude <= 1:
+        raise ConfigurationError("invalid rate profile")
+    phase = 2 * math.pi * (hour - peak_hour) / 24.0
+    return base_rate * (1.0 + amplitude * math.cos(phase))

@@ -1,0 +1,29 @@
+"""The twin world: spaces, entities, sync, and data organization."""
+
+from .entities import Avatar, Entity, ProximityMatch
+from .history import HistoryRecorder, ReplayFrame
+from .organization import (
+    HybridStore,
+    SeparateStores,
+    TaggedUnifiedStore,
+    make_organization,
+    run_query_mix,
+)
+from .twin import MetaverseWorld, MirroredEntity, PhysicalSpace, VirtualSpace
+
+__all__ = [
+    "Avatar",
+    "Entity",
+    "HistoryRecorder",
+    "HybridStore",
+    "MetaverseWorld",
+    "MirroredEntity",
+    "PhysicalSpace",
+    "ProximityMatch",
+    "ReplayFrame",
+    "SeparateStores",
+    "TaggedUnifiedStore",
+    "VirtualSpace",
+    "make_organization",
+    "run_query_mix",
+]

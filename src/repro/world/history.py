@@ -1,0 +1,126 @@
+"""Historical replay of the physical world (paper Sec. V).
+
+"With virtual space technology, time no longer 'bounds' us — we can, for
+example, be physically at a historical site experiencing virtually an event
+that transpired in history on the exact spot that we are standing."
+
+:class:`HistoryRecorder` taps a :class:`~repro.world.twin.MetaverseWorld`,
+sampling entity positions and events into a
+:class:`~repro.spatial.trajectory.TrajectoryStore`; :meth:`replay_at`
+reconstructs the physical world's state at any past instant (interpolated
+between samples), and :meth:`events_between` returns what happened in a
+window — the data layer a "back to the future" viewer needs.  Storage is
+kept in check with Douglas-Peucker compaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.events import Event
+from ..spatial.geometry import BBox, Point
+from ..spatial.trajectory import TrajectoryStore
+from .twin import MetaverseWorld
+
+
+@dataclass
+class ReplayFrame:
+    """The reconstructed world at one past instant."""
+
+    timestamp: float
+    positions: dict[str, Point]
+    events: list[Event]
+
+
+class HistoryRecorder:
+    """Samples a world's physical state for later replay."""
+
+    def __init__(self, world: MetaverseWorld, sample_interval: float = 1.0) -> None:
+        if sample_interval <= 0:
+            raise ConfigurationError("sample_interval must be positive")
+        self.world = world
+        self.sample_interval = sample_interval
+        self.store = TrajectoryStore()
+        self._last_sample: float | None = None
+        self.samples_taken = 0
+
+    def capture(self) -> bool:
+        """Sample now if an interval has elapsed; returns True if sampled."""
+        now = self.world.now
+        if self._last_sample is not None and now - self._last_sample < self.sample_interval:
+            return False
+        for entity_id, entity in self.world.physical.entities.items():
+            # Trajectories require strictly increasing time; skip an entity
+            # whose trajectory already has this timestamp.
+            trajectory = (
+                self.store.trajectory(entity_id) if entity_id in self.store else None
+            )
+            if trajectory is not None and len(trajectory) and trajectory.end_time >= now:
+                continue
+            self.store.append(entity_id, now, entity.position)
+        self._last_sample = now
+        self.samples_taken += 1
+        return True
+
+    # -- replay -------------------------------------------------------------
+
+    def replay_at(self, timestamp: float) -> ReplayFrame:
+        """Reconstruct positions (interpolated) and events at ``timestamp``."""
+        if timestamp > self.world.now:
+            raise ConfigurationError("cannot replay the future")
+        window = self.sample_interval
+        events = [
+            event
+            for event in self.world.bus.history
+            if timestamp - window <= event.timestamp <= timestamp + window
+        ]
+        return ReplayFrame(
+            timestamp=timestamp,
+            positions=self.store.positions_at(timestamp),
+            events=events,
+        )
+
+    def replay_window(
+        self, t_start: float, t_end: float, step: float
+    ) -> list[ReplayFrame]:
+        """A frame sequence covering [t_start, t_end] — a replay 'video'."""
+        if step <= 0 or t_start > t_end:
+            raise ConfigurationError("invalid replay window")
+        frames = []
+        t = t_start
+        while t <= t_end + 1e-9:
+            frames.append(self.replay_at(t))
+            t += step
+        return frames
+
+    def events_between(self, t_start: float, t_end: float) -> list[Event]:
+        return [
+            event
+            for event in self.world.bus.history
+            if t_start <= event.timestamp <= t_end
+        ]
+
+    def entities_near_spot_during(
+        self, spot: Point, radius: float, t_start: float, t_end: float
+    ) -> list[str]:
+        """Who was at this exact spot back then (the paper's scenario)."""
+        box = BBox.around(spot, radius)
+        candidates = self.store.objects_in_region_during(box, t_start, t_end)
+        out = []
+        for entity_id in candidates:
+            samples = self.store.trajectory(entity_id).slice(t_start, t_end)
+            if any(s.point.distance_to(spot) <= radius for s in samples):
+                out.append(entity_id)
+        return sorted(out)
+
+    # -- storage management --------------------------------------------------
+
+    def total_samples(self) -> int:
+        return self.store.total_samples()
+
+    def compact(self, tolerance: float) -> int:
+        """Douglas-Peucker compaction; returns samples removed."""
+        before = self.store.total_samples()
+        self.store = self.store.simplified(tolerance)
+        return before - self.store.total_samples()

@@ -1,0 +1,206 @@
+"""The physical/virtual twin world and its synchronization engine.
+
+Paper Fig. 1: "data flow within a single space, but more importantly, data
+also flow into the other space" — and Sec. IV-C: perfect cross-space
+consistency is unattainable, so the virtual mirror tracks the physical
+world within *coherency bounds*.
+
+:class:`MetaverseWorld` holds both spaces:
+
+* the :class:`PhysicalSpace` tracks entities in a grid index and advances
+  their motion;
+* the :class:`VirtualSpace` holds avatars plus the *mirrored* view of
+  physical entities, updated by the sync engine;
+* :meth:`MetaverseWorld.sync` mirrors each entity's position only when it
+  drifted more than ``position_epsilon`` from the last mirrored value —
+  the coherency filter — and counts the messages saved;
+* the shared :class:`~repro.core.events.EventBus` carries cross-space
+  events (virtual air-raid -> physical "perish", per the military example).
+
+Cross-space social matching (:meth:`cross_space_encounters`) implements the
+paper's gaming scenario: a physical user and a virtual avatar at the same
+location discover each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError, KeyNotFoundError
+from ..core.events import EventBus
+from ..core.metrics import MetricsRegistry
+from ..core.records import Space
+from ..spatial.geometry import BBox, Point
+from ..spatial.grid import GridIndex
+from .entities import Avatar, Entity, ProximityMatch
+
+
+@dataclass
+class MirroredEntity:
+    """The virtual space's view of a physical entity."""
+
+    entity_id: str
+    position: Point
+    mirrored_at: float
+
+
+class PhysicalSpace:
+    """Ground truth: entities with motion, indexed for range queries."""
+
+    def __init__(self, cell_size: float = 50.0) -> None:
+        self.entities: dict[str, Entity] = {}
+        self.index = GridIndex(cell_size=cell_size)
+
+    def add(self, entity: Entity) -> None:
+        if entity.entity_id in self.entities:
+            raise ConfigurationError(f"duplicate entity {entity.entity_id!r}")
+        self.entities[entity.entity_id] = entity
+        self.index.insert(entity.entity_id, entity.position)
+
+    def remove(self, entity_id: str) -> None:
+        if entity_id not in self.entities:
+            raise KeyNotFoundError(entity_id)
+        del self.entities[entity_id]
+        self.index.remove(entity_id)
+
+    def advance(self, dt: float) -> None:
+        for entity in self.entities.values():
+            entity.advance(dt)
+            self.index.move(entity.entity_id, entity.position)
+
+    def in_region(self, box: BBox) -> list[Entity]:
+        return [self.entities[eid] for eid in self.index.query_range(box)]
+
+
+class VirtualSpace:
+    """Avatars plus the mirrored physical view."""
+
+    def __init__(self, cell_size: float = 50.0) -> None:
+        self.avatars: dict[str, Avatar] = {}
+        self.mirror: dict[str, MirroredEntity] = {}
+        self.avatar_index = GridIndex(cell_size=cell_size)
+
+    def add_avatar(self, avatar: Avatar) -> None:
+        if avatar.avatar_id in self.avatars:
+            raise ConfigurationError(f"duplicate avatar {avatar.avatar_id!r}")
+        self.avatars[avatar.avatar_id] = avatar
+        self.avatar_index.insert(avatar.avatar_id, avatar.position)
+
+    def move_avatar(self, avatar_id: str, position: Point) -> None:
+        avatar = self.avatars.get(avatar_id)
+        if avatar is None:
+            raise KeyNotFoundError(avatar_id)
+        avatar.position = position
+        self.avatar_index.move(avatar_id, position)
+
+    def mirrored_position(self, entity_id: str) -> Point:
+        mirrored = self.mirror.get(entity_id)
+        if mirrored is None:
+            raise KeyNotFoundError(entity_id)
+        return mirrored.position
+
+
+class MetaverseWorld:
+    """Both spaces plus the coherency-bounded sync engine."""
+
+    def __init__(
+        self,
+        position_epsilon: float = 5.0,
+        cell_size: float = 50.0,
+        bus: EventBus | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if position_epsilon < 0:
+            raise ConfigurationError("position_epsilon must be >= 0")
+        self.physical = PhysicalSpace(cell_size=cell_size)
+        self.virtual = VirtualSpace(cell_size=cell_size)
+        self.position_epsilon = position_epsilon
+        self.bus = bus if bus is not None else EventBus()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.now = 0.0
+
+    # -- time -------------------------------------------------------------
+
+    def tick(self, dt: float) -> int:
+        """Advance physical motion and sync; returns mirror updates sent."""
+        self.now += dt
+        self.physical.advance(dt)
+        return self.sync()
+
+    # -- synchronization -----------------------------------------------------
+
+    def sync(self) -> int:
+        """Mirror drifted entities into the virtual space (coherency filter)."""
+        sent = 0
+        for entity in self.physical.entities.values():
+            mirrored = self.virtual.mirror.get(entity.entity_id)
+            if (
+                mirrored is None
+                or mirrored.position.distance_to(entity.position)
+                > self.position_epsilon
+            ):
+                self.virtual.mirror[entity.entity_id] = MirroredEntity(
+                    entity_id=entity.entity_id,
+                    position=entity.position,
+                    mirrored_at=self.now,
+                )
+                sent += 1
+                self.metrics.counter("world.mirror_updates").inc()
+            else:
+                self.metrics.counter("world.mirror_suppressed").inc()
+        # Drop mirrors of entities that left the physical space.
+        for entity_id in list(self.virtual.mirror):
+            if entity_id not in self.physical.entities:
+                del self.virtual.mirror[entity_id]
+        return sent
+
+    def staleness(self, entity_id: str) -> float:
+        """Positional divergence between truth and the virtual mirror."""
+        entity = self.physical.entities.get(entity_id)
+        mirrored = self.virtual.mirror.get(entity_id)
+        if entity is None or mirrored is None:
+            return float("inf")
+        return entity.position.distance_to(mirrored.position)
+
+    def max_staleness(self) -> float:
+        if not self.physical.entities:
+            return 0.0
+        return max(self.staleness(eid) for eid in self.physical.entities)
+
+    # -- cross-space features -----------------------------------------------------
+
+    def cross_space_encounters(self, radius: float) -> list[ProximityMatch]:
+        """Physical entities near avatars at the 'same' location (Sec. II).
+
+        A linked avatar is skipped against its own physical owner — finding
+        yourself is not an encounter.
+        """
+        if radius <= 0:
+            raise ConfigurationError("radius must be positive")
+        matches: list[ProximityMatch] = []
+        for entity in self.physical.entities.values():
+            nearby = self.virtual.avatar_index.query_radius(entity.position, radius)
+            for avatar_id in nearby:
+                avatar = self.virtual.avatars[avatar_id]
+                if avatar.owner_entity_id == entity.entity_id:
+                    continue
+                matches.append(
+                    ProximityMatch(
+                        first=entity.entity_id,
+                        second=avatar_id,
+                        distance=entity.position.distance_to(avatar.position),
+                        first_space=Space.PHYSICAL,
+                        second_space=Space.VIRTUAL,
+                    )
+                )
+        return matches
+
+    def physical_entities_in_virtual_view(
+        self, viewpoint: Point, radius: float
+    ) -> list[str]:
+        """What a cyber user 'sees' of the physical world: mirror state only."""
+        out = []
+        for mirrored in self.virtual.mirror.values():
+            if mirrored.position.distance_to(viewpoint) <= radius:
+                out.append(mirrored.entity_id)
+        return sorted(out)

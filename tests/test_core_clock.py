@@ -1,0 +1,123 @@
+"""Tests for the simulation clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.core import ConfigurationError, EventScheduler, SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulationClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulationClock(5.0).now == 5.0
+
+    def test_advance_moves_forward(self):
+        clock = SimulationClock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            SimulationClock().advance(-1.0)
+
+    def test_advance_to_never_moves_backwards(self):
+        clock = SimulationClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_clock_is_callable_time_fn(self):
+        clock = SimulationClock(3.0)
+        assert clock() == 3.0
+
+
+class TestEventScheduler:
+    def test_dispatches_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule(3.0, lambda: order.append("c"))
+        sched.schedule(1.0, lambda: order.append("a"))
+        sched.schedule(2.0, lambda: order.append("b"))
+        sched.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self):
+        sched = EventScheduler()
+        order = []
+        for name in "abc":
+            sched.schedule(1.0, lambda n=name: order.append(n))
+        sched.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_advances_clock(self):
+        sched = EventScheduler()
+        sched.run_until(7.0)
+        assert sched.clock.now == 7.0
+
+    def test_callback_sees_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(2.0, lambda: seen.append(sched.clock.now))
+        sched.run_until(5.0)
+        assert seen == [2.0]
+
+    def test_run_until_only_dispatches_due_events(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(5.0, lambda: fired.append(5))
+        count = sched.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        sched.run_until(6.0)
+        assert fired == [1, 5]
+
+    def test_cancel_skips_event(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sched.run_all()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_schedule_in_past_rejected(self):
+        sched = EventScheduler()
+        sched.clock.advance(10.0)
+        with pytest.raises(ConfigurationError):
+            sched.schedule_at(5.0, lambda: None)
+        with pytest.raises(ConfigurationError):
+            sched.schedule(-1.0, lambda: None)
+
+    def test_events_scheduled_during_dispatch_run(self):
+        sched = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            sched.schedule(1.0, lambda: order.append("second"))
+
+        sched.schedule(1.0, first)
+        sched.run_until(3.0)
+        assert order == ["first", "second"]
+
+    def test_run_for_is_relative(self):
+        sched = EventScheduler()
+        sched.clock.advance(100.0)
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(True))
+        sched.run_for(2.0)
+        assert fired == [True]
+        assert sched.clock.now == 102.0
+
+    def test_next_event_time_skips_cancelled(self):
+        sched = EventScheduler()
+        h1 = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sched.next_event_time == 2.0
+
+    def test_next_event_time_empty(self):
+        assert EventScheduler().next_event_time is None

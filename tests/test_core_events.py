@@ -1,0 +1,118 @@
+"""Tests for the event bus and ECA rules."""
+
+from repro.core import Event, EventBus, Rule, Space
+
+
+def make_event(topic="military.airstrike", space=Space.VIRTUAL, **attrs):
+    return Event(topic=topic, space=space, timestamp=1.0, attributes=attrs)
+
+
+class TestTopicMatching:
+    def test_exact_match(self):
+        assert make_event().matches_topic("military.airstrike")
+
+    def test_wildcard_star(self):
+        assert make_event().matches_topic("*")
+
+    def test_prefix_wildcard(self):
+        assert make_event().matches_topic("military.*")
+        assert not make_event().matches_topic("shop.*")
+
+    def test_no_partial_prefix_without_wildcard(self):
+        assert not make_event().matches_topic("military")
+
+
+class TestSubscribe:
+    def test_handler_receives_matching_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("military.*", seen.append)
+        bus.publish(make_event())
+        bus.publish(make_event(topic="shop.sale"))
+        assert len(seen) == 1
+        assert seen[0].topic == "military.airstrike"
+
+    def test_history_query(self):
+        bus = EventBus()
+        bus.publish(make_event())
+        bus.publish(make_event(topic="shop.sale"))
+        assert len(bus.events_on("military.*")) == 1
+        assert len(bus.events_on("*")) == 2
+
+
+class TestRules:
+    def test_rule_fires_and_cascades_across_spaces(self):
+        """The paper's military example: a virtual air-raid kills physical troops."""
+        bus = EventBus()
+
+        def on_airstrike(event):
+            return [
+                Event(
+                    topic="ground.perish",
+                    space=Space.PHYSICAL,
+                    timestamp=event.timestamp,
+                    attributes={"region": event.attributes["region"]},
+                )
+            ]
+
+        bus.add_rule(
+            Rule(
+                name="airstrike-consequence",
+                topic_pattern="military.airstrike",
+                space=Space.VIRTUAL,
+                action=on_airstrike,
+            )
+        )
+        cascade = bus.publish(make_event(region="hill-42"))
+        assert [e.topic for e in cascade] == ["military.airstrike", "ground.perish"]
+        assert cascade[1].space is Space.PHYSICAL
+        assert cascade[1].attributes["region"] == "hill-42"
+        assert bus.rule("airstrike-consequence").fired == 1
+
+    def test_condition_gates_rule(self):
+        bus = EventBus()
+        bus.add_rule(
+            Rule(
+                name="big-only",
+                topic_pattern="sensor.reading",
+                condition=lambda e: e.attributes.get("value", 0) > 100,
+                action=lambda e: [
+                    Event("alarm.raised", e.space, e.timestamp)
+                ],
+            )
+        )
+        quiet = bus.publish(make_event(topic="sensor.reading", value=5))
+        loud = bus.publish(make_event(topic="sensor.reading", value=500))
+        assert [e.topic for e in quiet] == ["sensor.reading"]
+        assert [e.topic for e in loud] == ["sensor.reading", "alarm.raised"]
+
+    def test_space_filter_on_rule(self):
+        bus = EventBus()
+        bus.add_rule(
+            Rule(
+                name="phys-only",
+                topic_pattern="*",
+                space=Space.PHYSICAL,
+                action=lambda e: [Event("echo", e.space, e.timestamp)],
+            )
+        )
+        cascade = bus.publish(make_event(space=Space.VIRTUAL))
+        assert len(cascade) == 1
+
+    def test_cascade_depth_bounded(self):
+        bus = EventBus(max_cascade_depth=5)
+        bus.add_rule(
+            Rule(
+                name="loop",
+                topic_pattern="ping",
+                action=lambda e: [Event("ping", e.space, e.timestamp)],
+            )
+        )
+        cascade = bus.publish(make_event(topic="ping"))
+        assert len(cascade) == 5  # bounded, no infinite loop
+
+    def test_unknown_rule_lookup_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            EventBus().rule("missing")

@@ -1,0 +1,87 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.core import MetricsRegistry
+from repro.core.metrics import Histogram
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.counter("a").inc(2.5)
+        assert reg.counter("a").value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(10)
+        reg.gauge("g").add(-3)
+        assert reg.gauge("g").value == 7
+
+
+class TestHistogram:
+    def test_empty_histogram_is_zeroes(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.p99() == 0.0
+
+    def test_mean_and_extremes(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.mean == 2.5
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+
+    def test_quantiles_exact(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.p50() == pytest.approx(50.5)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_stddev(self):
+        h = Histogram()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            h.observe(v)
+        assert h.stddev() == pytest.approx(2.138, abs=1e-3)
+
+    def test_single_sample_quantile(self):
+        h = Histogram()
+        h.observe(42.0)
+        assert h.p99() == 42.0
+        assert h.stddev() == 0.0
+
+
+class TestRegistry:
+    def test_snapshot_flattens(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 5
+        assert snap["g"] == 2
+        assert snap["h.count"] == 1.0
+        assert snap["h.mean"] == 1.0
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.counter("c").value == 0
+
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")

@@ -1,0 +1,92 @@
+"""Tests for records, schemas, and space tagging."""
+
+import pytest
+
+from repro.core import DataKind, DataRecord, FieldSpec, Schema, SchemaError, Space
+
+
+class TestSpace:
+    def test_other_flips(self):
+        assert Space.PHYSICAL.other is Space.VIRTUAL
+        assert Space.VIRTUAL.other is Space.PHYSICAL
+
+
+class TestSchema:
+    def make_schema(self):
+        return Schema(
+            "shopper",
+            [
+                FieldSpec("name", (str,)),
+                FieldSpec("age", (int, float)),
+                FieldSpec("vip", (bool,), required=False),
+            ],
+        )
+
+    def test_valid_payload_passes(self):
+        self.make_schema().validate({"name": "alice", "age": 30})
+
+    def test_missing_required_field_fails(self):
+        with pytest.raises(SchemaError, match="age"):
+            self.make_schema().validate({"name": "alice"})
+
+    def test_optional_field_may_be_absent(self):
+        self.make_schema().validate({"name": "a", "age": 1})
+
+    def test_wrong_type_fails(self):
+        with pytest.raises(SchemaError, match="name"):
+            self.make_schema().validate({"name": 42, "age": 30})
+
+    def test_optional_field_type_still_checked(self):
+        with pytest.raises(SchemaError, match="vip"):
+            self.make_schema().validate({"name": "a", "age": 1, "vip": "yes"})
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("bad", [FieldSpec("x", (int,)), FieldSpec("x", (str,))])
+
+    def test_field_lookup(self):
+        schema = self.make_schema()
+        assert schema.field("name").name == "name"
+        assert "age" in schema
+        with pytest.raises(SchemaError):
+            schema.field("missing")
+
+
+class TestDataRecord:
+    def test_mirrored_flips_space_and_keeps_payload(self):
+        rec = DataRecord(key="e1", payload={"x": 1.0}, space=Space.PHYSICAL, timestamp=5.0)
+        mirror = rec.mirrored()
+        assert mirror.space is Space.VIRTUAL
+        assert mirror.payload == {"x": 1.0}
+        assert mirror.timestamp == 5.0
+        assert mirror.key == "e1"
+
+    def test_mirrored_payload_is_a_copy(self):
+        rec = DataRecord(key="e1", payload={"x": 1.0})
+        mirror = rec.mirrored()
+        mirror.payload["x"] = 2.0
+        assert rec.payload["x"] == 1.0
+
+    def test_mirror_restamp(self):
+        rec = DataRecord(key="e1", payload={}, timestamp=5.0)
+        assert rec.mirrored(timestamp=9.0).timestamp == 9.0
+
+    def test_record_ids_are_unique(self):
+        a = DataRecord(key="a", payload={})
+        b = DataRecord(key="b", payload={})
+        assert a.record_id != b.record_id
+
+    def test_media_size_bytes_explicit(self):
+        rec = DataRecord(
+            key="v", payload={"size_bytes": 10_000}, kind=DataKind.MEDIA
+        )
+        assert rec.size_bytes() == 10_000
+
+    def test_size_bytes_estimated_for_structured(self):
+        rec = DataRecord(key="v", payload={"a": 1})
+        assert rec.size_bytes() >= 48
+
+    def test_age(self):
+        rec = DataRecord(key="v", payload={}, timestamp=10.0)
+        assert rec.age(now=15.0) == 5.0
+        assert rec.age(now=5.0) == 0.0

@@ -1,0 +1,139 @@
+"""Cross-cutting equivalence properties between independent implementations.
+
+Each test pits two code paths that must agree (index vs brute force,
+strategy A vs strategy B) against hypothesis-generated inputs — the
+strongest correctness signal the suite has.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataKind, DataRecord, Space
+from repro.query import SlidingWindow
+from repro.spatial import BBox, BxTree, Point, Velocity
+from repro.world import make_organization
+
+coords = st.floats(10, 990, allow_nan=False, allow_infinity=False)
+
+
+class TestBxAgainstBruteForce:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        n_objects=st.integers(1, 60),
+        query_time=st.floats(0, 40),
+    )
+    def test_range_query_matches_dead_reckoned_truth(self, seed, n_objects, query_time):
+        rng = random.Random(seed)
+        domain = BBox(0, 0, 1000, 1000)
+        tree = BxTree(domain, resolution_bits=5, phase_interval=20.0, max_speed=8.0)
+        objects = {}
+        for i in range(n_objects):
+            point = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            velocity = Velocity(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            t0 = rng.uniform(0, 10)
+            objects[i] = (point, velocity, t0)
+            tree.update(i, point, velocity, now=t0)
+        query = BBox(200, 200, 700, 700)
+        expected = set()
+        for i, (point, velocity, t0) in objects.items():
+            x = point.x + velocity.vx * (query_time - t0)
+            y = point.y + velocity.vy * (query_time - t0)
+            if query.contains_point(Point(x, y)):
+                expected.add(i)
+        assert set(tree.query_range(query, t=query_time)) == expected
+
+
+class TestOrganizationsAgree:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 30),
+        seed=st.integers(0, 100),
+    )
+    def test_all_strategies_return_identical_row_sets(self, n, seed):
+        rng = random.Random(seed)
+        records = []
+        for i in range(n):
+            records.append(
+                DataRecord(
+                    key=f"k{i:03d}",
+                    payload={"v": i},
+                    space=rng.choice([Space.PHYSICAL, Space.VIRTUAL]),
+                    timestamp=float(i),
+                    kind=rng.choice([DataKind.LOCATION, DataKind.MEDIA, DataKind.EVENT]),
+                )
+            )
+        results = {}
+        for name in ("tagged-unified", "separate", "hybrid"):
+            organization = make_organization(name)
+            for record in records:
+                organization.put(
+                    DataRecord(
+                        key=record.key,
+                        payload=dict(record.payload),
+                        space=record.space,
+                        timestamp=record.timestamp,
+                        kind=record.kind,
+                    )
+                )
+            cross = frozenset(
+                (row["payload"]["v"], row["space"]) for row in organization.query_cross()
+            )
+            physical = frozenset(
+                row["payload"]["v"]
+                for row in organization.query_space(Space.PHYSICAL)
+            )
+            results[name] = (cross, physical)
+        assert results["tagged-unified"] == results["separate"] == results["hybrid"]
+
+
+class TestSlidingWindowAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(-50, 50, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_paned_sums_match_direct_computation(self, events):
+        size, slide = 20.0, 5.0
+        window = SlidingWindow(size=size, slide=slide, field="v", agg="sum")
+        for t, v in events:
+            window.add(DataRecord(key="k", payload={"v": v}, timestamp=t))
+        results = {
+            (r.window_start, r.window_end): r.value for r in window.results()
+        }
+        for (lo, hi), value in results.items():
+            # Pane semantics: a record belongs to the window iff its pane
+            # does, i.e. floor(t / slide) in [lo/slide, hi/slide).
+            expected = sum(
+                v
+                for t, v in events
+                if lo / slide <= t // slide < hi / slide
+            )
+            assert abs(value - expected) < 1e-6
+
+
+class TestGridMatchesRTreeOnPoints:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        points=st.lists(st.tuples(coords, coords), min_size=1, max_size=60),
+        qx=coords,
+        qy=coords,
+    )
+    def test_range_queries_agree(self, points, qx, qy):
+        from repro.spatial import GridIndex, RTree
+
+        grid = GridIndex(cell_size=50)
+        rtree = RTree(max_entries=4)
+        for i, (x, y) in enumerate(points):
+            grid.insert(i, Point(x, y))
+            rtree.insert_point(i, Point(x, y))
+        box = BBox(qx - 100, qy - 100, qx + 100, qy + 100)
+        assert set(grid.query_range(box)) == set(rtree.query_range(box))

@@ -1,0 +1,211 @@
+"""Tests for extension features: P2P pub/sub, serverless triggers, moving kNN."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.net import AttributePredicate, P2PPubSub, Publication, Subscription
+from repro.query import (
+    ContinuousQueryEngine,
+    GridStrategy,
+    MovingKnnQuery,
+    MovingObject,
+    MovingRangeQuery,
+    RescanStrategy,
+)
+from repro.serverless import (
+    FunctionSpec,
+    ServerlessRuntime,
+    TriggerBinder,
+    TriggerBinding,
+)
+from repro.net.pubsub import Broker
+from repro.spatial import Point, Velocity
+
+
+class TestP2PPubSub:
+    def build(self, n_peers=8):
+        return P2PPubSub([f"peer-{i}" for i in range(n_peers)])
+
+    def test_subscription_and_publication_meet_at_owner(self):
+        p2p = self.build()
+        got = []
+        owner = p2p.subscribe(
+            Subscription(subscriber="s", topic_pattern="shop.*", callback=got.append)
+        )
+        report = p2p.publish(Publication(topic="shop.sale", payload={"v": 1}))
+        assert report.owner == owner
+        assert len(got) == 1
+        assert len(report.matched) == 1
+
+    def test_different_topics_different_owners(self):
+        p2p = self.build(n_peers=16)
+        owners = {
+            p2p.subscribe(Subscription(subscriber=f"s{i}", topic_pattern=f"topic{i}.*"))
+            for i in range(30)
+        }
+        assert len(owners) > 3  # topics spread over several peers
+
+    def test_state_sharded_below_total(self):
+        p2p = self.build(n_peers=8)
+        for i in range(200):
+            p2p.subscribe(
+                Subscription(subscriber=f"s{i}", topic_pattern=f"t{i % 40}.*")
+            )
+        assert p2p.total_subscriptions() == 200
+        assert p2p.max_peer_state() < 200  # no peer holds everything
+
+    def test_routing_hops_logarithmic(self):
+        p2p = self.build(n_peers=64)
+        for i in range(100):
+            p2p.publish(
+                Publication(topic=f"t{i}.event", payload={}),
+                from_peer="peer-0",
+            )
+        assert p2p.mean_hops() <= 8  # ~log2(64) + slack
+
+    def test_wildcard_and_exact_land_together(self):
+        p2p = self.build()
+        got = []
+        p2p.subscribe(
+            Subscription(subscriber="w", topic_pattern="game.*", callback=got.append)
+        )
+        p2p.publish(Publication(topic="game.move", payload={}))
+        assert len(got) == 1
+
+    def test_peer_join_rehomes_correctly(self):
+        p2p = self.build(n_peers=4)
+        got = []
+        p2p.subscribe(
+            Subscription(subscriber="s", topic_pattern="shop.*", callback=got.append)
+        )
+        p2p.add_peer("late-joiner")
+        p2p.publish(Publication(topic="shop.sale", payload={}))
+        assert len(got) == 1  # still deliverable after the ring changed
+
+    def test_duplicate_peer_rejected(self):
+        p2p = self.build()
+        with pytest.raises(ConfigurationError):
+            p2p.add_peer("peer-0")
+
+    def test_empty_peers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            P2PPubSub([])
+
+
+class TestServerlessTriggers:
+    def build(self):
+        broker = Broker()
+        runtime = ServerlessRuntime(keep_alive_s=60.0)
+        runtime.register(
+            FunctionSpec("thumbnail", exec_time_s=0.1, memory_mb=128, cold_start_s=0.5)
+        )
+        binder = TriggerBinder(broker, runtime)
+        return broker, runtime, binder
+
+    def test_matching_publication_invokes_function(self):
+        broker, runtime, binder = self.build()
+        binder.bind(TriggerBinding(function="thumbnail", topic_pattern="media.*"))
+        broker.publish(Publication(topic="media.uploaded", payload={}, timestamp=1.0))
+        firings = binder.firings_of("thumbnail")
+        assert len(firings) == 1
+        assert firings[0].invocation is not None
+        assert firings[0].invocation.cold_start
+
+    def test_non_matching_publication_ignored(self):
+        broker, _, binder = self.build()
+        binder.bind(TriggerBinding(function="thumbnail", topic_pattern="media.*"))
+        broker.publish(Publication(topic="chat.message", payload={}))
+        assert binder.firings == []
+
+    def test_predicate_gates_trigger(self):
+        broker, _, binder = self.build()
+        binder.bind(
+            TriggerBinding(
+                function="thumbnail",
+                topic_pattern="media.*",
+                predicates=(AttributePredicate("size_mb", ">", 10),),
+            )
+        )
+        broker.publish(Publication(topic="media.uploaded", payload={"size_mb": 5}))
+        broker.publish(Publication(topic="media.uploaded", payload={"size_mb": 50}))
+        assert len(binder.firings) == 1
+
+    def test_warm_path_after_first_firing(self):
+        broker, runtime, binder = self.build()
+        binder.bind(TriggerBinding(function="thumbnail", topic_pattern="media.*"))
+        broker.publish(Publication(topic="media.uploaded", payload={}, timestamp=0.0))
+        broker.publish(Publication(topic="media.uploaded", payload={}, timestamp=5.0))
+        latencies = binder.end_to_end_latencies("thumbnail")
+        assert latencies[0] == pytest.approx(0.6)   # cold
+        assert latencies[1] == pytest.approx(0.1)   # warm
+
+    def test_unregistered_function_rejected(self):
+        _, _, binder = self.build()
+        with pytest.raises(ConfigurationError):
+            binder.bind(TriggerBinding(function="ghost", topic_pattern="*"))
+
+
+class TestMovingKnn:
+    def build(self, strategy, n=100, seed=0):
+        rng = random.Random(seed)
+        engine = ContinuousQueryEngine(strategy=strategy)
+        for i in range(n):
+            engine.add_object(
+                MovingObject(
+                    f"o{i}",
+                    Point(rng.uniform(0, 1000), rng.uniform(0, 1000)),
+                    Velocity(rng.uniform(-2, 2), rng.uniform(-2, 2)),
+                )
+            )
+        return engine
+
+    def test_knn_tracks_moving_anchor(self):
+        engine = self.build(RescanStrategy())
+        engine.add_knn_query(
+            MovingKnnQuery("knn", Point(0, 500), Velocity(100, 0), k=5)
+        )
+        first = engine.tick(1.0)["knn"].ranked
+        later = engine.tick(8.0)["knn"].ranked
+        assert len(first) == len(later) == 5
+        assert first != later  # moving anchor changes the neighbour set
+
+    def test_grid_and_rescan_agree(self):
+        rescan = self.build(RescanStrategy(), seed=2)
+        grid = self.build(GridStrategy(cell_size=100), seed=2)
+        for engine in (rescan, grid):
+            engine.add_knn_query(
+                MovingKnnQuery("knn", Point(500, 500), Velocity(1, 1), k=7)
+            )
+        for _ in range(5):
+            a = rescan.tick(1.0)["knn"].ranked
+            b = grid.tick(1.0)["knn"].ranked
+            assert a == b
+
+    def test_mixed_range_and_knn_queries(self):
+        engine = self.build(GridStrategy(cell_size=100))
+        engine.add_query(
+            MovingRangeQuery("range", Point(500, 500), Velocity(0, 0), half_extent=100)
+        )
+        engine.add_knn_query(
+            MovingKnnQuery("knn", Point(500, 500), Velocity(0, 0), k=3)
+        )
+        results = engine.tick(1.0)
+        assert set(results) == {"range", "knn"}
+        # The 3 nearest neighbours must lie inside any range that covers them.
+        assert len(results["knn"].ranked) == 3
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            MovingKnnQuery("q", Point(0, 0), Velocity(0, 0), k=0)
+
+    def test_bx_strategy_rejects_knn(self):
+        from repro.query import BxStrategy
+        from repro.spatial import BBox
+
+        engine = ContinuousQueryEngine(
+            strategy=BxStrategy(BBox(0, 0, 1000, 1000), max_speed=10)
+        )
+        with pytest.raises(ConfigurationError):
+            engine.add_knn_query(MovingKnnQuery("q", Point(0, 0), Velocity(0, 0), k=1))

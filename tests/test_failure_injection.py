@@ -1,0 +1,155 @@
+"""Failure injection: crashes, corruption, partitions, byzantine silence.
+
+Property-style adversarial tests over the durability and agreement
+invariants the platform promises.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EventScheduler
+from repro.ledger import Auditor, LedgerDB, PbftQuorum
+from repro.net import Link, SimulatedNetwork
+from repro.storage import KVStore, WriteAheadLog
+from repro.txn import Coordinator, DistributedTxn, Participant
+
+
+class TestWalCrashRecovery:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_writes=st.integers(1, 40),
+        torn_bytes=st.integers(0, 200),
+    )
+    def test_recovery_yields_a_prefix(self, n_writes, torn_bytes):
+        """After any tail corruption, recovery returns a *prefix* of the
+        committed history — never reordered, never fabricated."""
+        wal = WriteAheadLog()
+        kv = KVStore(wal=wal)
+        for i in range(n_writes):
+            kv.put(f"k{i:03d}", i)
+        wal.corrupt_tail(torn_bytes)
+        recovered = KVStore(wal=wal)
+        applied = recovered.recover()
+        assert applied <= n_writes
+        for i in range(applied):
+            assert recovered.get(f"k{i:03d}") == i
+        for i in range(applied, n_writes):
+            assert f"k{i:03d}" not in recovered
+
+    def test_double_recovery_is_idempotent(self):
+        wal = WriteAheadLog()
+        kv = KVStore(wal=wal)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        r1 = KVStore(wal=wal)
+        r1.recover()
+        r2 = KVStore(wal=wal)
+        r2.recover()
+        assert dict(r1.scan("", "z")) == dict(r2.scan("", "z"))
+
+
+class TestTwoPcAtomicity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_participants=st.integers(2, 6),
+        crashed_mask=st.integers(0, 63),
+        refusing_mask=st.integers(0, 63),
+    )
+    def test_no_partial_commit_ever(self, n_participants, crashed_mask, refusing_mask):
+        """Whatever combination of crashed and refusing participants,
+        either every reachable participant applies the writes or none does."""
+        scheduler = EventScheduler()
+        network = SimulatedNetwork(
+            scheduler, default_link=Link(latency_s=0.01, bandwidth_bps=1e12)
+        )
+        coordinator = Coordinator(network)
+        participants = {}
+        for i in range(n_participants):
+            participant = Participant(network, f"p{i}")
+            participant.crashed = bool(crashed_mask & (1 << i))
+            participant.fail_prepares = bool(refusing_mask & (1 << i))
+            participants[f"p{i}"] = participant
+        txn = DistributedTxn(
+            {name: {"k": 1} for name in participants}
+        )
+        outcome = coordinator.execute(txn)
+        applied = {name: p.data != {} for name, p in participants.items()}
+        if outcome.committed:
+            assert all(applied.values())
+        else:
+            # No live participant may have applied.
+            for name, participant in participants.items():
+                if not participant.crashed:
+                    assert not applied[name], f"{name} applied after abort"
+
+    def test_staged_state_cleared_after_abort(self):
+        scheduler = EventScheduler()
+        network = SimulatedNetwork(scheduler)
+        coordinator = Coordinator(network)
+        good = Participant(network, "good")
+        bad = Participant(network, "bad")
+        bad.fail_prepares = True
+        coordinator.execute(DistributedTxn({"good": {"k": 1}, "bad": {"k": 1}}))
+        assert good.staged_count == 0
+        assert bad.staged_count == 0
+
+
+class TestLedgerTamperDetection:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_entries=st.integers(4, 40),
+        tamper_index=st.integers(0, 39),
+    )
+    def test_any_single_leaf_rewrite_is_caught(self, n_entries, tamper_index):
+        ledger = LedgerDB(block_size=4)
+        auditor = Auditor(ledger)
+        for i in range(n_entries):
+            ledger.put(f"k{i}", i)
+        auditor.checkpoint()
+        from repro.ledger.merkle import _leaf_hash
+
+        index = tamper_index % n_entries
+        ledger.tree._leaf_hashes[index] = _leaf_hash(b"EVIL")
+        ledger.put("one-more", 0)  # attacker keeps appending to look alive
+        assert not auditor.checkpoint()
+
+
+class TestPbftFaultSweep:
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_commit_iff_at_most_f_silent(self, f):
+        for silenced in range(0, f + 2):
+            scheduler = EventScheduler()
+            network = SimulatedNetwork(
+                scheduler, default_link=Link(latency_s=0.01, bandwidth_bps=1e12)
+            )
+            quorum = PbftQuorum(network, f=f)
+            quorum.silence(silenced)
+            outcome = quorum.propose(seq=1)
+            assert outcome.committed is (silenced <= f), (
+                f"f={f}, silenced={silenced}"
+            )
+
+
+class TestLossyDissemination:
+    def test_lossy_network_delivery_fraction(self):
+        """Message loss degrades delivery proportionally, never crashes."""
+        random_loss = 0.3
+        scheduler = EventScheduler()
+        network = SimulatedNetwork(
+            scheduler,
+            default_link=Link(latency_s=0.001, bandwidth_bps=1e12,
+                              loss_rate=random_loss),
+            seed=5,
+        )
+        network.add_node("src")
+        sink = network.add_node("sink")
+        received = []
+        sink.on("*", lambda m: received.append(m))
+        for i in range(500):
+            network.send("src", "sink", "update", {"i": i}, size_bytes=64)
+        scheduler.run_all()
+        fraction = len(received) / 500
+        assert 0.55 < fraction < 0.85  # ~1 - loss_rate

@@ -1,0 +1,233 @@
+"""Tests for truth fusion, entity resolution, and event inference."""
+
+import pytest
+
+from repro.core import ConfigurationError, EventBus, FusionError
+from repro.fusion import (
+    EntityResolver,
+    EventInferencer,
+    Observation,
+    ShelfAssignment,
+    SourceRecord,
+    TruthFusion,
+    accuracy_against_truth,
+    edit_distance,
+    edit_similarity,
+    jaccard,
+    majority_vote,
+    name_similarity,
+    single_source,
+    tokens,
+)
+
+
+def obs(entity, value, source, confidence=1.0, attribute="location", t=0.0):
+    return Observation(entity, attribute, value, source, t, confidence)
+
+
+class TestTruthFusion:
+    def test_unanimous_claim_wins(self):
+        fusion = TruthFusion()
+        fused = fusion.fuse_one(
+            [obs("b1", "A", "rfid"), obs("b1", "A", "video")]
+        )
+        assert fused.value == "A"
+        assert fused.contributors == 2
+
+    def test_trusted_majority_beats_minority(self):
+        fusion = TruthFusion()
+        observations = [
+            obs("b1", "A", "rfid"),
+            obs("b1", "A", "video"),
+            obs("b1", "B", "web"),
+        ]
+        assert fusion.fuse_one(observations).value == "A"
+
+    def test_systematically_wrong_source_discounted(self):
+        """The EM loop learns low trust for a source that always disagrees."""
+        fusion = TruthFusion(iterations=6)
+        observations = []
+        for i in range(20):
+            observations.append(obs(f"e{i}", "good", "honest-1"))
+            observations.append(obs(f"e{i}", "good", "honest-2"))
+            observations.append(obs(f"e{i}", "bad", "liar"))
+        fusion.fuse(observations)
+        assert fusion.source_trust["liar"] < 0.2
+        assert fusion.source_trust["honest-1"] > 0.8
+
+    def test_numeric_fusion_weighted_mean(self):
+        fusion = TruthFusion(numeric_tolerance=2.0)
+        fused = fusion.fuse_one(
+            [
+                obs("b1", 10.0, "s1", attribute="rating"),
+                obs("b1", 12.0, "s2", attribute="rating"),
+            ]
+        )
+        assert 10.0 <= fused.value <= 12.0
+
+    def test_confidence_weights_votes(self):
+        fusion = TruthFusion(iterations=1)
+        observations = [
+            obs("b1", "A", "s1", confidence=0.9),
+            obs("b1", "B", "s2", confidence=0.1),
+        ]
+        assert fusion.fuse_one(observations).value == "A"
+
+    def test_fuse_one_rejects_mixed_groups(self):
+        fusion = TruthFusion()
+        with pytest.raises(FusionError):
+            fusion.fuse_one([obs("a", "x", "s"), obs("b", "y", "s")])
+
+    def test_empty_fuse(self):
+        assert TruthFusion().fuse([]) == {}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TruthFusion(iterations=0)
+
+
+class TestBaselines:
+    def test_majority_vote_categorical(self):
+        observations = [obs("e", "A", "s1"), obs("e", "A", "s2"), obs("e", "B", "s3")]
+        assert majority_vote(observations)[("e", "location")] == "A"
+
+    def test_majority_vote_numeric_mean(self):
+        observations = [
+            obs("e", 1.0, "s1", attribute="x"),
+            obs("e", 3.0, "s2", attribute="x"),
+        ]
+        assert majority_vote(observations)[("e", "x")] == 2.0
+
+    def test_single_source_takes_latest(self):
+        observations = [
+            obs("e", "old", "s1", t=1.0),
+            obs("e", "new", "s1", t=2.0),
+            obs("e", "other", "s2", t=3.0),
+        ]
+        assert single_source(observations, "s1")[("e", "location")] == "new"
+
+    def test_accuracy_metric(self):
+        fused = {("a", "location"): "A", ("b", "location"): "WRONG"}
+        truth = {"a": "A", "b": "B"}
+        assert accuracy_against_truth(fused, truth, "location") == 0.5
+        with pytest.raises(FusionError):
+            accuracy_against_truth(fused, {}, "location")
+
+    def test_fusion_beats_single_source(self):
+        """E13 headline shape: fusion >= best single source."""
+        import random
+
+        rng = random.Random(4)
+        truth = {f"b{i}": rng.choice("ABC") for i in range(60)}
+        observations = []
+        for entity, zone in truth.items():
+            for source, accuracy_rate in [("rfid", 0.8), ("video", 0.7), ("web", 0.6)]:
+                reported = zone if rng.random() < accuracy_rate else rng.choice("ABC")
+                observations.append(obs(entity, reported, source))
+        fusion = TruthFusion(iterations=5)
+        fused = fusion.fuse(observations)
+        fused_acc = accuracy_against_truth(fused, truth, "location")
+        best_single = max(
+            accuracy_against_truth(single_source(observations, s), truth, "location")
+            for s in ("rfid", "video", "web")
+        )
+        assert fused_acc >= best_single
+
+
+class TestSimilarity:
+    def test_tokens(self):
+        assert tokens("The C Programming Language!") == {"the", "c", "programming", "language"}
+
+    def test_jaccard(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+        assert jaccard(set(), set()) == 1.0
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_edit_distance(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("same", "same") == 0
+
+    def test_edit_similarity(self):
+        assert edit_similarity("abc", "abc") == 1.0
+        assert edit_similarity("abc", "abd") == pytest.approx(2 / 3)
+
+    def test_name_similarity_blend(self):
+        high = name_similarity("C Programming Language", "The C Programming Language")
+        low = name_similarity("C Programming Language", "Cooking for Beginners")
+        assert high > 0.6 > low
+
+
+class TestEntityResolver:
+    def records(self):
+        return [
+            SourceRecord("r1", "catalog", "The C Programming Language", (("isbn", "111"),)),
+            SourceRecord("r2", "web", "C Programming Language (2nd ed)", (("rating", 4.8),)),
+            SourceRecord("r3", "catalog", "Introduction to Algorithms", ()),
+            SourceRecord("r4", "web", "Intro to Algorithms", (("rating", 4.9),)),
+            SourceRecord("r5", "catalog", "Moby Dick", ()),
+        ]
+
+    def test_clusters_same_entity(self):
+        clusters = EntityResolver(threshold=0.45).resolve(self.records())
+        by_member = {r.record_id: frozenset(x.record_id for x in c) for c in clusters for r in c}
+        assert by_member["r1"] == by_member["r2"]
+        assert by_member["r3"] == by_member["r4"]
+        assert by_member["r5"] == frozenset({"r5"})
+
+    def test_blocking_reduces_comparisons(self):
+        # Names share no common token, so blocking keeps most pairs apart.
+        records = [
+            SourceRecord(f"x{i}", "s", f"{chr(97 + i % 26)}{i}word{i}", ())
+            for i in range(60)
+        ]
+        resolver = EntityResolver(threshold=0.9)
+        resolver.resolve(records)
+        assert resolver.pairs_compared < 60 * 59 / 2
+
+    def test_merged_attributes(self):
+        resolver = EntityResolver(threshold=0.45)
+        clusters = resolver.resolve(self.records())
+        c_cluster = next(c for c in clusters if any(r.record_id == "r1" for r in c))
+        merged = resolver.merged_attributes(c_cluster)
+        assert merged["isbn"] == "111"
+        assert merged["rating"] == 4.8
+
+    def test_duplicate_record_ids_rejected(self):
+        records = [SourceRecord("r1", "s", "a", ()), SourceRecord("r1", "s", "b", ())]
+        with pytest.raises(ConfigurationError):
+            EntityResolver().resolve(records)
+
+
+class TestEventInference:
+    def setup_inferencer(self):
+        bus = EventBus()
+        inferencer = EventInferencer(
+            bus, [ShelfAssignment("b1", "A"), ShelfAssignment("b2", "B")]
+        )
+        return bus, inferencer
+
+    def test_misplaced_detected_once(self):
+        bus, inferencer = self.setup_inferencer()
+        inferencer.observe_state({"b1": "A", "b2": "B"}, 0.0)
+        inferencer.observe_state({"b1": "C", "b2": "B"}, 1.0)
+        inferencer.observe_state({"b1": "C", "b2": "B"}, 2.0)  # same: no re-report
+        misplaced = bus.events_on("library.misplaced")
+        assert len(misplaced) == 1
+        assert misplaced[0].attributes["entity"] == "b1"
+        assert misplaced[0].attributes["zone"] == "C"
+
+    def test_taken_detected(self):
+        bus, inferencer = self.setup_inferencer()
+        inferencer.observe_state({"b1": "A", "b2": "B"}, 0.0)
+        inferencer.observe_state({"b1": None, "b2": "B"}, 1.0)
+        taken = bus.events_on("library.taken")
+        assert len(taken) == 1
+        assert taken[0].attributes["last_zone"] == "A"
+
+    def test_returned_detected(self):
+        bus, inferencer = self.setup_inferencer()
+        inferencer.observe_state({"b1": "A", "b2": "B"}, 0.0)
+        inferencer.observe_state({"b1": None, "b2": "B"}, 1.0)
+        inferencer.observe_state({"b1": "A", "b2": "B"}, 2.0)
+        assert len(bus.events_on("library.returned")) == 1

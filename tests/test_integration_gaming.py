@@ -1,0 +1,110 @@
+"""Integration: location-based gaming across twin world, P2P pub/sub,
+moving queries, and historical replay."""
+
+import pytest
+
+from repro.net import P2PPubSub, Publication, Subscription
+from repro.query import (
+    ContinuousQueryEngine,
+    GridStrategy,
+    MovingKnnQuery,
+    MovingObject,
+)
+from repro.spatial import Point
+from repro.workloads import GameConfig, LocationBasedGame
+from repro.world import HistoryRecorder, MetaverseWorld
+
+
+def build_game(seed=17, ticks=0):
+    world = MetaverseWorld(position_epsilon=3.0)
+    game = LocationBasedGame(
+        world,
+        GameConfig(n_players=60, n_virtual_players=30, n_spawns=30,
+                   capture_radius=30.0),
+        seed=seed,
+    )
+    for _ in range(ticks):
+        game.tick(5.0)
+    return world, game
+
+
+class TestGameOverP2P:
+    def test_capture_events_fan_out_over_ring(self):
+        _, game = build_game()
+        fabric = P2PPubSub([f"b{i}" for i in range(4)])
+        feed = []
+        fabric.subscribe(
+            Subscription(subscriber="feed", topic_pattern="game.*",
+                         callback=feed.append)
+        )
+        captures = []
+        for _ in range(20):
+            captures.extend(game.tick(5.0))
+        for capture in captures:
+            fabric.publish(
+                Publication(topic="game.capture",
+                            payload={"player": capture.player_id},
+                            timestamp=capture.timestamp)
+            )
+        assert len(feed) == len(captures) > 0
+
+    def test_mirror_consistent_with_ground_truth(self):
+        world, game = build_game(ticks=10)
+        for player_id, entity in world.physical.entities.items():
+            assert world.staleness(player_id) <= 3.0
+
+
+class TestRadarOverGame:
+    def test_knn_radar_matches_brute_force_each_tick(self):
+        world, game = build_game()
+        radar = ContinuousQueryEngine(strategy=GridStrategy(cell_size=100))
+        for player_id, mover in game._movers.items():
+            radar.add_object(MovingObject(player_id, mover.position, mover.velocity))
+        hero = "player-0000"
+        radar.add_knn_query(
+            MovingKnnQuery("radar", game._movers[hero].position,
+                           game._movers[hero].velocity, k=4)
+        )
+        for _ in range(5):
+            game.tick(5.0)
+            for player_id, mover in game._movers.items():
+                obj = radar.objects[player_id]
+                obj.position = mover.position
+                radar.strategy.ingest(obj, radar.now)
+            anchor = game._movers[hero].position
+            radar.knn_queries["radar"].anchor = anchor
+            ranked = radar.tick(0.0)["radar"].ranked
+            brute = sorted(
+                game._movers,
+                key=lambda pid: game._movers[pid].position.distance_to(anchor),
+            )[:4]
+            assert list(ranked) == brute
+
+
+class TestReplayOfMatch:
+    def test_replay_reconstructs_past_and_rejects_future(self):
+        world, game = build_game()
+        recorder = HistoryRecorder(world, sample_interval=5.0)
+        recorder.capture()
+        for _ in range(12):
+            game.tick(5.0)
+            recorder.capture()
+        frame = recorder.replay_at(30.0)
+        assert len(frame.positions) == 60
+        from repro.core import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            recorder.replay_at(world.now + 100)
+
+    def test_compaction_preserves_replay_accuracy(self):
+        world, game = build_game()
+        recorder = HistoryRecorder(world, sample_interval=5.0)
+        recorder.capture()
+        for _ in range(12):
+            game.tick(5.0)
+            recorder.capture()
+        reference = recorder.replay_at(30.0).positions
+        recorder.compact(tolerance=2.0)
+        compacted = recorder.replay_at(30.0).positions
+        for player_id, position in reference.items():
+            assert compacted[player_id].distance_to(position) < 10.0

@@ -1,0 +1,117 @@
+"""Integration: military exercise across twin sync, fusion, and continuous
+queries.
+
+The ground truth drives GPS-noised observations; an outlier filter cleans
+them; the command center tracks units through the coherency-bounded mirror
+and runs a moving range query ("all units near the advancing recon team");
+a virtual air-raid's consequences propagate and the mirror reflects them.
+"""
+
+import pytest
+
+from repro.fusion import Observation, OutlierFilter
+from repro.query import (
+    ContinuousQueryEngine,
+    GridStrategy,
+    MovingObject,
+    MovingRangeQuery,
+)
+from repro.spatial import BBox, Point, Velocity
+from repro.workloads import MilitaryConfig, MilitaryExercise
+from repro.world import MetaverseWorld
+
+AREA = BBox(0, 0, 2000, 2000)
+
+
+def build(seed=3, n_units=50, epsilon=10.0):
+    world = MetaverseWorld(position_epsilon=epsilon)
+    exercise = MilitaryExercise(
+        world, MilitaryConfig(physical_area=AREA, n_units=n_units), seed=seed
+    )
+    return world, exercise
+
+
+class TestCommandPicture:
+    def test_mirror_tracks_all_units_within_bound(self):
+        world, exercise = build()
+        for _ in range(60):
+            exercise.tick(1.0)
+        for unit_id in world.physical.entities:
+            assert world.staleness(unit_id) <= 10.0
+
+    def test_sensed_stream_cleaning_rejects_glitches(self):
+        world, exercise = build(n_units=10)
+        exercise.tick(1.0)
+        outliers = OutlierFilter(window=10, z_max=4.0)
+        unit_id = next(iter(world.physical.entities))
+        accepted = 0
+        for t in range(30):
+            exercise.tick(1.0)
+            position = exercise.noisy_position(unit_id)
+            observation = Observation(unit_id, "x", position.x, "gps", float(t))
+            accepted += outliers.accept(observation)
+        # Inject a glitch far outside the noise envelope.
+        glitch = Observation(unit_id, "x", 1e7, "gps", 99.0)
+        assert not outliers.accept(glitch)
+        assert accepted >= 28  # honest readings pass
+
+    def test_moving_query_over_mirrored_units(self):
+        """Track mirrored units around a moving recon anchor."""
+        world, exercise = build(n_units=40, epsilon=5.0)
+        exercise.tick(1.0)
+        engine = ContinuousQueryEngine(strategy=GridStrategy(cell_size=100))
+        for entity_id, mirrored in world.virtual.mirror.items():
+            engine.add_object(
+                MovingObject(entity_id, mirrored.position, Velocity(0, 0))
+            )
+        engine.add_query(
+            MovingRangeQuery("recon", Point(200, 1000), Velocity(50, 0),
+                             half_extent=300)
+        )
+        coverage = set()
+        for _ in range(30):
+            results = engine.tick(1.0)
+            coverage |= results["recon"].matches
+        # The sweeping query should encounter a good share of the force.
+        assert len(coverage) >= 10
+
+
+class TestConsequences:
+    def test_airstrike_consequences_reach_mirror(self):
+        world, exercise = build(n_units=30)
+        exercise.tick(1.0)
+        before = exercise.active_units()
+        exercise.order_airstrike(BBox(0, 0, 2000, 1000))  # south half
+        after = exercise.active_units()
+        assert after < before
+        # Down units freeze: their mirror stops changing, survivors keep moving.
+        down = [
+            uid for uid, e in world.physical.entities.items()
+            if e.attributes["status"] == "down"
+        ]
+        frozen_positions = {
+            uid: world.physical.entities[uid].position for uid in down
+        }
+        for _ in range(20):
+            exercise.tick(1.0)
+        for uid in down:
+            assert world.physical.entities[uid].position == frozen_positions[uid]
+            assert world.staleness(uid) <= 10.0
+
+    def test_event_bus_audit_trail(self):
+        world, exercise = build(n_units=10)
+        exercise.tick(1.0)
+        exercise.order_airstrike(BBox(0, 0, 2000, 2000))
+        strikes = world.bus.events_on("command.airstrike")
+        perishes = world.bus.events_on("ground.perish")
+        assert len(strikes) == 1
+        assert len(perishes) == 10
+        assert {e.attributes["unit"] for e in perishes} == exercise.casualties
+
+    @pytest.mark.parametrize("epsilon,expected_fewer", [(25.0, True)])
+    def test_looser_bound_less_sync_traffic(self, epsilon, expected_fewer):
+        _, tight_exercise = build(epsilon=5.0, seed=4)
+        _, loose_exercise = build(epsilon=epsilon, seed=4)
+        tight_updates = sum(tight_exercise.tick(1.0) for _ in range(60))
+        loose_updates = sum(loose_exercise.tick(1.0) for _ in range(60))
+        assert (loose_updates < tight_updates) is expected_fewer

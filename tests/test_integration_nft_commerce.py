@@ -1,0 +1,107 @@
+"""Integration: virtual-goods commerce with on-chain settlement.
+
+The paper's gaming/social scenario (Sec. II): users "trade user-created
+contents and virtual valuables, including non-fungible tokens (NFT)".
+Limited-edition items sell through the platform's MVCC inventory; each
+successful sale mints an NFT on the blockchain; resales transfer ownership;
+the chain audit proves the whole history.
+"""
+
+import pytest
+
+from repro.core import LedgerError, Space
+from repro.ledger import Blockchain
+from repro.platform import MetaversePlatform
+from repro.workloads import FlashSaleConfig, MarketplaceWorkload, PurchaseRequest
+
+
+EDITION_SIZE = 5
+PRICE = 10.0
+
+
+def run_drop(n_buyers=20, seed=5):
+    """A limited NFT 'drop': EDITION_SIZE units of one virtual item."""
+    platform = MetaversePlatform(n_executors=2)
+    workload = MarketplaceWorkload(
+        FlashSaleConfig(n_products=1, initial_stock=EDITION_SIZE)
+    )
+    platform.load_catalog(workload.catalog_records())
+    chain = Blockchain(block_size=4)
+    issuance = {}
+    for i in range(n_buyers):
+        chain.faucet(f"buyer-{i}", 100.0)
+        issuance[f"buyer-{i}"] = 100.0
+    chain.faucet("mint-house", 0.0001)
+    issuance["mint-house"] = 0.0001
+
+    requests = [
+        PurchaseRequest(
+            shopper_id=f"buyer-{i}",
+            product_id=workload.product_id(0),
+            space=Space.VIRTUAL,
+            timestamp=float(i),
+        )
+        for i in range(n_buyers)
+    ]
+    outcomes = platform.process_purchases(requests)
+    minted = []
+    for outcome in outcomes:
+        if not outcome.success:
+            continue
+        buyer = outcome.request.shopper_id
+        chain.submit_transfer(buyer, "mint-house", PRICE)
+        token = f"edition-{len(minted)}"
+        chain.submit_nft(None, buyer, token)
+        minted.append((token, buyer))
+    chain.seal_block()
+    return platform, chain, issuance, outcomes, minted, workload
+
+
+class TestNftDrop:
+    def test_edition_size_enforced_end_to_end(self):
+        platform, chain, _, outcomes, minted, workload = run_drop()
+        assert sum(o.success for o in outcomes) == EDITION_SIZE
+        assert len(minted) == EDITION_SIZE
+        assert platform.stock_of(workload.product_id(0)) == 0
+        # Exactly EDITION_SIZE distinct tokens exist on-chain.
+        owners = {chain.owner_of(f"edition-{i}") for i in range(EDITION_SIZE)}
+        assert len(owners) == EDITION_SIZE  # early buyers, all distinct
+
+    def test_payments_settled(self):
+        _, chain, _, _, minted, _ = run_drop()
+        assert chain.balance("mint-house") == pytest.approx(
+            0.0001 + EDITION_SIZE * PRICE
+        )
+        for _, buyer in minted:
+            assert chain.balance(buyer) == pytest.approx(100.0 - PRICE)
+
+    def test_resale_transfers_ownership_with_provenance(self):
+        _, chain, issuance, _, minted, _ = run_drop()
+        token, first_owner = minted[0]
+        chain.faucet("collector", 500.0)
+        issuance["collector"] = 500.0
+        chain.submit_transfer("collector", first_owner, 50.0)
+        chain.submit_nft(first_owner, "collector", token)
+        chain.seal_block()
+        assert chain.owner_of(token) == "collector"
+        history = [t.recipient for t in chain.provenance(token)]
+        assert history == [first_owner, "collector"]
+        assert chain.validate_chain(issuance)
+
+    def test_non_owner_cannot_flip_someone_elses_token(self):
+        _, chain, _, _, minted, _ = run_drop()
+        token, owner = minted[0]
+        with pytest.raises(LedgerError):
+            chain.submit_nft("buyer-19", "fence", token)
+        assert chain.owner_of(token) == owner
+
+    def test_full_audit_replays_clean(self):
+        _, chain, issuance, _, _, _ = run_drop()
+        assert chain.validate_chain(issuance)
+
+    def test_losers_keep_their_money(self):
+        _, chain, _, outcomes, _, _ = run_drop()
+        losers = [o.request.shopper_id for o in outcomes if not o.success]
+        assert losers
+        for loser in losers:
+            assert chain.balance(loser) == 100.0

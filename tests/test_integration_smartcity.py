@@ -1,0 +1,112 @@
+"""Integration: smart-city pipeline from sensors to DP-published analytics.
+
+Sensor grid -> device gateway (aggregation) -> platform storage + pub/sub
+-> windowed stream analytics -> DP query; plus the healthcare monitoring
+loop (vitals stream -> anomaly rule -> event bus alarm).
+"""
+
+import pytest
+
+from repro.core import Event, EventBus, PrivacyBudgetExceeded, Rule, Space
+from repro.net import AttributePredicate, Subscription
+from repro.platform import DeviceGateway, MetaversePlatform
+from repro.privacy import DpQueryEngine, PrivacyAccountant
+from repro.query import TumblingWindow
+from repro.workloads import (
+    AnomalyEpisode,
+    CityConfig,
+    SensorGrid,
+    VitalsStream,
+    is_anomalous,
+)
+
+
+class TestCityPipeline:
+    def build(self):
+        grid = SensorGrid(CityConfig(grid_side=8, reading_interval_s=10.0), seed=2)
+        platform = MetaversePlatform()
+        gateway = DeviceGateway(aggregate=True, group_fn=grid.district_of)
+        platform.register_gateway("edge", gateway)
+        return grid, platform, gateway
+
+    def test_aggregates_land_in_storage_and_broker(self):
+        grid, platform, gateway = self.build()
+        alerts = []
+        platform.broker.subscribe(
+            Subscription(
+                subscriber="ops",
+                topic_pattern="ingest.*",
+                predicates=(AttributePredicate("traffic", ">", 0.0),),
+                callback=alerts.append,
+            )
+        )
+        gateway.ingest_many(grid.readings_at(18 * 3600.0))
+        n_records, uplink = platform.flush_gateways()
+        assert n_records == len(alerts)
+        assert n_records <= 16  # at most 4x4 districts
+        # Every district aggregate is readable through the buffer pool.
+        for alert in alerts:
+            stored = platform.read(alert.payload["key"])
+            assert stored["payload"]["traffic"] == pytest.approx(
+                alert.payload["traffic"]
+            )
+
+    def test_windowed_analytics_match_raw_average(self):
+        grid, _, _ = self.build()
+        sample = grid.stream(60.0)
+        window = TumblingWindow(size=1e9, field="traffic", agg="avg")
+        for record in sample:
+            window.add(record)
+        results = {r.key: r.value for r in window.flush()}
+        key = grid.sensor_id(4, 4)
+        raw = [r.payload["traffic"] for r in sample if r.key == key]
+        assert results[key] == pytest.approx(sum(raw) / len(raw))
+
+    def test_dp_budget_is_finite_across_portal_queries(self):
+        grid, _, _ = self.build()
+        values = [r.payload["traffic"] for r in grid.readings_at(0.0)]
+        engine = DpQueryEngine(PrivacyAccountant(total_epsilon=1.0), seed=3)
+        engine.mean("portal", values, bound=300.0, epsilon=0.5)
+        engine.count("portal", values, epsilon=0.5)
+        with pytest.raises(PrivacyBudgetExceeded):
+            engine.count("portal", values, epsilon=0.5)
+
+
+class TestHealthcareMonitoring:
+    def test_anomaly_raises_cross_space_alarm(self):
+        """Vitals anomaly -> monitoring rule -> virtual-space clinician alert."""
+        bus = EventBus()
+        bus.add_rule(
+            Rule(
+                name="notify-clinician",
+                topic_pattern="vitals.anomaly",
+                space=Space.PHYSICAL,
+                action=lambda e: [
+                    Event("clinic.alert", Space.VIRTUAL, e.timestamp,
+                          {"patient": e.attributes["patient"]})
+                ],
+            )
+        )
+        stream = VitalsStream(
+            n_patients=5,
+            episodes=[AnomalyEpisode(3, start=10.0, end=20.0, kind="tachycardia")],
+            seed=4,
+        )
+        alerted_patients = set()
+        for t in range(30):
+            for record in stream.readings_at(float(t)):
+                if is_anomalous(record):
+                    cascade = bus.publish(
+                        Event("vitals.anomaly", Space.PHYSICAL, float(t),
+                              {"patient": record.key})
+                    )
+                    for event in cascade:
+                        if event.topic == "clinic.alert":
+                            alerted_patients.add(event.attributes["patient"])
+        assert alerted_patients == {"patient-003"}
+        assert len(bus.events_on("clinic.alert")) >= 1
+
+    def test_healthy_cohort_never_alarms(self):
+        stream = VitalsStream(n_patients=10, seed=5)
+        records = stream.stream(60.0)
+        assert not any(is_anomalous(r) for r in records)

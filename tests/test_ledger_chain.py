@@ -1,0 +1,130 @@
+"""Tests for the metaverse asset blockchain."""
+
+import pytest
+
+from repro.core import LedgerError
+from repro.ledger import Blockchain
+
+
+def funded_chain(block_size=4):
+    chain = Blockchain(block_size=block_size)
+    chain.faucet("alice", 100.0)
+    chain.faucet("bob", 50.0)
+    return chain
+
+
+class TestTransfers:
+    def test_transfer_moves_balance(self):
+        chain = funded_chain()
+        chain.submit_transfer("alice", "bob", 30.0)
+        assert chain.balance("alice") == 70.0
+        assert chain.balance("bob") == 80.0
+
+    def test_overspend_rejected(self):
+        chain = funded_chain()
+        with pytest.raises(LedgerError, match="insufficient"):
+            chain.submit_transfer("alice", "bob", 1000.0)
+        assert chain.balance("alice") == 100.0
+        assert len(chain.rejected) == 1
+
+    def test_non_positive_amount_rejected(self):
+        chain = funded_chain()
+        with pytest.raises(LedgerError):
+            chain.submit_transfer("alice", "bob", 0.0)
+
+    def test_unknown_sender_has_zero_balance(self):
+        chain = funded_chain()
+        with pytest.raises(LedgerError):
+            chain.submit_transfer("mallory", "bob", 1.0)
+
+    def test_faucet_validation(self):
+        with pytest.raises(LedgerError):
+            Blockchain().faucet("a", -1)
+
+
+class TestNfts:
+    def test_mint_and_transfer(self):
+        chain = funded_chain()
+        chain.submit_nft(None, "alice", "dragon-001")
+        assert chain.owner_of("dragon-001") == "alice"
+        chain.submit_nft("alice", "bob", "dragon-001")
+        assert chain.owner_of("dragon-001") == "bob"
+
+    def test_double_mint_rejected(self):
+        chain = funded_chain()
+        chain.submit_nft(None, "alice", "dragon-001")
+        with pytest.raises(LedgerError, match="already minted"):
+            chain.submit_nft(None, "bob", "dragon-001")
+
+    def test_transfer_by_non_owner_rejected(self):
+        chain = funded_chain()
+        chain.submit_nft(None, "alice", "dragon-001")
+        with pytest.raises(LedgerError, match="does not own"):
+            chain.submit_nft("bob", "mallory", "dragon-001")
+        assert chain.owner_of("dragon-001") == "alice"
+
+    def test_provenance_history(self):
+        chain = funded_chain(block_size=2)
+        chain.submit_nft(None, "alice", "sword-7")
+        chain.submit_nft("alice", "bob", "sword-7")
+        chain.submit_nft("bob", "carol", "sword-7")
+        owners = [txn.recipient for txn in chain.provenance("sword-7")]
+        assert owners == ["alice", "bob", "carol"]
+
+
+class TestBlocksAndAudit:
+    def test_blocks_seal_and_chain(self):
+        chain = funded_chain(block_size=2)
+        for i in range(6):
+            chain.submit_transfer("alice", "bob", 1.0)
+        assert len(chain.blocks) == 3
+        for prev_block, block in zip(chain.blocks, chain.blocks[1:]):
+            assert block.prev_hash == prev_block.block_hash()
+
+    def test_validate_chain_honest(self):
+        chain = funded_chain(block_size=2)
+        chain.submit_nft(None, "alice", "t1")
+        for _ in range(4):
+            chain.submit_transfer("alice", "bob", 5.0)
+        chain.seal_block()
+        assert chain.validate_chain({"alice": 100.0, "bob": 50.0})
+
+    def test_validate_detects_forged_transaction(self):
+        """An injected illegal transaction fails the audit replay."""
+        from dataclasses import replace
+
+        chain = funded_chain(block_size=2)
+        chain.submit_transfer("alice", "bob", 5.0)
+        chain.submit_transfer("alice", "bob", 5.0)
+        block = chain.blocks[0]
+        forged_txns = (
+            block.txns[0],
+            replace(block.txns[1], amount=1_000_000.0),
+        )
+        chain.blocks[0] = replace(
+            block,
+            txns=forged_txns,
+            txn_root=type(block).compute_txn_root(forged_txns),
+        )
+        assert not chain.validate_chain({"alice": 100.0, "bob": 50.0})
+
+    def test_validate_detects_tampered_root(self):
+        from dataclasses import replace
+
+        chain = funded_chain(block_size=1)
+        chain.submit_transfer("alice", "bob", 5.0)
+        chain.blocks[0] = replace(chain.blocks[0], txn_root="f" * 64)
+        assert not chain.validate_chain({"alice": 100.0, "bob": 50.0})
+
+    def test_validate_detects_broken_link(self):
+        from dataclasses import replace
+
+        chain = funded_chain(block_size=1)
+        chain.submit_transfer("alice", "bob", 1.0)
+        chain.submit_transfer("alice", "bob", 1.0)
+        chain.blocks[1] = replace(chain.blocks[1], prev_hash="0" * 64)
+        assert not chain.validate_chain({"alice": 100.0, "bob": 50.0})
+
+    def test_block_size_validated(self):
+        with pytest.raises(LedgerError):
+            Blockchain(block_size=0)

@@ -1,0 +1,192 @@
+"""Tests for the verifiable ledger DB, auditor, and consensus cost models."""
+
+import pytest
+
+from repro.core import EventScheduler, LedgerError
+from repro.ledger import Auditor, LedgerDB, PbftQuorum, PrimaryBackup
+from repro.net import Link, SimulatedNetwork
+
+
+class TestLedgerDB:
+    def test_put_get(self):
+        ledger = LedgerDB()
+        ledger.put("nft-1", {"owner": "alice"})
+        assert ledger.get("nft-1") == {"owner": "alice"}
+
+    def test_delete(self):
+        ledger = LedgerDB()
+        ledger.put("k", 1)
+        ledger.delete("k")
+        with pytest.raises(LedgerError):
+            ledger.get("k")
+        assert ledger.get_or("k", "gone") == "gone"
+
+    def test_history_is_full_audit_trail(self):
+        ledger = LedgerDB()
+        ledger.put("nft", {"owner": "alice"})
+        ledger.put("nft", {"owner": "bob"})
+        ledger.delete("nft")
+        history = ledger.history("nft")
+        assert [e.operation for e in history] == ["put", "put", "delete"]
+        assert history[1].value == {"owner": "bob"}
+
+    def test_blocks_sealed_at_block_size(self):
+        ledger = LedgerDB(block_size=4)
+        for i in range(10):
+            ledger.put(f"k{i}", i)
+        assert len(ledger.blocks) == 2
+        assert ledger.blocks[0].entry_range == (0, 4)
+        assert ledger.blocks[1].entry_range == (4, 8)
+
+    def test_explicit_seal(self):
+        ledger = LedgerDB(block_size=100)
+        ledger.put("k", 1)
+        header = ledger.seal_block()
+        assert header is not None
+        assert ledger.seal_block() is None  # nothing pending
+
+    def test_chain_verifies(self):
+        ledger = LedgerDB(block_size=2)
+        for i in range(8):
+            ledger.put(f"k{i}", i)
+        assert ledger.verify_chain()
+
+    def test_chain_tampering_detected(self):
+        ledger = LedgerDB(block_size=2)
+        for i in range(8):
+            ledger.put(f"k{i}", i)
+        # Forge a block header in the middle.
+        from repro.ledger import BlockHeader
+
+        forged = BlockHeader(
+            height=1,
+            prev_hash="f" * 64,
+            tree_size=4,
+            tree_root="0" * 64,
+            entry_range=(2, 4),
+        )
+        ledger.blocks[1] = forged
+        assert not ledger.verify_chain()
+
+    def test_receipt_verifies(self):
+        ledger = LedgerDB()
+        entry = ledger.put("k", "v")
+        receipt = ledger.receipt(entry.index)
+        assert LedgerDB.verify_receipt(receipt)
+
+    def test_forged_receipt_fails(self):
+        from dataclasses import replace
+
+        ledger = LedgerDB()
+        ledger.put("k", "v")
+        ledger.put("k2", "v2")
+        receipt = ledger.receipt(0)
+        forged_entry = replace(receipt.entry, value="FORGED")
+        from repro.ledger import Receipt
+
+        forged = Receipt(forged_entry, receipt.proof, receipt.tree_root)
+        assert not LedgerDB.verify_receipt(forged)
+
+    def test_receipt_invalid_index(self):
+        with pytest.raises(LedgerError):
+            LedgerDB().receipt(0)
+
+
+class TestAuditor:
+    def test_honest_growth_passes(self):
+        ledger = LedgerDB()
+        auditor = Auditor(ledger)
+        ledger.put("a", 1)
+        assert auditor.checkpoint()
+        for i in range(10):
+            ledger.put(f"k{i}", i)
+        assert auditor.checkpoint()
+        assert auditor.failures == 0
+
+    def test_truncation_detected(self):
+        ledger = LedgerDB()
+        auditor = Auditor(ledger)
+        for i in range(8):
+            ledger.put(f"k{i}", i)
+        auditor.checkpoint()
+        # Operator secretly drops entries (history rewrite).
+        ledger.tree._leaf_hashes = ledger.tree._leaf_hashes[:4]
+        assert not auditor.checkpoint()
+        assert auditor.failures == 1
+
+    def test_rewrite_detected(self):
+        ledger = LedgerDB()
+        auditor = Auditor(ledger)
+        for i in range(8):
+            ledger.put(f"k{i}", i)
+        auditor.checkpoint()
+        # Rewrite one historical leaf then keep appending.
+        from repro.ledger.merkle import _leaf_hash
+
+        ledger.tree._leaf_hashes[2] = _leaf_hash(b"TAMPERED")
+        ledger.put("k9", 9)
+        assert not auditor.checkpoint()
+
+
+def make_network(latency=0.01):
+    scheduler = EventScheduler()
+    return SimulatedNetwork(
+        scheduler, default_link=Link(latency_s=latency, bandwidth_bps=1e12)
+    )
+
+
+class TestPrimaryBackup:
+    def test_commit_with_majority(self):
+        network = make_network()
+        pb = PrimaryBackup(network, n_replicas=5)
+        outcome = pb.replicate({"k": 1})
+        assert outcome.committed
+        assert outcome.messages == PrimaryBackup.analytic_messages(5)
+
+    def test_latency_one_round_trip(self):
+        network = make_network(latency=0.05)
+        pb = PrimaryBackup(network, n_replicas=3)
+        outcome = pb.replicate({"k": 1})
+        assert outcome.latency == pytest.approx(0.1, abs=0.01)
+
+
+class TestPbft:
+    def test_commits_with_all_honest(self):
+        network = make_network()
+        pbft = PbftQuorum(network, f=1)
+        outcome = pbft.propose(seq=1)
+        assert outcome.committed
+
+    def test_tolerates_f_silent_replicas(self):
+        network = make_network()
+        pbft = PbftQuorum(network, f=1)
+        pbft.silence(1)
+        assert pbft.propose(seq=1).committed
+
+    def test_fails_beyond_f_faults(self):
+        network = make_network()
+        pbft = PbftQuorum(network, f=1)
+        pbft.silence(2)
+        assert not pbft.propose(seq=1).committed
+
+    def test_quadratic_message_growth(self):
+        """E8 shape: PBFT messages grow O(n^2) vs primary-backup O(n)."""
+        counts = {}
+        for f in (1, 2, 3):
+            network = make_network()
+            pbft = PbftQuorum(network, f=f)
+            counts[pbft.n] = pbft.propose(seq=1).messages
+        n_small, n_large = min(counts), max(counts)
+        growth = counts[n_large] / counts[n_small]
+        size_ratio = n_large / n_small
+        assert growth > size_ratio * 1.5  # super-linear
+        # And matches the analytic count exactly for the honest case.
+        for n, messages in counts.items():
+            assert messages == PbftQuorum.analytic_messages(n)
+
+    def test_pbft_slower_than_primary_backup(self):
+        net1 = make_network(latency=0.02)
+        pb = PrimaryBackup(net1, n_replicas=4)
+        net2 = make_network(latency=0.02)
+        pbft = PbftQuorum(net2, f=1)
+        assert pbft.propose(1).latency > pb.replicate({}).latency

@@ -1,0 +1,122 @@
+"""Tests for P2P overlays (Chord ring and BATON-style tree)."""
+
+import math
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.net import BatonTree, ChordRing, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_respects_bit_width(self):
+        for key in ["a", "b", "c"]:
+            assert 0 <= stable_hash(key, bits=8) < 256
+
+
+class TestChordRing:
+    def build(self, n=16):
+        ring = ChordRing(bits=16)
+        for i in range(n):
+            ring.join(f"peer-{i}")
+        return ring
+
+    def test_join_and_len(self):
+        assert len(self.build(5)) == 5
+
+    def test_leave(self):
+        ring = self.build(4)
+        ring.leave("peer-0")
+        assert len(ring) == 3
+        assert "peer-0" not in ring.peers
+
+    def test_leave_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.build(2).leave("ghost")
+
+    def test_lookup_finds_owner(self):
+        ring = self.build(16)
+        for key in ["alpha", "beta", "gamma"]:
+            result = ring.lookup(key)
+            assert result.owner == ring.owner_of(key)
+
+    def test_lookup_owner_consistent_from_any_start(self):
+        ring = self.build(16)
+        owners = {
+            ring.lookup("somekey", start_peer=p).owner for p in ring.peers[:8]
+        }
+        assert len(owners) == 1
+
+    def test_hops_logarithmic(self):
+        ring = self.build(64)
+        hops = [ring.lookup(f"key-{i}").hops for i in range(200)]
+        # Chord bound: hops <= O(log2 n) with overwhelming probability.
+        assert max(hops) <= 4 * math.log2(64)
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(ConfigurationError):
+            ChordRing().lookup("x")
+
+    def test_keys_spread_across_peers(self):
+        ring = self.build(16)
+        owners = {ring.owner_of(f"key-{i}") for i in range(500)}
+        assert len(owners) >= 8  # no single hot owner
+
+    def test_route_starts_at_start_peer(self):
+        ring = self.build(8)
+        start = ring.peers[3]
+        result = ring.lookup("key", start_peer=start)
+        assert result.route[0] == start
+
+
+class TestBatonTree:
+    def build(self, n=16, fanout=4):
+        tree = BatonTree(fanout=fanout)
+        tree.build([f"peer-{i}" for i in range(n)])
+        return tree
+
+    def test_build_requires_peers(self):
+        with pytest.raises(ConfigurationError):
+            BatonTree().build([])
+
+    def test_fanout_validated(self):
+        with pytest.raises(ConfigurationError):
+            BatonTree(fanout=1)
+
+    def test_owner_is_deterministic(self):
+        tree = self.build()
+        assert tree.owner_of("k") == tree.owner_of("k")
+
+    def test_lookup_owner_matches_owner_of(self):
+        tree = self.build(20)
+        for key in ["a", "b", "c", "d"]:
+            assert tree.lookup(key).owner == tree.owner_of(key)
+
+    def test_hops_bounded_by_log_fanout(self):
+        tree = self.build(n=64, fanout=4)
+        for i in range(100):
+            hops = tree.lookup(f"key-{i}").hops
+            assert hops <= math.ceil(math.log(64, 4)) + 1
+
+    def test_single_peer_owns_everything(self):
+        tree = BatonTree()
+        tree.build(["solo"])
+        assert tree.lookup("anything").owner == "solo"
+        assert tree.lookup("anything").hops == 0
+
+    def test_range_owners_contiguous(self):
+        tree = self.build(8)
+        owners = tree.range_owners("aaa", "zzz")
+        # Owners must be a contiguous slice of the leaf order.
+        leaf_order = [f"peer-{i}" for i in range(8)]
+        start = leaf_order.index(owners[0])
+        assert owners == leaf_order[start : start + len(owners)]
+
+    def test_range_owners_cover_endpoint_owners(self):
+        tree = self.build(8)
+        owners = tree.range_owners("aaa", "zzz")
+        assert tree.owner_of("aaa") in owners
+        assert tree.owner_of("zzz") in owners

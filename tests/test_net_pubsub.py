@@ -1,0 +1,224 @@
+"""Tests for the content-based + spatial pub/sub broker."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.net import (
+    AttributePredicate,
+    Broker,
+    Publication,
+    Region,
+    Subscription,
+)
+
+
+def pub(topic="shop.sale", **payload):
+    return Publication(topic=topic, payload=payload)
+
+
+class TestAttributePredicate:
+    @pytest.mark.parametrize(
+        "op,value,payload_value,expected",
+        [
+            ("==", 5, 5, True),
+            ("==", 5, 6, False),
+            ("!=", 5, 6, True),
+            ("<", 5, 4, True),
+            ("<=", 5, 5, True),
+            (">", 5, 6, True),
+            (">=", 5, 5, True),
+            ("in", ("a", "b"), "a", True),
+            ("in", ("a", "b"), "c", False),
+        ],
+    )
+    def test_ops(self, op, value, payload_value, expected):
+        predicate = AttributePredicate("f", op, value)
+        assert predicate.matches({"f": payload_value}) is expected
+
+    def test_missing_field_never_matches(self):
+        assert not AttributePredicate("f", "==", 1).matches({})
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not AttributePredicate("f", "<", 5).matches({"f": "str"})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AttributePredicate("f", "~=", 1)
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region(0, 0, 10, 10)
+        assert region.contains(5, 5)
+        assert region.contains(0, 10)
+        assert not region.contains(11, 5)
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Region(10, 0, 0, 10)
+
+
+class TestMatching:
+    def test_topic_wildcard(self):
+        broker = Broker()
+        broker.subscribe(Subscription(subscriber="s", topic_pattern="shop.*"))
+        assert len(broker.publish(pub("shop.sale"))) == 1
+        assert len(broker.publish(pub("game.move"))) == 0
+
+    def test_attribute_equality_uses_index(self):
+        broker = Broker()
+        for i in range(100):
+            broker.subscribe(
+                Subscription(
+                    subscriber=f"s{i}",
+                    predicates=(AttributePredicate("product", "==", f"p{i}"),),
+                )
+            )
+        matched = broker.publish(pub(product="p7"))
+        assert [s.subscriber for s in matched] == ["s7"]
+        # Index means far fewer probes than subscribers.
+        assert broker.metrics.counter("pubsub.probes").value < 10
+
+    def test_range_predicate(self):
+        broker = Broker()
+        broker.subscribe(
+            Subscription(
+                subscriber="cheap",
+                predicates=(AttributePredicate("price", "<", 10),),
+            )
+        )
+        assert len(broker.publish(pub(price=5))) == 1
+        assert len(broker.publish(pub(price=50))) == 0
+
+    def test_spatial_subscription(self):
+        broker = Broker(grid_cell=10)
+        broker.subscribe(
+            Subscription(subscriber="near", region=Region(0, 0, 20, 20))
+        )
+        assert len(broker.publish(pub(x=5, y=5))) == 1
+        assert len(broker.publish(pub(x=50, y=50))) == 0
+
+    def test_spatial_requires_location(self):
+        broker = Broker()
+        broker.subscribe(Subscription(subscriber="s", region=Region(0, 0, 1, 1)))
+        assert broker.publish(pub(price=1)) == []
+
+    def test_conjunctive_predicates(self):
+        broker = Broker()
+        broker.subscribe(
+            Subscription(
+                subscriber="s",
+                topic_pattern="shop.*",
+                predicates=(
+                    AttributePredicate("price", "<", 10),
+                    AttributePredicate("category", "==", "pastry"),
+                ),
+            )
+        )
+        assert len(broker.publish(pub(price=5, category="pastry"))) == 1
+        assert len(broker.publish(pub(price=5, category="tools"))) == 0
+
+    def test_callback_invoked(self):
+        broker = Broker()
+        got = []
+        broker.subscribe(Subscription(subscriber="s", callback=got.append))
+        broker.publish(pub(x=1))
+        assert len(got) == 1
+
+    def test_unsubscribe(self):
+        broker = Broker()
+        sub_id = broker.subscribe(Subscription(subscriber="s"))
+        broker.unsubscribe(sub_id)
+        assert len(broker) == 0
+        assert broker.publish(pub()) == []
+
+    def test_unsubscribe_unknown_is_noop(self):
+        Broker().unsubscribe(99999)
+
+
+class TestBroadcastBaseline:
+    def test_broadcast_same_matches_more_cost(self):
+        broker = Broker()
+        for i in range(50):
+            broker.subscribe(
+                Subscription(
+                    subscriber=f"s{i}",
+                    predicates=(AttributePredicate("k", "==", i),),
+                )
+            )
+        indexed = broker.publish(pub(k=3))
+        broadcast = broker.publish_broadcast(pub(k=3))
+        assert {s.subscriber for s in indexed} == {s.subscriber for s in broadcast}
+        assert broker.metrics.counter("pubsub.broadcast_deliveries").value == 50
+
+
+class TestContainsPredicate:
+    def test_keyword_in_text(self):
+        predicate = AttributePredicate("review", "contains", "pastry")
+        assert predicate.matches({"review": "Best PASTRY shop in the mall"})
+        assert not predicate.matches({"review": "great coffee"})
+
+    def test_membership_in_collection(self):
+        predicate = AttributePredicate("tags", "contains", "sale")
+        assert predicate.matches({"tags": ["new", "sale"]})
+        assert not predicate.matches({"tags": []})
+
+    def test_geo_textual_subscription(self):
+        """[21]-style: keyword + region in one standing subscription."""
+        broker = Broker(grid_cell=10)
+        broker.subscribe(
+            Subscription(
+                subscriber="foodie",
+                predicates=(AttributePredicate("text", "contains", "bakery"),),
+                region=Region(0, 0, 100, 100),
+            )
+        )
+        inside_match = pub(text="new bakery opening!", x=50, y=50)
+        inside_miss = pub(text="shoe store", x=50, y=50)
+        outside = pub(text="bakery", x=500, y=500)
+        assert len(broker.publish(inside_match)) == 1
+        assert len(broker.publish(inside_miss)) == 0
+        assert len(broker.publish(outside)) == 0
+
+
+class TestMatchingProperty:
+    def test_indexed_matches_equal_brute_force(self):
+        """Property: the candidate indexes never lose a match."""
+        import random
+
+        rng = random.Random(0)
+        broker = Broker(grid_cell=25)
+        subs = []
+        for i in range(120):
+            kind = i % 3
+            if kind == 0:
+                sub = Subscription(
+                    subscriber=f"s{i}",
+                    predicates=(
+                        AttributePredicate("category", "==", f"c{rng.randrange(10)}"),
+                    ),
+                )
+            elif kind == 1:
+                x, y = rng.uniform(0, 500), rng.uniform(0, 500)
+                sub = Subscription(
+                    subscriber=f"s{i}", region=Region(x, y, x + 60, y + 60)
+                )
+            else:
+                sub = Subscription(
+                    subscriber=f"s{i}",
+                    predicates=(
+                        AttributePredicate("price", "<", rng.uniform(1, 100)),
+                    ),
+                )
+            subs.append(sub)
+            broker.subscribe(sub)
+        for trial in range(300):
+            publication = pub(
+                category=f"c{rng.randrange(10)}",
+                price=rng.uniform(0, 120),
+                x=rng.uniform(0, 500),
+                y=rng.uniform(0, 500),
+            )
+            indexed = {s.subscriber for s in broker.publish(publication)}
+            brute = {s.subscriber for s in subs if s.matches(publication)}
+            assert indexed == brute, f"trial {trial}"

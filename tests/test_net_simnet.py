@@ -1,0 +1,166 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.core import EventScheduler, NetworkError, PartitionedError
+from repro.net import Link, SimulatedNetwork
+
+
+def make_net(**kwargs):
+    sched = EventScheduler()
+    return sched, SimulatedNetwork(sched, **kwargs)
+
+
+class TestTopology:
+    def test_add_and_lookup_node(self):
+        _, net = make_net()
+        net.add_node("a")
+        assert net.node("a").name == "a"
+
+    def test_duplicate_node_rejected(self):
+        from repro.core import ConfigurationError
+
+        _, net = make_net()
+        net.add_node("a")
+        with pytest.raises(ConfigurationError):
+            net.add_node("a")
+
+    def test_unknown_node_raises(self):
+        _, net = make_net()
+        with pytest.raises(NetworkError):
+            net.node("ghost")
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self):
+        sched, net = make_net(default_link=Link(latency_s=0.5, bandwidth_bps=1e12))
+        net.add_node("a")
+        b = net.add_node("b")
+        got = []
+        b.on("hello", lambda m: got.append(m.payload))
+        net.send("a", "b", "hello", {"v": 1}, size_bytes=10)
+        sched.run_until(0.4)
+        assert got == []
+        sched.run_until(0.6)
+        assert got == [{"v": 1}]
+
+    def test_bandwidth_adds_serialization_delay(self):
+        # 1 MB over 8 Mbps = 1 second of transfer on top of zero latency.
+        sched, net = make_net(default_link=Link(latency_s=0.0, bandwidth_bps=8e6))
+        net.add_node("a")
+        b = net.add_node("b")
+        got = []
+        b.on("blob", lambda m: got.append(sched.clock.now))
+        net.send("a", "b", "blob", None, size_bytes=1_000_000)
+        sched.run_all()
+        assert got[0] == pytest.approx(1.0)
+
+    def test_wildcard_handler(self):
+        sched, net = make_net()
+        net.add_node("a")
+        b = net.add_node("b")
+        got = []
+        b.on("*", lambda m: got.append(m.topic))
+        net.send("a", "b", "anything", None)
+        sched.run_all()
+        assert got == ["anything"]
+
+    def test_per_link_override(self):
+        sched, net = make_net(default_link=Link(latency_s=10.0))
+        net.add_node("a")
+        b = net.add_node("b")
+        net.set_link("a", "b", Link(latency_s=0.1, bandwidth_bps=1e12))
+        got = []
+        b.on("x", lambda m: got.append(sched.clock.now))
+        net.send("a", "b", "x", None, size_bytes=1)
+        sched.run_until(0.2)
+        assert len(got) == 1
+
+    def test_send_to_unknown_destination(self):
+        _, net = make_net()
+        net.add_node("a")
+        with pytest.raises(NetworkError):
+            net.send("a", "ghost", "x", None)
+
+    def test_metrics_accumulate(self):
+        sched, net = make_net()
+        net.add_node("a")
+        net.add_node("b")
+        net.send("a", "b", "x", None, size_bytes=100)
+        sched.run_all()
+        assert net.metrics.counter("net.messages_sent").value == 1
+        assert net.metrics.counter("net.bytes_sent").value == 100
+        assert net.metrics.counter("net.messages_delivered").value == 1
+
+
+class TestPartitions:
+    def test_partition_blocks_send(self):
+        _, net = make_net()
+        net.add_node("a")
+        net.add_node("b")
+        net.partition("a", "b")
+        with pytest.raises(PartitionedError):
+            net.send("a", "b", "x", None)
+
+    def test_heal_restores(self):
+        sched, net = make_net()
+        net.add_node("a")
+        b = net.add_node("b")
+        got = []
+        b.on("x", lambda m: got.append(True))
+        net.partition("a", "b")
+        net.heal("a", "b")
+        net.send("a", "b", "x", None)
+        sched.run_all()
+        assert got == [True]
+
+    def test_partition_is_symmetric(self):
+        _, net = make_net()
+        net.add_node("a")
+        net.add_node("b")
+        net.partition("a", "b")
+        with pytest.raises(PartitionedError):
+            net.send("b", "a", "x", None)
+
+    def test_mid_flight_partition_drops(self):
+        sched, net = make_net(default_link=Link(latency_s=1.0))
+        net.add_node("a")
+        b = net.add_node("b")
+        got = []
+        b.on("x", lambda m: got.append(True))
+        net.send("a", "b", "x", None)
+        net.partition("a", "b")
+        sched.run_all()
+        assert got == []
+
+
+class TestLoss:
+    def test_lossy_link_drops_some(self):
+        sched, net = make_net(
+            default_link=Link(latency_s=0.0, bandwidth_bps=1e12, loss_rate=0.5),
+            seed=42,
+        )
+        net.add_node("a")
+        b = net.add_node("b")
+        got = []
+        b.on("x", lambda m: got.append(True))
+        for _ in range(200):
+            net.send("a", "b", "x", None, size_bytes=1)
+        sched.run_all()
+        assert 50 < len(got) < 150  # roughly half with seed 42
+
+    def test_loss_is_deterministic_per_seed(self):
+        counts = []
+        for _ in range(2):
+            sched, net = make_net(
+                default_link=Link(loss_rate=0.3), seed=7
+            )
+            net.add_node("a")
+            b = net.add_node("b")
+            got = []
+            b.on("x", lambda m: got.append(True))
+            for _ in range(100):
+                net.send("a", "b", "x", None, size_bytes=1)
+            sched.run_all()
+            counts.append(len(got))
+        assert counts[0] == counts[1]

@@ -1,0 +1,194 @@
+"""Tests for the device-cloud-storage platform facade."""
+
+import pytest
+
+from repro.core import ConfigurationError, DataKind, DataRecord, Space
+from repro.platform import DeviceGateway, MetaversePlatform
+from repro.workloads import (
+    CityConfig,
+    FlashSaleConfig,
+    MarketplaceWorkload,
+    PurchaseRequest,
+    SensorGrid,
+)
+
+
+def sensor_record(key="s1", t=0.0, **payload):
+    return DataRecord(
+        key=key, payload=payload, space=Space.PHYSICAL,
+        timestamp=t, kind=DataKind.SENSOR, source="test",
+    )
+
+
+class TestGateway:
+    def test_raw_mode_forwards_everything(self):
+        gateway = DeviceGateway(aggregate=False)
+        for i in range(10):
+            gateway.ingest(sensor_record(key=f"s{i}", v=float(i)))
+        records, uplink = gateway.flush()
+        assert len(records) == 10
+        assert uplink > 0
+
+    def test_aggregate_mode_collapses_groups(self):
+        gateway = DeviceGateway(aggregate=True, group_fn=lambda r: "grp")
+        for i in range(10):
+            gateway.ingest(sensor_record(key=f"s{i}", v=float(i)))
+        records, _ = gateway.flush()
+        assert len(records) == 1
+        assert records[0].payload["v"] == pytest.approx(4.5)
+        assert records[0].payload["count"] == 10
+
+    def test_aggregation_cuts_uplink_bytes(self):
+        """E11 headline: device aggregation shrinks the uplink by ~window."""
+        raw_gateway = DeviceGateway(aggregate=False)
+        agg_gateway = DeviceGateway(aggregate=True, group_fn=lambda r: r.key[:4])
+        grid = SensorGrid(CityConfig(grid_side=10), seed=1)
+        readings = grid.readings_at(0.0)
+        raw_gateway.ingest_many(readings)
+        agg_gateway.ingest_many(readings)
+        _, raw_bytes = raw_gateway.flush()
+        _, agg_bytes = agg_gateway.flush()
+        assert agg_bytes < raw_bytes / 5
+
+    def test_aggregate_requires_group_fn(self):
+        with pytest.raises(ConfigurationError):
+            DeviceGateway(aggregate=True)
+
+    def test_empty_flush(self):
+        assert DeviceGateway(aggregate=False).flush() == ([], 0)
+
+
+class TestPlatformIngest:
+    def test_flush_persists_and_publishes(self):
+        platform = MetaversePlatform()
+        gateway = DeviceGateway(aggregate=False)
+        platform.register_gateway("g", gateway)
+        got = []
+        from repro.net import Subscription
+
+        platform.broker.subscribe(
+            Subscription(subscriber="dash", topic_pattern="ingest.*", callback=got.append)
+        )
+        gateway.ingest(sensor_record(key="s1", v=1.0))
+        records, _ = 0, 0
+        n_records, n_bytes = platform.flush_gateways()
+        assert n_records == 1
+        assert len(got) == 1
+        assert platform.read("s1")["payload"]["v"] == 1.0
+
+    def test_duplicate_gateway_rejected(self):
+        platform = MetaversePlatform()
+        platform.register_gateway("g", DeviceGateway(aggregate=False))
+        with pytest.raises(ConfigurationError):
+            platform.register_gateway("g", DeviceGateway(aggregate=False))
+
+    def test_buffer_pool_caches_reads(self):
+        platform = MetaversePlatform()
+        platform.write_record(sensor_record(key="k", v=2.0))
+        platform.read("k")
+        platform.read("k")
+        assert platform.storage_reads == 1
+        assert platform.pool.hits == 1
+
+    def test_write_invalidates_cache(self):
+        platform = MetaversePlatform()
+        platform.write_record(sensor_record(key="k", v=1.0))
+        platform.read("k")
+        platform.write_record(sensor_record(key="k", v=2.0))
+        assert platform.read("k")["payload"]["v"] == 2.0
+
+
+class TestPurchases:
+    def loaded_platform(self, stock=3, **kwargs):
+        platform = MetaversePlatform(**kwargs)
+        workload = MarketplaceWorkload(
+            FlashSaleConfig(n_products=5, initial_stock=stock)
+        )
+        platform.load_catalog(workload.catalog_records())
+        return platform
+
+    def request(self, product="product-00000", space=Space.VIRTUAL, t=0.0, shopper="s1"):
+        return PurchaseRequest(
+            shopper_id=shopper, product_id=product, space=space, timestamp=t
+        )
+
+    def test_purchase_decrements_stock(self):
+        platform = self.loaded_platform(stock=3)
+        outcomes = platform.process_purchases([self.request()])
+        assert outcomes[0].success
+        assert platform.stock_of("product-00000") == 2
+
+    def test_sold_out_rejected(self):
+        platform = self.loaded_platform(stock=1)
+        outcomes = platform.process_purchases(
+            [self.request(shopper=f"s{i}", t=float(i)) for i in range(3)]
+        )
+        assert sum(o.success for o in outcomes) == 1
+        assert {o.reason for o in outcomes if not o.success} == {"sold out"}
+
+    def test_unknown_product_rejected(self):
+        platform = self.loaded_platform()
+        outcomes = platform.process_purchases([self.request(product="ghost")])
+        assert not outcomes[0].success
+        assert outcomes[0].reason == "no such product"
+
+    def test_physical_shopper_wins_last_unit(self):
+        """The paper's space-aware priority: physical beats virtual on ties."""
+        platform = self.loaded_platform(stock=1)
+        virtual_first = [
+            self.request(space=Space.VIRTUAL, t=0.0, shopper="cyber"),
+            self.request(space=Space.PHYSICAL, t=0.5, shopper="walkin"),
+        ]
+        outcomes = {o.request.shopper_id: o.success for o in platform.process_purchases(virtual_first)}
+        assert outcomes["walkin"] is True
+        assert outcomes["cyber"] is False
+
+    def test_priority_disabled_is_fifo(self):
+        platform = self.loaded_platform(stock=1, physical_priority=False)
+        outcomes = {
+            o.request.shopper_id: o.success
+            for o in platform.process_purchases(
+                [
+                    self.request(space=Space.VIRTUAL, t=0.0, shopper="cyber"),
+                    self.request(space=Space.PHYSICAL, t=0.5, shopper="walkin"),
+                ]
+            )
+        }
+        assert outcomes["cyber"] is True
+        assert outcomes["walkin"] is False
+
+    def test_executor_partitioning_spreads_work(self):
+        platform = self.loaded_platform(stock=100, n_executors=4)
+        requests = [
+            self.request(product=f"product-{i % 5:05d}", shopper=f"s{i}", t=float(i))
+            for i in range(50)
+        ]
+        platform.process_purchases(requests)
+        busy = [e.busy_time for e in platform.executors]
+        assert sum(1 for b in busy if b > 0) >= 2
+
+    def test_more_executors_higher_throughput(self):
+        """E4 shape: throughput scales with executors on a spread workload."""
+        def run(n_executors):
+            platform = MetaversePlatform(n_executors=n_executors)
+            workload = MarketplaceWorkload(
+                FlashSaleConfig(n_products=64, initial_stock=1000, zipf_skew=0.2)
+            )
+            platform.load_catalog(workload.catalog_records())
+            requests = [
+                PurchaseRequest(
+                    shopper_id=f"s{i}",
+                    product_id=workload.product_id(i % 64),
+                    space=Space.VIRTUAL,
+                    timestamp=float(i),
+                )
+                for i in range(400)
+            ]
+            platform.process_purchases(requests)
+            return platform.throughput(400)
+
+        assert run(8) > 2 * run(1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MetaversePlatform(n_executors=0)

@@ -1,0 +1,154 @@
+"""Tests for the polystore facade and distributed statistics."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    DataKind,
+    DataRecord,
+    KeyNotFoundError,
+    Space,
+)
+from repro.selftune import (
+    MergeableHistogram,
+    coordinate_estimate,
+    merge_all,
+)
+from repro.storage import PolyStore
+
+
+def record(key, kind=DataKind.STRUCTURED, **payload):
+    return DataRecord(key=key, payload=payload, space=Space.PHYSICAL, kind=kind)
+
+
+class TestPolyStoreRouting:
+    def test_structured_goes_to_kv(self):
+        store = PolyStore()
+        assert store.put_record(record("shopper:1", name="alice")) == "kv"
+        assert store.engine_of("shopper:1") == "kv"
+        assert store.get("shopper:1")["payload"]["name"] == "alice"
+
+    def test_small_media_goes_to_object_store(self):
+        store = PolyStore()
+        engine = store.put_record(
+            record("thumb:1", kind=DataKind.MEDIA, data=b"tiny-jpeg")
+        )
+        assert engine == "object"
+        assert store.get("thumb:1") == b"tiny-jpeg"
+
+    def test_bulk_media_goes_to_block_store(self):
+        store = PolyStore()
+        blob = bytes(range(256)) * 512  # 128 KiB > threshold
+        engine = store.put_record(record("scan:1", kind=DataKind.MEDIA, data=blob))
+        assert engine == "block"
+        assert store.get("scan:1") == blob
+        assert store.engine_of("scan:1") == "block"
+
+    def test_bulk_overwrite_frees_old_extent(self):
+        store = PolyStore()
+        blob = b"x" * (128 * 1024)
+        store.put_record(record("scan:1", kind=DataKind.MEDIA, data=blob))
+        used_before = store.blocks.allocated_blocks
+        store.put_record(record("scan:1", kind=DataKind.MEDIA, data=blob))
+        assert store.blocks.allocated_blocks == used_before
+
+    def test_media_needs_bytes(self):
+        store = PolyStore()
+        with pytest.raises(ConfigurationError):
+            store.put_record(record("bad", kind=DataKind.MEDIA, data="str"))
+
+    def test_missing_key(self):
+        with pytest.raises(KeyNotFoundError):
+            PolyStore().get("ghost")
+        with pytest.raises(KeyNotFoundError):
+            PolyStore().engine_of("ghost")
+
+    def test_scan_structured_skips_internal_rows(self):
+        store = PolyStore()
+        store.put_record(record("a", v=1))
+        store.put_record(
+            record("b", kind=DataKind.MEDIA, data=b"z" * (128 * 1024))
+        )
+        keys = [k for k, _ in store.scan_structured("", "￿")]
+        assert keys == ["a"]
+
+    def test_stats(self):
+        store = PolyStore()
+        store.put_record(record("row", v=1))
+        store.put_record(record("img", kind=DataKind.MEDIA, data=b"small"))
+        store.put_record(
+            record("vid", kind=DataKind.MEDIA, data=b"y" * (128 * 1024))
+        )
+        stats = store.stats()
+        assert stats.kv_rows == 1
+        assert stats.media_objects == 1
+        assert stats.bulk_extents == 1
+
+    def test_dedup_inherited_from_object_store(self):
+        store = PolyStore()
+        store.put_record(record("a", kind=DataKind.MEDIA, data=b"same"))
+        store.put_record(record("b", kind=DataKind.MEDIA, data=b"same"))
+        assert store.stats().media_physical_bytes == len(b"same")
+
+
+class TestMergeableHistogram:
+    def columns(self, n_sites=5, n_per_site=2000, seed=3):
+        rng = random.Random(seed)
+        return [
+            [rng.gauss(50 + site * 5, 10) for _ in range(n_per_site)]
+            for site in range(n_sites)
+        ]
+
+    def test_merge_equals_global_build(self):
+        columns = self.columns()
+        merged = merge_all(
+            [MergeableHistogram.of(c, 0, 120, 64) for c in columns]
+        )
+        flat = [v for column in columns for v in column]
+        direct = MergeableHistogram.of(flat, 0, 120, 64)
+        assert merged.counts == direct.counts
+
+    def test_merge_shape_mismatch_rejected(self):
+        a = MergeableHistogram.empty(0, 10, 8)
+        b = MergeableHistogram.empty(0, 20, 8)
+        with pytest.raises(ConfigurationError):
+            a.merge(b)
+
+    def test_range_estimate_accurate(self):
+        columns = self.columns()
+        report = coordinate_estimate(
+            columns, query_lo=45.0, query_hi=70.0, domain=(0, 120)
+        )
+        assert report.relative_error < 0.05
+
+    def test_exchange_savings_dramatic(self):
+        """The Sec. IV-G claim: local sketches minimize information exchange."""
+        report = coordinate_estimate(
+            self.columns(n_per_site=10_000),
+            query_lo=40.0,
+            query_hi=60.0,
+            domain=(0, 120),
+        )
+        assert report.savings > 50
+
+    def test_quantile_estimate(self):
+        rng = random.Random(4)
+        values = [rng.uniform(0, 100) for _ in range(10_000)]
+        histogram = MergeableHistogram.of(values, 0, 100, 128)
+        assert histogram.estimate_quantile(0.5) == pytest.approx(50.0, abs=3.0)
+        assert histogram.estimate_quantile(0.9) == pytest.approx(90.0, abs=3.0)
+
+    def test_quantile_validation(self):
+        histogram = MergeableHistogram.empty(0, 1, 4)
+        with pytest.raises(ConfigurationError):
+            histogram.estimate_quantile(2.0)
+        with pytest.raises(ConfigurationError):
+            histogram.estimate_quantile(0.5)  # empty
+
+    def test_domain_validation(self):
+        with pytest.raises(ConfigurationError):
+            MergeableHistogram.empty(10, 0, 4)
+        with pytest.raises(ConfigurationError):
+            merge_all([])

@@ -1,0 +1,163 @@
+"""Tests for differential privacy mechanisms and budget accounting."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError, PrivacyBudgetExceeded
+from repro.privacy import (
+    DpQueryEngine,
+    PrivacyAccountant,
+    gaussian_mechanism,
+    laplace_expected_error,
+    laplace_mechanism,
+    noisy_histogram,
+    randomized_response,
+    randomized_response_estimate,
+)
+
+
+class TestLaplace:
+    def test_noise_is_unbiased(self):
+        rng = random.Random(0)
+        samples = [laplace_mechanism(100.0, 1.0, 1.0, rng) for _ in range(20_000)]
+        assert abs(sum(samples) / len(samples) - 100.0) < 0.1
+
+    def test_error_scales_inverse_epsilon(self):
+        """E9 headline: mean absolute error ~ sensitivity / epsilon."""
+        rng = random.Random(1)
+        for epsilon in (0.1, 1.0, 10.0):
+            errors = [
+                abs(laplace_mechanism(0.0, 1.0, epsilon, rng)) for _ in range(20_000)
+            ]
+            mean_error = sum(errors) / len(errors)
+            expected = laplace_expected_error(1.0, epsilon)
+            assert mean_error == pytest.approx(expected, rel=0.1)
+
+    def test_sensitivity_scales_noise(self):
+        rng = random.Random(2)
+        small = [abs(laplace_mechanism(0, 1.0, 1.0, rng)) for _ in range(5000)]
+        big = [abs(laplace_mechanism(0, 10.0, 1.0, rng)) for _ in range(5000)]
+        assert sum(big) / len(big) > 5 * sum(small) / len(small)
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            laplace_mechanism(0, 1.0, 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            laplace_mechanism(0, -1.0, 1.0, rng)
+
+
+class TestGaussian:
+    def test_noise_roughly_calibrated(self):
+        rng = random.Random(3)
+        samples = [
+            gaussian_mechanism(0.0, 1.0, 0.5, 1e-5, rng) for _ in range(20_000)
+        ]
+        mean = sum(samples) / len(samples)
+        assert abs(mean) < 0.3
+
+    def test_parameter_ranges(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            gaussian_mechanism(0, 1, 2.0, 1e-5, rng)  # eps >= 1 unsupported
+        with pytest.raises(ConfigurationError):
+            gaussian_mechanism(0, 1, 0.5, 0.0, rng)
+
+
+class TestRandomizedResponse:
+    def test_estimate_debiases(self):
+        rng = random.Random(4)
+        true_fraction = 0.3
+        epsilon = 1.0
+        responses = [
+            randomized_response(rng.random() < true_fraction, epsilon, rng)
+            for _ in range(50_000)
+        ]
+        estimate = randomized_response_estimate(responses, epsilon)
+        assert estimate == pytest.approx(true_fraction, abs=0.03)
+
+    def test_high_epsilon_is_truthful(self):
+        rng = random.Random(5)
+        responses = [randomized_response(True, 20.0, rng) for _ in range(100)]
+        assert all(responses)
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigurationError):
+            randomized_response(True, 0.0, rng)
+        with pytest.raises(ConfigurationError):
+            randomized_response_estimate([], 1.0)
+
+
+class TestHistogram:
+    def test_all_buckets_noised(self):
+        rng = random.Random(6)
+        counts = {"a": 100, "b": 50}
+        noisy = noisy_histogram(counts, epsilon=1.0, rng=rng)
+        assert set(noisy) == {"a", "b"}
+        assert noisy["a"] != 100  # almost surely
+
+
+class TestAccountant:
+    def test_budget_enforced(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("alice", 0.6)
+        with pytest.raises(PrivacyBudgetExceeded):
+            accountant.charge("alice", 0.6)
+        assert accountant.remaining("alice") == pytest.approx(0.4)
+
+    def test_budgets_are_per_principal(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("alice", 1.0)
+        accountant.charge("bob", 1.0)  # independent budget
+
+    def test_exact_budget_spend_allowed(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge("alice", 0.5)
+        accountant.charge("alice", 0.5)
+
+    def test_advanced_composition_beats_basic(self):
+        """E9 ablation: sqrt(k) scaling beats linear k for many queries."""
+        eps_each = 0.01
+        k = 1000
+        basic = k * eps_each
+        advanced = PrivacyAccountant.advanced_composition(eps_each, k, 1e-6)
+        assert advanced < basic
+
+    def test_advanced_composition_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant.advanced_composition(0, 10, 1e-6)
+
+    def test_accountant_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAccountant(total_epsilon=0)
+
+
+class TestDpQueryEngine:
+    def engine(self, budget=10.0):
+        return DpQueryEngine(PrivacyAccountant(budget), seed=7)
+
+    def test_count_close_to_truth(self):
+        engine = self.engine()
+        values = [1.0] * 1000
+        noisy = engine.count("a", values, epsilon=1.0)
+        assert abs(noisy - 1000) < 20
+
+    def test_sum_clamps_outliers(self):
+        engine = self.engine()
+        values = [1.0] * 100 + [1e9]  # adversarial outlier
+        noisy = engine.sum("a", values, bound=5.0, epsilon=5.0)
+        assert noisy < 200  # clamped contribution, not 1e9
+
+    def test_mean_spends_budget_once(self):
+        engine = self.engine(budget=1.0)
+        engine.mean("a", [1.0, 2.0, 3.0], bound=5.0, epsilon=1.0)
+        with pytest.raises(PrivacyBudgetExceeded):
+            engine.count("a", [1.0], epsilon=0.5)
+
+    def test_queries_charge_budget(self):
+        engine = self.engine(budget=1.0)
+        engine.count("a", [1.0], epsilon=0.7)
+        with pytest.raises(PrivacyBudgetExceeded):
+            engine.count("a", [1.0], epsilon=0.7)

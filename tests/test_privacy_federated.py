@@ -1,0 +1,195 @@
+"""Tests for federated learning and incentive scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError
+from repro.privacy import (
+    ClientData,
+    FederatedTrainer,
+    accuracy,
+    detect_free_riders,
+    dirichlet_partition,
+    efficiency_gap,
+    logistic_loss,
+    make_synthetic_dataset,
+    proportional_rewards,
+    shapley_values,
+)
+
+
+class TestDataset:
+    def test_synthetic_dataset_learnable(self):
+        features, labels = make_synthetic_dataset(500, dim=5, seed=0)
+        assert features.shape == (500, 5)
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+        assert 0.2 < labels.mean() < 0.8
+
+
+class TestPartition:
+    def test_partition_covers_dataset(self):
+        features, labels = make_synthetic_dataset(400, seed=1)
+        clients = dirichlet_partition(features, labels, n_clients=8, alpha=1.0, seed=1)
+        assert sum(c.n_examples for c in clients) == 400
+
+    def test_small_alpha_is_skewed(self):
+        features, labels = make_synthetic_dataset(2000, seed=2)
+
+        def label_skew(alpha):
+            clients = dirichlet_partition(features, labels, 10, alpha, seed=3)
+            skews = []
+            for client in clients:
+                if client.n_examples < 10:
+                    continue
+                p = client.labels.mean()
+                skews.append(abs(p - 0.5))
+            return float(np.mean(skews))
+
+        assert label_skew(0.1) > label_skew(100.0)
+
+    def test_validation(self):
+        features, labels = make_synthetic_dataset(10)
+        with pytest.raises(ConfigurationError):
+            dirichlet_partition(features, labels, 0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ClientData("c", features, labels[:5])
+
+
+class TestFedAvg:
+    def test_training_reduces_loss(self):
+        features, labels = make_synthetic_dataset(1000, dim=8, seed=4)
+        clients = dirichlet_partition(features, labels, 5, alpha=10.0, seed=4)
+        trainer = FederatedTrainer(clients, dim=8, seed=4)
+        initial = logistic_loss(trainer.weights, features, labels)
+        trainer.train(15, features, labels)
+        assert trainer.history[-1].loss < initial * 0.7
+        assert trainer.history[-1].accuracy > 0.8
+
+    def test_non_iid_slows_convergence(self):
+        """E10 headline shape: smaller alpha (more skew) -> higher loss at a
+        fixed round budget.
+
+        An intercept column makes label skew actually matter: a client whose
+        data is single-label drags the bias weight toward predicting that
+        label everywhere, so single-client rounds drift under Non-IID.
+        """
+        features, labels = make_synthetic_dataset(2000, dim=8, seed=5)
+        features = np.hstack([features, np.ones((len(features), 1))])
+
+        def mean_loss(alpha):
+            losses = []
+            for seed in (5, 6, 7, 8):
+                clients = dirichlet_partition(features, labels, 10, alpha, seed=seed)
+                trainer = FederatedTrainer(
+                    clients, dim=9, clients_per_round=1, lr=1.0,
+                    local_epochs=5, seed=seed,
+                )
+                trainer.train(6, features, labels)
+                losses.append(trainer.history[-1].loss)
+            return float(np.mean(losses))
+
+        assert mean_loss(0.1) > 1.5 * mean_loss(100.0)
+
+    def test_partial_participation(self):
+        features, labels = make_synthetic_dataset(500, dim=6, seed=6)
+        clients = dirichlet_partition(features, labels, 10, alpha=1.0, seed=6)
+        trainer = FederatedTrainer(clients, dim=6, clients_per_round=3, seed=6)
+        report = trainer.run_round(features, labels)
+        assert len(report.participants) <= 3
+
+    def test_update_noise_degrades_but_trains(self):
+        features, labels = make_synthetic_dataset(1000, dim=8, seed=7)
+        clients = dirichlet_partition(features, labels, 5, alpha=10.0, seed=7)
+        clean = FederatedTrainer(clients, dim=8, seed=7)
+        noisy = FederatedTrainer(clients, dim=8, update_noise_sigma=0.05, seed=7)
+        clean.train(10, features, labels)
+        noisy.train(10, features, labels)
+        assert noisy.history[-1].accuracy <= clean.history[-1].accuracy + 0.02
+        assert noisy.history[-1].accuracy > 0.6
+
+    def test_empty_clients_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FederatedTrainer([], dim=4)
+
+
+class TestShapley:
+    def test_symmetric_players_equal_value(self):
+        utility = lambda coalition: float(len(coalition))
+        values = shapley_values(["a", "b", "c"], utility)
+        assert values["a"] == pytest.approx(values["b"])
+        assert values["a"] == pytest.approx(1.0)
+
+    def test_efficiency_axiom(self):
+        utility = lambda coalition: float(len(coalition)) ** 2
+        values = shapley_values(["a", "b", "c", "d"], utility)
+        assert efficiency_gap(values, utility) < 1e-9
+
+    def test_dummy_player_gets_zero(self):
+        def utility(coalition):
+            return float(len(coalition - {"dummy"}))
+
+        values = shapley_values(["a", "b", "dummy"], utility)
+        assert values["dummy"] == pytest.approx(0.0)
+        assert values["a"] == pytest.approx(1.0)
+
+    def test_monte_carlo_approximates_exact(self):
+        players = [f"p{i}" for i in range(10)]
+        utility = lambda coalition: sum(int(p[1:]) for p in coalition) * 0.1
+        exact_small = {p: int(p[1:]) * 0.1 for p in players}
+        approx = shapley_values(
+            players, utility, exact_threshold=5, samples=400, seed=1
+        )
+        for player in players:
+            assert approx[player] == pytest.approx(exact_small[player], abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shapley_values([], lambda c: 0.0)
+        with pytest.raises(ConfigurationError):
+            shapley_values(["a", "a"], lambda c: 0.0)
+
+
+class TestFreeRiders:
+    def test_detect_free_riders_from_model_utility(self):
+        """E10 shape: clients with junk data get near-zero Shapley share."""
+        rng = np.random.default_rng(8)
+        features, labels = make_synthetic_dataset(600, dim=6, seed=8)
+        clients = dirichlet_partition(features, labels, 4, alpha=10.0, seed=8)
+        # Two free-riders with pure-noise labels.
+        for i in (4, 5):
+            noise_features = rng.normal(size=(100, 6))
+            noise_labels = rng.integers(0, 2, size=100).astype(float)
+            clients.append(
+                ClientData(f"client-{i}", noise_features, noise_labels)
+            )
+
+        def utility(coalition):
+            members = [c for c in clients if c.client_id in coalition]
+            if not members:
+                return 0.0
+            x = np.vstack([c.features for c in members])
+            y = np.concatenate([c.labels for c in members])
+            # One-shot least squares probe as a cheap model proxy.
+            w, *_ = np.linalg.lstsq(x, y * 2 - 1, rcond=None)
+            return accuracy(w, features, labels) - 0.5
+
+        values = shapley_values([c.client_id for c in clients], utility)
+        riders = detect_free_riders(values, threshold_fraction=0.25)
+        contributors = {f"client-{i}" for i in range(4)}
+        assert riders & {"client-4", "client-5"}
+        assert not riders & contributors or len(riders & contributors) <= 1
+
+    def test_rewards_proportional(self):
+        values = {"a": 3.0, "b": 1.0, "c": 0.0}
+        rewards = proportional_rewards(values, budget=100.0)
+        assert rewards["a"] == pytest.approx(75.0)
+        assert rewards["b"] == pytest.approx(25.0)
+        assert rewards["c"] == 0.0
+
+    def test_rewards_equal_split_when_no_signal(self):
+        rewards = proportional_rewards({"a": 0.0, "b": 0.0}, budget=10.0)
+        assert rewards == {"a": 5.0, "b": 5.0}
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proportional_rewards({"a": 1.0}, budget=-1)

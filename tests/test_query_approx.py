@@ -1,0 +1,131 @@
+"""Tests for approximation and degradation policies."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError, DataRecord, QueryError, Space
+from repro.query import (
+    MediaVariant,
+    ResolutionLadder,
+    SpaceAwareDegrader,
+    sample_aggregate,
+)
+
+
+class TestResolutionLadder:
+    def ladder(self):
+        return ResolutionLadder(
+            [
+                MediaVariant("1080p", 5e6, 1.0),
+                MediaVariant("480p", 1e6, 0.6),
+                MediaVariant("240p", 3e5, 0.3),
+            ]
+        )
+
+    def test_select_highest_within_budget(self):
+        assert self.ladder().select(2e6).label == "480p"
+        assert self.ladder().select(1e7).label == "1080p"
+
+    def test_select_none_when_too_tight(self):
+        assert self.ladder().select(1e3) is None
+
+    def test_best_worst(self):
+        ladder = self.ladder()
+        assert ladder.best.label == "1080p"
+        assert ladder.worst.label == "240p"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResolutionLadder([])
+        with pytest.raises(ConfigurationError):
+            MediaVariant("bad", 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            # quality not monotone in bitrate
+            ResolutionLadder(
+                [MediaVariant("a", 1e5, 0.9), MediaVariant("b", 1e6, 0.2)]
+            )
+
+
+class TestSampleAggregate:
+    def population(self, n=10_000, seed=1):
+        rng = random.Random(seed)
+        return [rng.gauss(100.0, 15.0) for _ in range(n)]
+
+    def test_full_sample_is_exact(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        result = sample_aggregate(values, fraction=1.0, agg="avg")
+        assert result.estimate == 2.5
+        assert result.sample_size == 4
+
+    def test_avg_estimate_close(self):
+        values = self.population()
+        result = sample_aggregate(values, fraction=0.1, agg="avg", seed=3)
+        true_avg = sum(values) / len(values)
+        assert abs(result.estimate - true_avg) < 1.0
+
+    def test_interval_usually_covers_truth(self):
+        values = self.population()
+        true_avg = sum(values) / len(values)
+        covered = 0
+        for seed in range(40):
+            result = sample_aggregate(values, fraction=0.05, agg="avg", seed=seed)
+            lo, hi = result.interval
+            covered += int(lo <= true_avg <= hi)
+        assert covered >= 34  # ~95% nominal coverage, generous slack
+
+    def test_sum_scales(self):
+        values = self.population(n=1000)
+        result = sample_aggregate(values, fraction=0.5, agg="sum", seed=5)
+        assert abs(result.estimate - sum(values)) / sum(values) < 0.05
+
+    def test_error_shrinks_with_fraction(self):
+        values = self.population()
+        small = sample_aggregate(values, fraction=0.01, agg="avg", seed=7)
+        large = sample_aggregate(values, fraction=0.5, agg="avg", seed=7)
+        assert large.half_width < small.half_width
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            sample_aggregate([], fraction=0.5)
+        with pytest.raises(QueryError):
+            sample_aggregate([1.0], fraction=0)
+        with pytest.raises(QueryError):
+            sample_aggregate([1.0], fraction=0.5, agg="max")
+
+
+class TestSpaceAwareDegrader:
+    def record(self):
+        return DataRecord(
+            key="stock",
+            payload={"quantity": 17.234567, "size_bytes": 1000},
+            space=Space.PHYSICAL,
+        )
+
+    def test_physical_consumer_never_degraded(self):
+        degrader = SpaceAwareDegrader(pressure_threshold=0.5)
+        out = degrader.process(self.record(), Space.PHYSICAL, load=0.99)
+        assert out.payload["quantity"] == 17.234567
+        assert degrader.exact_count == 1
+
+    def test_virtual_consumer_degraded_under_pressure(self):
+        degrader = SpaceAwareDegrader(pressure_threshold=0.5, precision=1)
+        out = degrader.process(self.record(), Space.VIRTUAL, load=0.9)
+        assert out.payload["quantity"] == 17.2
+        assert out.payload["size_bytes"] == 100  # low-res media
+        assert "degraded" in out.source
+
+    def test_virtual_consumer_exact_under_light_load(self):
+        degrader = SpaceAwareDegrader(pressure_threshold=0.5)
+        out = degrader.process(self.record(), Space.VIRTUAL, load=0.2)
+        assert out.payload["quantity"] == 17.234567
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            SpaceAwareDegrader(pressure_threshold=1.5)
+
+    def test_original_record_unmodified(self):
+        degrader = SpaceAwareDegrader(pressure_threshold=0.0)
+        record = self.record()
+        degrader.process(record, Space.VIRTUAL, load=1.0)
+        assert record.payload["quantity"] == 17.234567

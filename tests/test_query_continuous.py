@@ -1,0 +1,115 @@
+"""Tests for continuous moving queries over moving objects."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.query import (
+    BxStrategy,
+    ContinuousQueryEngine,
+    GridStrategy,
+    MovingObject,
+    MovingRangeQuery,
+    RescanStrategy,
+)
+from repro.spatial import BBox, Point, Velocity
+
+DOMAIN = BBox(0, 0, 1000, 1000)
+
+
+def engine_with(strategy, n_objects=50, seed=0, speed=3.0):
+    rng = random.Random(seed)
+    engine = ContinuousQueryEngine(strategy=strategy)
+    for i in range(n_objects):
+        engine.add_object(
+            MovingObject(
+                object_id=f"o{i}",
+                position=Point(rng.uniform(100, 900), rng.uniform(100, 900)),
+                velocity=Velocity(rng.uniform(-speed, speed), rng.uniform(-speed, speed)),
+            )
+        )
+    return engine
+
+
+class TestMovingRangeQuery:
+    def test_region_follows_anchor(self):
+        query = MovingRangeQuery("q", Point(0, 0), Velocity(1, 0), half_extent=10)
+        query.advance(5.0)
+        assert query.region() == BBox(-5, -10, 15, 10)
+
+    def test_half_extent_validated(self):
+        with pytest.raises(ConfigurationError):
+            MovingRangeQuery("q", Point(0, 0), Velocity(0, 0), half_extent=0)
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_all_strategies_same_answers(self, seed):
+        """Correctness: every strategy returns the identical match set."""
+        engines = {
+            "rescan": engine_with(RescanStrategy(), seed=seed),
+            "grid": engine_with(GridStrategy(cell_size=50), seed=seed),
+            "bx": engine_with(BxStrategy(DOMAIN, max_speed=10.0), seed=seed),
+        }
+        rng = random.Random(seed + 100)
+        for engine in engines.values():
+            engine.add_query(
+                MovingRangeQuery(
+                    "q1",
+                    Point(rng.uniform(300, 700), 500),
+                    Velocity(2, 0),
+                    half_extent=80,
+                )
+            )
+            rng = random.Random(seed + 100)  # same anchor for all engines
+        for step in range(10):
+            answers = {
+                name: engine.tick(1.0)["q1"].matches
+                for name, engine in engines.items()
+            }
+            assert answers["rescan"] == answers["grid"], f"step {step}"
+            assert answers["rescan"] == answers["bx"], f"step {step}"
+
+    def test_grid_cheaper_than_rescan(self):
+        """E5 shape: index evaluation examines far fewer objects."""
+        rescan = engine_with(RescanStrategy(), n_objects=2000, speed=1.0)
+        grid = engine_with(GridStrategy(cell_size=50), n_objects=2000, speed=1.0)
+        for engine in (rescan, grid):
+            engine.add_query(
+                MovingRangeQuery("q", Point(500, 500), Velocity(1, 1), half_extent=40)
+            )
+            engine.tick(1.0)
+        assert grid.total_eval_cost < rescan.total_eval_cost / 5
+
+
+class TestVelocityChanges:
+    def test_bx_tracks_velocity_change(self):
+        engine = engine_with(BxStrategy(DOMAIN, max_speed=10.0), n_objects=1)
+        obj = next(iter(engine.objects.values()))
+        obj.position = Point(500, 500)
+        obj.velocity = Velocity(0, 0)
+        engine.strategy.ingest(obj, engine.now)
+        engine.add_query(
+            MovingRangeQuery("q", Point(520, 500), Velocity(0, 0), half_extent=10)
+        )
+        # Stationary: not in range.
+        assert engine.tick(1.0)["q"].matches == frozenset()
+        # Starts moving toward the query region.
+        engine.change_velocity(obj.object_id, Velocity(5, 0))
+        engine.tick(3.0)  # now at x = 500 + 15 = 515 -> inside [510, 530]
+        result = engine.tick(0.0)
+        assert obj.object_id in result["q"].matches
+
+    def test_query_observer_moves(self):
+        engine = engine_with(RescanStrategy(), n_objects=1)
+        obj = next(iter(engine.objects.values()))
+        obj.position = Point(100, 100)
+        obj.velocity = Velocity(0, 0)
+        engine.strategy.ingest(obj, engine.now)
+        engine.add_query(
+            MovingRangeQuery("q", Point(0, 100), Velocity(10, 0), half_extent=20)
+        )
+        assert engine.tick(1.0)["q"].matches == frozenset()  # q at x=10
+        engine.tick(8.0)  # q anchor at x=90: object at 100 within 20
+        assert obj.object_id in engine.tick(0.0)["q"].matches

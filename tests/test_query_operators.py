@@ -1,0 +1,218 @@
+"""Tests for physical query operators."""
+
+import pytest
+
+from repro.core import DataRecord, QueryError, Space
+from repro.query import (
+    Aggregate,
+    ApplyUdf,
+    Filter,
+    HashJoin,
+    Interpolate,
+    Limit,
+    Project,
+    Scan,
+    SpaceFilter,
+    SpaceMerge,
+    execute,
+)
+
+
+def rec(key, space=Space.PHYSICAL, t=0.0, **payload):
+    return DataRecord(key=key, payload=payload, space=space, timestamp=t)
+
+
+class TestScanFilter:
+    def test_scan_yields_all(self):
+        records = [rec("a", v=1), rec("b", v=2)]
+        scan = Scan(records)
+        assert len(execute(scan)) == 2
+        assert scan.rows_out == 2
+
+    def test_filter_keeps_matching(self):
+        scan = Scan([rec("a", v=1), rec("b", v=5), rec("c", v=9)])
+        filt = Filter(scan, lambda r: r.payload["v"] > 3)
+        out = execute(filt)
+        assert [r.key for r in out] == ["b", "c"]
+        assert filt.rows_in == 3
+        assert filt.rows_out == 2
+
+    def test_filter_validation(self):
+        with pytest.raises(QueryError):
+            Filter(Scan([]), lambda r: True, cost=0)
+        with pytest.raises(QueryError):
+            Filter(Scan([]), lambda r: True, selectivity=1.5)
+
+    def test_project_drops_fields(self):
+        out = execute(Project(Scan([rec("a", v=1, w=2)]), ["v"]))
+        assert out[0].payload == {"v": 1}
+
+    def test_limit(self):
+        out = execute(Limit(Scan([rec(str(i)) for i in range(10)]), 3))
+        assert len(out) == 3
+        with pytest.raises(QueryError):
+            Limit(Scan([]), -1)
+
+    def test_udf_transforms_payload(self):
+        udf = ApplyUdf(Scan([rec("a", celsius=100.0)]), lambda p: {"f": p["celsius"] * 1.8 + 32})
+        assert execute(udf)[0].payload == {"f": 212.0}
+
+
+class TestSpaceOperators:
+    def test_space_filter(self):
+        records = [rec("p", space=Space.PHYSICAL), rec("v", space=Space.VIRTUAL)]
+        out = execute(SpaceFilter(Scan(records), Space.VIRTUAL))
+        assert [r.key for r in out] == ["v"]
+
+    def test_space_merge_time_ordered(self):
+        phys = Scan([rec("p1", t=1.0), rec("p2", t=5.0)])
+        virt = Scan([rec("v1", t=3.0, space=Space.VIRTUAL)])
+        out = execute(SpaceMerge(phys, virt))
+        assert [r.key for r in out] == ["p1", "v1", "p2"]
+
+
+class TestInterpolate:
+    def test_regular_grid_emitted(self):
+        records = [
+            rec("sensor", t=0.0, temp=10.0),
+            rec("sensor", t=10.0, temp=20.0),
+        ]
+        out = execute(Interpolate(Scan(records), "temp", interval=5.0))
+        assert [(r.timestamp, r.payload["temp"]) for r in out] == [
+            (0.0, 10.0),
+            (5.0, 15.0),
+            (10.0, 20.0),
+        ]
+
+    def test_irregular_samples_interpolated(self):
+        records = [
+            rec("s", t=0.0, temp=0.0),
+            rec("s", t=3.0, temp=30.0),
+            rec("s", t=4.0, temp=40.0),
+        ]
+        out = execute(Interpolate(Scan(records), "temp", interval=2.0))
+        values = {r.timestamp: r.payload["temp"] for r in out}
+        assert values[0.0] == 0.0
+        assert values[2.0] == pytest.approx(20.0)
+        assert values[4.0] == pytest.approx(40.0)
+
+    def test_multiple_keys_independent(self):
+        records = [
+            rec("a", t=0.0, v=1.0),
+            rec("a", t=2.0, v=3.0),
+            rec("b", t=0.0, v=10.0),
+            rec("b", t=2.0, v=10.0),
+        ]
+        out = execute(Interpolate(Scan(records), "v", interval=1.0))
+        a_vals = [r.payload["v"] for r in out if r.key == "a"]
+        b_vals = [r.payload["v"] for r in out if r.key == "b"]
+        assert a_vals == [1.0, 2.0, 3.0]
+        assert b_vals == [10.0, 10.0, 10.0]
+
+    def test_interval_validated(self):
+        with pytest.raises(QueryError):
+            Interpolate(Scan([]), "v", interval=0)
+
+    def test_records_missing_field_skipped(self):
+        records = [rec("s", t=0.0, other=1), rec("s", t=1.0, temp=5.0)]
+        out = execute(Interpolate(Scan(records), "temp", interval=1.0))
+        assert len(out) == 1
+
+
+class TestJoin:
+    def test_equijoin(self):
+        shoppers = Scan([rec("s1", shopper="alice", product="p1")])
+        products = Scan([rec("p1", product="p1", price=9.5)])
+        out = execute(HashJoin(shoppers, products, "product", "product"))
+        assert len(out) == 1
+        assert out[0].payload["price"] == 9.5
+        assert out[0].payload["shopper"] == "alice"
+
+    def test_join_no_match(self):
+        out = execute(
+            HashJoin(
+                Scan([rec("a", k=1)]), Scan([rec("b", k=2)]), "k", "k"
+            )
+        )
+        assert out == []
+
+    def test_join_multiple_matches(self):
+        left = Scan([rec("l", k=1, side="L")])
+        right = Scan([rec("r1", k=1, tag="x"), rec("r2", k=1, tag="y")])
+        out = execute(HashJoin(left, right, "k", "k"))
+        assert len(out) == 2
+        assert {r.payload["tag"] for r in out} == {"x", "y"}
+
+    def test_join_colliding_fields_prefixed(self):
+        left = Scan([rec("l", k=1, name="left-name")])
+        right = Scan([rec("r", k=1, name="right-name")])
+        out = execute(HashJoin(left, right, "k", "k"))
+        assert out[0].payload["name"] == "left-name"
+        assert out[0].payload["right_name"] == "right-name"
+
+
+class TestAggregate:
+    def records(self):
+        return [
+            rec("1", shop="a", sales=10.0),
+            rec("2", shop="a", sales=20.0),
+            rec("3", shop="b", sales=5.0),
+        ]
+
+    def test_group_by_sum_and_count(self):
+        agg = Aggregate(
+            Scan(self.records()),
+            group_by="shop",
+            aggregations={"total": ("sales", "sum"), "n": ("sales", "count")},
+        )
+        out = {r.payload["shop"]: r.payload for r in execute(agg)}
+        assert out["a"]["total"] == 30.0
+        assert out["a"]["n"] == 2.0
+        assert out["b"]["total"] == 5.0
+
+    def test_global_aggregate(self):
+        agg = Aggregate(
+            Scan(self.records()),
+            group_by=None,
+            aggregations={"avg_sales": ("sales", "avg")},
+        )
+        out = execute(agg)
+        assert len(out) == 1
+        assert out[0].payload["avg_sales"] == pytest.approx(35.0 / 3)
+
+    def test_min_max(self):
+        agg = Aggregate(
+            Scan(self.records()),
+            group_by=None,
+            aggregations={"lo": ("sales", "min"), "hi": ("sales", "max")},
+        )
+        payload = execute(agg)[0].payload
+        assert (payload["lo"], payload["hi"]) == (5.0, 20.0)
+
+    def test_unknown_fn_rejected(self):
+        with pytest.raises(QueryError):
+            Aggregate(Scan([]), None, {"x": ("v", "median")})
+
+
+class TestExplain:
+    def test_explain_shows_tree_and_row_flow(self):
+        from repro.query import execute, explain
+
+        scan = Scan([rec(str(i), v=i) for i in range(10)])
+        filt = Filter(scan, lambda r: r.payload["v"] > 4, label="v>4")
+        plan = Limit(filt, 3)
+        execute(plan)
+        text = explain(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("Limit (in=")
+        assert "Filter [v>4]" in lines[1]
+        assert "Scan" in lines[2]
+        assert "out=3" in lines[0]
+
+    def test_explain_join_shows_both_sides(self):
+        from repro.query import explain
+
+        plan = HashJoin(Scan([]), Scan([]), "k", "k")
+        execute(plan)
+        text = explain(plan)
+        assert text.count("Scan") == 2

@@ -1,0 +1,112 @@
+"""Tests for predicate ordering and device-aware placement."""
+
+import itertools
+
+import pytest
+
+from repro.core import DataRecord, PlanningError
+from repro.query import (
+    DeviceProfile,
+    Filter,
+    PipelineStage,
+    PlacementOptimizer,
+    Scan,
+    execute,
+    expected_chain_cost,
+    optimize_filter_chain,
+    order_predicates,
+    predicate_rank,
+)
+
+
+def filt(selectivity, cost, label):
+    return Filter(Scan([]), lambda r: True, cost=cost, selectivity=selectivity, label=label)
+
+
+class TestPredicateOrdering:
+    def test_rank_formula(self):
+        assert predicate_rank(0.5, 1.0) == -0.5
+        assert predicate_rank(0.1, 10.0) == pytest.approx(-0.09)
+        with pytest.raises(PlanningError):
+            predicate_rank(0.5, 0.0)
+
+    def test_cheap_selective_first(self):
+        cheap = filt(0.1, 1.0, "cheap-selective")
+        expensive = filt(0.9, 100.0, "expensive-loose")
+        ordered = order_predicates([expensive, cheap])
+        assert [f.label for f in ordered] == ["cheap-selective", "expensive-loose"]
+
+    def test_expensive_predicate_deferred_even_if_selective(self):
+        """Hellerstein's point: a very expensive, selective predicate can
+        still lose to a cheap, less selective one."""
+        expensive_selective = filt(0.05, 1000.0, "udf")
+        cheap_loose = filt(0.5, 1.0, "cheap")
+        ordered = order_predicates([expensive_selective, cheap_loose])
+        assert ordered[0].label == "cheap"
+
+    def test_rank_order_is_cost_optimal(self):
+        """Exhaustive check on small sets: rank order minimizes chain cost."""
+        filters = [filt(0.3, 2.0, "a"), filt(0.7, 1.0, "b"), filt(0.1, 50.0, "c")]
+        best = min(
+            itertools.permutations(filters),
+            key=lambda perm: expected_chain_cost(list(perm)),
+        )
+        ranked = order_predicates(filters)
+        assert expected_chain_cost(ranked) == pytest.approx(
+            expected_chain_cost(list(best))
+        )
+
+    def test_optimized_chain_same_semantics(self):
+        records = [
+            DataRecord(key=str(i), payload={"v": i}) for i in range(20)
+        ]
+        f_even = Filter(Scan([]), lambda r: r.payload["v"] % 2 == 0, cost=1, selectivity=0.5)
+        f_big = Filter(Scan([]), lambda r: r.payload["v"] > 10, cost=50, selectivity=0.45)
+        plan = optimize_filter_chain(Scan(records), [f_big, f_even])
+        out = {r.payload["v"] for r in execute(plan)}
+        assert out == {12, 14, 16, 18}
+
+
+class TestPlacement:
+    def profile(self, uplink=1e6):
+        # Device 10x slower than cloud.
+        return DeviceProfile(
+            device_speed=1e4, cloud_speed=1e5, uplink_bps=uplink, raw_bytes_per_row=1000
+        )
+
+    def stages(self):
+        return [
+            PipelineStage("clean", cost_per_row=1.0, selectivity=1.0, bytes_per_row_out=1000),
+            PipelineStage("aggregate", cost_per_row=2.0, selectivity=0.05, bytes_per_row_out=100),
+            PipelineStage("fuse", cost_per_row=20.0, selectivity=1.0, bytes_per_row_out=100),
+        ]
+
+    def test_slow_uplink_pushes_aggregation_to_device(self):
+        """Paper Fig. 7 claim: device-side aggregation pays off on thin links."""
+        plan = PlacementOptimizer(self.profile(uplink=1e5)).optimize(self.stages())
+        assert "aggregate" in plan.device_stages
+        assert "fuse" in plan.cloud_stages  # heavy compute stays in the cloud
+
+    def test_fat_uplink_keeps_everything_in_cloud(self):
+        plan = PlacementOptimizer(self.profile(uplink=1e12)).optimize(self.stages())
+        assert plan.device_stages == []
+
+    def test_optimum_beats_both_extremes(self):
+        optimizer = PlacementOptimizer(self.profile(uplink=1e5))
+        plan = optimizer.optimize(self.stages())
+        assert plan.latency_per_row <= optimizer.latency_all_cloud(self.stages())
+        assert plan.latency_per_row <= optimizer.latency_all_device(self.stages())
+
+    def test_uplink_bytes_reported(self):
+        optimizer = PlacementOptimizer(self.profile(uplink=1e5))
+        plan = optimizer.optimize(self.stages())
+        # After device-side aggregation: 0.05 rows x 100 B = 5 B per raw row.
+        assert plan.uplink_bytes_per_row < 1000
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(PlanningError):
+            PlacementOptimizer(self.profile()).optimize([])
+
+    def test_profile_validated(self):
+        with pytest.raises(PlanningError):
+            DeviceProfile(device_speed=0, cloud_speed=1, uplink_bps=1)

@@ -1,0 +1,137 @@
+"""Tests for windows and the parallel stream pipeline."""
+
+import pytest
+
+from repro.core import ConfigurationError, DataRecord, QueryError
+from repro.query import SlidingWindow, StreamPipeline, TumblingWindow
+
+
+def rec(key, t, v):
+    return DataRecord(key=key, payload={"v": v}, timestamp=t)
+
+
+class TestTumblingWindow:
+    def test_window_closes_on_advance(self):
+        win = TumblingWindow(size=10.0, field="v", agg="sum")
+        assert win.add(rec("k", 1.0, 5.0)) == []
+        assert win.add(rec("k", 5.0, 5.0)) == []
+        results = win.add(rec("k", 12.0, 1.0))
+        assert len(results) == 1
+        assert results[0].value == 10.0
+        assert results[0].window_start == 0.0
+        assert results[0].window_end == 10.0
+
+    def test_flush_emits_open_windows(self):
+        win = TumblingWindow(size=10.0, field="v", agg="count")
+        win.add(rec("k", 1.0, 1.0))
+        win.add(rec("j", 2.0, 1.0))
+        results = win.flush()
+        assert len(results) == 2
+        assert all(r.value == 1.0 for r in results)
+
+    def test_keys_are_independent(self):
+        win = TumblingWindow(size=10.0, field="v", agg="sum")
+        win.add(rec("a", 1.0, 1.0))
+        win.add(rec("b", 1.0, 100.0))
+        results = {r.key: r.value for r in win.flush()}
+        assert results == {"a": 1.0, "b": 100.0}
+
+    @pytest.mark.parametrize(
+        "agg,expected", [("sum", 6.0), ("avg", 2.0), ("min", 1.0), ("max", 3.0), ("count", 3.0)]
+    )
+    def test_aggregates(self, agg, expected):
+        win = TumblingWindow(size=10.0, field="v", agg=agg)
+        for i, v in enumerate([1.0, 2.0, 3.0]):
+            win.add(rec("k", float(i), v))
+        assert win.flush()[0].value == expected
+
+    def test_gap_emits_only_populated_windows(self):
+        win = TumblingWindow(size=10.0, field="v", agg="sum")
+        win.add(rec("k", 1.0, 1.0))
+        results = win.add(rec("k", 35.0, 2.0))  # skips windows 1 and 2
+        assert len(results) == 1  # only window 0 had data
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TumblingWindow(size=0, field="v")
+        with pytest.raises(QueryError):
+            TumblingWindow(size=1, field="v", agg="median")
+
+    def test_missing_field_ignored(self):
+        win = TumblingWindow(size=10.0, field="v")
+        record = DataRecord(key="k", payload={"other": 1}, timestamp=0.0)
+        assert win.add(record) == []
+        assert win.flush() == []
+
+
+class TestSlidingWindow:
+    def test_overlapping_windows(self):
+        win = SlidingWindow(size=10.0, slide=5.0, field="v", agg="sum")
+        win.add(rec("k", 2.0, 1.0))   # pane 0
+        win.add(rec("k", 7.0, 2.0))   # pane 1
+        win.add(rec("k", 12.0, 4.0))  # pane 2
+        results = {
+            (r.window_start, r.window_end): r.value for r in win.results()
+        }
+        assert results[(0.0, 10.0)] == 3.0
+        assert results[(5.0, 15.0)] == 6.0
+
+    def test_avg(self):
+        win = SlidingWindow(size=10.0, slide=5.0, field="v", agg="avg")
+        win.add(rec("k", 1.0, 10.0))
+        win.add(rec("k", 6.0, 20.0))
+        results = {(r.window_start, r.window_end): r.value for r in win.results()}
+        assert results[(0.0, 10.0)] == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(size=10, slide=0, field="v")
+        with pytest.raises(ConfigurationError):
+            SlidingWindow(size=10, slide=3, field="v")  # not a multiple
+        with pytest.raises(QueryError):
+            SlidingWindow(size=10, slide=5, field="v", agg="max")
+
+
+class TestStreamPipeline:
+    def records(self, n, keys=100):
+        return [rec(f"key-{i % keys}", float(i), 1.0) for i in range(n)]
+
+    def test_parallelism_validated(self):
+        with pytest.raises(ConfigurationError):
+            StreamPipeline(parallelism=0)
+
+    def test_all_records_processed(self):
+        seen = []
+        pipe = StreamPipeline(parallelism=4, handler=seen.append)
+        pipe.process(self.records(100))
+        assert len(seen) == 100
+        assert sum(r.records for r in pipe.replicas) == 100
+
+    def test_routing_is_deterministic_by_key(self):
+        pipe = StreamPipeline(parallelism=4)
+        route_a = pipe._route(rec("alpha", 0, 0))
+        assert all(pipe._route(rec("alpha", t, 0)) == route_a for t in range(5))
+
+    def test_parallel_speedup(self):
+        """E18 shape: more replicas -> smaller makespan, near-linear."""
+        work = lambda r: 1e-3
+        single = StreamPipeline(parallelism=1, work_fn=work)
+        quad = StreamPipeline(parallelism=4, work_fn=work)
+        records = self.records(4000, keys=1000)
+        t1 = single.process(list(records))
+        t4 = quad.process(list(records))
+        assert t1 / t4 > 3.0  # near-linear scaling with many keys
+
+    def test_skew_limits_scaling(self):
+        work = lambda r: 1e-3
+        skewed = [rec("hot", float(i), 1.0) for i in range(1000)]
+        pipe = StreamPipeline(parallelism=8, work_fn=work)
+        makespan = pipe.process(skewed)
+        # One key -> one replica: no speedup.
+        assert makespan == pytest.approx(1.0, rel=0.01)
+        assert pipe.imbalance() > 4.0
+
+    def test_throughput(self):
+        pipe = StreamPipeline(parallelism=2, work_fn=lambda r: 1e-3)
+        throughput = pipe.throughput(self.records(1000))
+        assert throughput > 1000 / 1.0  # better than serial

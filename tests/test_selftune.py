@@ -1,0 +1,223 @@
+"""Tests for self-driving optimizations: cardinality, advisor, co-learning."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.selftune import (
+    AdaptiveEstimator,
+    CoherencyTuner,
+    DriftDetector,
+    HistogramEstimator,
+    Human,
+    IndexAdvisor,
+    WorkloadProfile,
+    compare_workflows,
+    knee_epsilon,
+)
+
+
+def gaussian_column(mean, n=5000, seed=0):
+    rng = random.Random(seed)
+    return [rng.gauss(mean, 10.0) for _ in range(n)]
+
+
+class TestHistogramEstimator:
+    def test_estimates_close_on_trained_distribution(self):
+        column = gaussian_column(100.0)
+        estimator = HistogramEstimator(column, n_buckets=64)
+        ordered = sorted(column)
+        for lo, hi in [(90, 110), (80, 95), (105, 140)]:
+            true = HistogramEstimator.true_range_count(ordered, lo, hi)
+            estimate = estimator.estimate_range(lo, hi)
+            assert abs(estimate - true) / max(true, 1) < 0.15
+
+    def test_out_of_domain_is_zero(self):
+        estimator = HistogramEstimator(gaussian_column(100.0))
+        assert estimator.estimate_range(500, 600) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HistogramEstimator([])
+        estimator = HistogramEstimator([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            estimator.estimate_range(5, 1)
+
+    def test_full_range_sums_to_population(self):
+        column = gaussian_column(0.0, n=1000)
+        estimator = HistogramEstimator(column)
+        assert estimator.estimate_range(min(column), max(column)) == pytest.approx(
+            1000, rel=0.01
+        )
+
+
+class TestDriftDetector:
+    def test_no_alarm_on_stationary_errors(self):
+        detector = DriftDetector(threshold=2.0)
+        rng = random.Random(1)
+        assert not any(
+            detector.observe(abs(rng.gauss(0.1, 0.02))) for _ in range(300)
+        )
+
+    def test_alarm_on_sustained_error_growth(self):
+        detector = DriftDetector(threshold=2.0)
+        rng = random.Random(2)
+        for _ in range(100):
+            detector.observe(abs(rng.gauss(0.1, 0.02)))
+        fired = False
+        for _ in range(100):
+            fired = fired or detector.observe(abs(rng.gauss(1.5, 0.1)))
+        assert fired
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DriftDetector(threshold=0)
+
+
+class TestAdaptiveEstimator:
+    def drifting_workload(self, adaptive: bool):
+        """Queries before and after a distribution shift; mean error after."""
+        state = {"mean": 100.0}
+
+        def provider():
+            return gaussian_column(state["mean"], n=3000, seed=3)
+
+        estimator = AdaptiveEstimator(provider, retrain_on_drift=adaptive)
+        rng = random.Random(4)
+
+        def run_queries(n):
+            column = sorted(provider())
+            for _ in range(n):
+                lo = rng.gauss(state["mean"], 10)
+                hi = lo + rng.uniform(2, 20)
+                true = HistogramEstimator.true_range_count(column, lo, hi)
+                estimator.feedback(lo, hi, true)
+
+        run_queries(60)
+        state["mean"] = 200.0  # the world drifts
+        run_queries(120)
+        return estimator
+
+    def test_static_model_degrades_after_drift(self):
+        static = self.drifting_workload(adaptive=False)
+        assert static.recent_mean_error() > 0.5
+        assert static.retrains == 0
+
+    def test_adaptive_model_recovers(self):
+        """E19 shape: drift detection + retrain restores accuracy."""
+        adaptive = self.drifting_workload(adaptive=True)
+        static = self.drifting_workload(adaptive=False)
+        assert adaptive.retrains >= 1
+        assert adaptive.recent_mean_error() < static.recent_mean_error() / 2
+
+
+class TestIndexAdvisor:
+    def test_update_heavy_gets_grid(self):
+        profile = WorkloadProfile(object_count=1000)
+        profile.record_update(900)
+        for _ in range(100):
+            profile.record_query(extent=120.0)
+        recommendation = IndexAdvisor().recommend(profile)
+        assert recommendation.index == "grid"
+        assert recommendation.cell_size == pytest.approx(60.0)
+
+    def test_predictable_motion_gets_bx(self):
+        profile = WorkloadProfile()
+        profile.record_update(900)
+        profile.record_query(100.0)
+        recommendation = IndexAdvisor(bx_friendly_motion=True).recommend(profile)
+        assert recommendation.index == "bx"
+
+    def test_query_heavy_gets_rtree(self):
+        profile = WorkloadProfile()
+        profile.record_update(10)
+        for _ in range(90):
+            profile.record_query(50.0)
+        assert IndexAdvisor().recommend(profile).index == "rtree"
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IndexAdvisor().recommend(WorkloadProfile())
+
+
+class TestCoherencyTuner:
+    def traffic_model(self, epsilon):
+        """Synthetic monotone traffic curve: messages ~ 1000 / (1 + eps)."""
+        return 1000.0 / (1.0 + epsilon)
+
+    def test_converges_to_budget(self):
+        tuner = CoherencyTuner(initial_epsilon=1.0, budget_per_tick=100.0)
+        for _ in range(40):
+            tuner.observe(self.traffic_model(tuner.epsilon))
+        assert tuner.converged()
+        final_traffic = self.traffic_model(tuner.epsilon)
+        assert abs(final_traffic - 100.0) < 40.0
+
+    def test_over_budget_raises_epsilon(self):
+        tuner = CoherencyTuner(initial_epsilon=1.0, budget_per_tick=10.0)
+        epsilon_before = tuner.epsilon
+        tuner.observe(500.0)
+        assert tuner.epsilon > epsilon_before
+
+    def test_under_budget_lowers_epsilon(self):
+        tuner = CoherencyTuner(initial_epsilon=10.0, budget_per_tick=1000.0)
+        epsilon_before = tuner.epsilon
+        tuner.observe(5.0)
+        assert tuner.epsilon < epsilon_before
+
+    def test_bounds_respected(self):
+        tuner = CoherencyTuner(
+            initial_epsilon=1.0, budget_per_tick=10.0,
+            epsilon_bounds=(0.5, 2.0),
+        )
+        for _ in range(20):
+            tuner.observe(10_000.0)
+        assert tuner.epsilon == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoherencyTuner(initial_epsilon=0, budget_per_tick=10)
+
+
+class TestKneeEpsilon:
+    def test_finds_elbow(self):
+        curve = {0.5: 1000, 1.0: 300, 2.0: 250, 4.0: 240}
+        assert knee_epsilon(curve) == 1.0
+
+    def test_needs_three_points(self):
+        with pytest.raises(ConfigurationError):
+            knee_epsilon({1.0: 10, 2.0: 5})
+
+
+class TestCoLearning:
+    def test_colearning_beats_machine_only(self):
+        """E20 shape (Fig. 8c vs 8a): the bidirectional loop wins."""
+        reports = compare_workflows(n_cases=1500, seed=0)
+        assert (
+            reports["co-learning"].team_accuracy
+            > reports["machine-only"].team_accuracy
+        )
+
+    def test_colearning_improves_the_human(self):
+        reports = compare_workflows(n_cases=1500, seed=0)
+        weak_concept = -1
+        assert (
+            reports["co-learning"].human_error_rates[weak_concept]
+            < reports["machine-only"].human_error_rates[weak_concept]
+        )
+
+    def test_all_workflows_learn_something(self):
+        reports = compare_workflows(n_cases=1500, seed=0)
+        for report in reports.values():
+            assert report.model_accuracy > 0.6
+
+    def test_unknown_workflow_rejected(self):
+        from repro.selftune import CoLearningLoop
+
+        with pytest.raises(ConfigurationError):
+            CoLearningLoop("telepathy")
+
+    def test_human_error_rates_validated(self):
+        with pytest.raises(ConfigurationError):
+            Human(error_rates=[1.5])

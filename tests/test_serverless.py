@@ -1,0 +1,215 @@
+"""Tests for the serverless runtime, autoscaler, billing, and TEE model."""
+
+import pytest
+
+from repro.core import ConfigurationError, EnclaveError
+from repro.serverless import (
+    AppStage,
+    Autoscaler,
+    EnclaveProfile,
+    FunctionSpec,
+    PartitionedApp,
+    PricingModel,
+    ServerlessRuntime,
+    pay_per_use_cost,
+    peak_concurrency,
+    provisioned_cost,
+    utilization,
+)
+
+
+def spec(name="f", exec_time=0.1, memory=256, cold=0.5):
+    return FunctionSpec(name, exec_time, memory, cold)
+
+
+class TestRuntime:
+    def test_first_invocation_is_cold(self):
+        runtime = ServerlessRuntime()
+        runtime.register(spec())
+        invocation = runtime.invoke("f", now=0.0)
+        assert invocation.cold_start
+        assert invocation.latency == pytest.approx(0.6)
+
+    def test_second_invocation_reuses_warm_instance(self):
+        runtime = ServerlessRuntime(keep_alive_s=60)
+        runtime.register(spec())
+        runtime.invoke("f", now=0.0)
+        second = runtime.invoke("f", now=10.0)
+        assert not second.cold_start
+        assert second.latency == pytest.approx(0.1)
+
+    def test_concurrent_invocations_need_new_instances(self):
+        runtime = ServerlessRuntime()
+        runtime.register(spec(exec_time=1.0))
+        a = runtime.invoke("f", now=0.0)
+        b = runtime.invoke("f", now=0.1)  # first still busy
+        assert a.cold_start and b.cold_start
+        assert runtime.warm_instances("f", now=0.0) == 2
+
+    def test_keep_alive_expiry_causes_cold_start(self):
+        runtime = ServerlessRuntime(keep_alive_s=5.0)
+        runtime.register(spec())
+        runtime.invoke("f", now=0.0)
+        late = runtime.invoke("f", now=100.0)
+        assert late.cold_start
+
+    def test_instance_cap_throttles(self):
+        runtime = ServerlessRuntime(max_instances=2)
+        runtime.register(spec(exec_time=10.0))
+        assert runtime.invoke("f", now=0.0) is not None
+        assert runtime.invoke("f", now=0.0) is not None
+        assert runtime.invoke("f", now=0.0) is None
+        assert runtime.rejected == 1
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerlessRuntime().invoke("ghost", now=0.0)
+
+    def test_duplicate_registration_rejected(self):
+        runtime = ServerlessRuntime()
+        runtime.register(spec())
+        with pytest.raises(ConfigurationError):
+            runtime.register(spec())
+
+    def test_cold_tail_dominates_p99(self):
+        """E12 shape: sparse invocations -> cold starts dominate tail latency."""
+        runtime = ServerlessRuntime(keep_alive_s=5.0)
+        runtime.register(spec(exec_time=0.05, cold=1.0))
+        now = 0.0
+        for i in range(100):
+            # Steady trickle with a long idle gap every 10th request, so the
+            # warm instance expires and the request pays a cold start.
+            gap = 2.0 if i % 10 else 60.0
+            now += gap
+            runtime.invoke("f", now=now)
+        latencies = sorted(runtime.latencies("f"))
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[int(len(latencies) * 0.99)]
+        assert p99 > 10 * p50
+
+
+class TestBilling:
+    def run_bursty(self):
+        runtime = ServerlessRuntime(keep_alive_s=10.0)
+        runtime.register(spec(exec_time=0.2, memory=512))
+        now = 0.0
+        for burst in range(5):
+            for i in range(20):
+                runtime.invoke("f", now=now + i * 0.01)
+            now += 600.0  # 10 minutes of silence
+        return runtime, now
+
+    def test_pay_per_use_much_cheaper_for_bursty(self):
+        """E12 headline: pay-per-use << provisioned-peak for bursty load."""
+        runtime, window = self.run_bursty()
+        pricing = PricingModel()
+        on_demand = pay_per_use_cost(runtime.invocations, pricing)
+        reserved = provisioned_cost(runtime.invocations, window, pricing)
+        assert on_demand < reserved / 10
+
+    def test_utilization_low_for_bursty(self):
+        runtime, window = self.run_bursty()
+        assert utilization(runtime.invocations, window) < 0.05
+
+    def test_peak_concurrency(self):
+        runtime = ServerlessRuntime()
+        runtime.register(spec(exec_time=1.0, cold=0.0))
+        for i in range(5):
+            runtime.invoke("f", now=0.0)
+        assert peak_concurrency(runtime.invocations) == 5
+
+    def test_empty_costs(self):
+        pricing = PricingModel()
+        assert pay_per_use_cost([], pricing) == 0.0
+        assert provisioned_cost([], 100.0, pricing) == 0.0
+
+    def test_pricing_validation(self):
+        with pytest.raises(ConfigurationError):
+            PricingModel(per_gb_second=-1)
+
+
+class TestAutoscaler:
+    def test_scales_up_under_load(self):
+        scaler = Autoscaler(capacity_per_replica=100, cooldown_ticks=0)
+        scaler.observe(500)
+        assert scaler.replicas >= 5
+
+    def test_scales_down_when_quiet(self):
+        scaler = Autoscaler(capacity_per_replica=100, cooldown_ticks=0)
+        scaler.observe(1000)
+        high = scaler.replicas
+        for _ in range(3):
+            scaler.observe(50)
+        assert scaler.replicas < high
+
+    def test_cooldown_limits_flapping(self):
+        scaler = Autoscaler(capacity_per_replica=100, cooldown_ticks=5)
+        scaler.observe(1000)
+        first = scaler.replicas
+        scaler.observe(50)  # within cooldown: no change
+        assert scaler.replicas == first
+
+    def test_bounds_respected(self):
+        scaler = Autoscaler(
+            capacity_per_replica=10, min_replicas=2, max_replicas=4, cooldown_ticks=0
+        )
+        scaler.observe(0)
+        assert scaler.replicas == 2
+        scaler.observe(10_000)
+        assert scaler.replicas == 4
+
+    def test_dropped_load(self):
+        scaler = Autoscaler(capacity_per_replica=100, max_replicas=1)
+        assert scaler.dropped_load(250) == 150
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Autoscaler(capacity_per_replica=0)
+        with pytest.raises(ConfigurationError):
+            Autoscaler(capacity_per_replica=1, min_replicas=5, max_replicas=2)
+
+
+class TestTee:
+    def stages(self):
+        return [
+            AppStage("parse", compute_s=0.01, data_mb=1, sensitive=False),
+            AppStage("decrypt", compute_s=0.02, data_mb=10, sensitive=True),
+            AppStage("score", compute_s=0.05, data_mb=10, sensitive=True),
+            AppStage("respond", compute_s=0.01, data_mb=1, sensitive=False),
+        ]
+
+    def test_tee_adds_overhead(self):
+        app = PartitionedApp(self.stages(), EnclaveProfile())
+        assert app.overhead_factor() > 1.0
+
+    def test_consecutive_sensitive_stages_share_a_crossing(self):
+        app = PartitionedApp(self.stages(), EnclaveProfile())
+        _, enclave = app.run_with_tee()
+        assert enclave.crossings == 1
+
+    def test_epc_overflow_pays_paging(self):
+        profile = EnclaveProfile(epc_mb=8.0, paging_penalty_s_per_mb=0.01)
+        small = PartitionedApp(
+            [AppStage("s", 0.01, data_mb=4, sensitive=True)], profile
+        )
+        big = PartitionedApp(
+            [AppStage("s", 0.01, data_mb=64, sensitive=True)], profile
+        )
+        assert big.run_with_tee()[0] > small.run_with_tee()[0] + 0.1
+
+    def test_untrusted_only_app_pays_nothing(self):
+        app = PartitionedApp(
+            [AppStage("s", 0.05, data_mb=1, sensitive=False)], EnclaveProfile()
+        )
+        assert app.overhead_factor() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedApp([], EnclaveProfile())
+        with pytest.raises(ConfigurationError):
+            EnclaveProfile(compute_slowdown=0.5)
+        profile = EnclaveProfile()
+        from repro.serverless import Enclave
+
+        with pytest.raises(EnclaveError):
+            Enclave(profile).ecall(-1.0)

@@ -1,0 +1,178 @@
+"""Tests for the B+-tree, including dict-equivalence properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, KeyNotFoundError
+from repro.spatial import BPlusTree, BTreeMultimap
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+
+    def test_overwrite(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BPlusTree().get(99)
+
+    def test_get_or(self):
+        assert BPlusTree().get_or(1, "d") == "d"
+
+    def test_contains(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_order_validated(self):
+        with pytest.raises(ConfigurationError):
+            BPlusTree(order=2)
+
+
+class TestSplitsAndBalance:
+    def test_many_inserts_keep_sorted_order(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(200))
+        random.Random(0).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert list(tree.keys()) == list(range(200))
+        assert all(tree.get(k) == k * 2 for k in range(200))
+
+    def test_depth_grows_logarithmically(self):
+        tree = BPlusTree(order=8)
+        for i in range(1000):
+            tree.insert(i, i)
+        assert tree.depth() <= 5
+
+    def test_leaf_chain_covers_everything(self):
+        tree = BPlusTree(order=4)
+        for i in range(97):
+            tree.insert(i, i)
+        assert len(list(tree.items())) == 97
+
+
+class TestRange:
+    def test_range_inclusive(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.insert(i, str(i))
+        assert [k for k, _ in tree.range(5, 9)] == [5, 6, 7, 8, 9]
+
+    def test_range_across_leaf_boundaries(self):
+        tree = BPlusTree(order=3)
+        for i in range(50):
+            tree.insert(i, i)
+        assert [k for k, _ in tree.range(10, 40)] == list(range(10, 41))
+
+    def test_empty_range(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        assert list(tree.range(5, 9)) == []
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["delta", "alpha", "echo", "bravo", "charlie"]:
+            tree.insert(word, word.upper())
+        assert [k for k, _ in tree.range("b", "d")] == ["bravo", "charlie"]
+
+
+class TestDelete:
+    def test_delete_removes(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.delete(1)
+        assert 1 not in tree
+        assert len(tree) == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BPlusTree().delete(1)
+
+    def test_delete_preserves_others(self):
+        tree = BPlusTree(order=4)
+        for i in range(100):
+            tree.insert(i, i)
+        for i in range(0, 100, 2):
+            tree.delete(i)
+        assert list(tree.keys()) == list(range(1, 100, 2))
+
+    def test_rebuilt_restores_balance(self):
+        tree = BPlusTree(order=4)
+        for i in range(200):
+            tree.insert(i, i)
+        for i in range(150):
+            tree.delete(i)
+        rebuilt = tree.rebuilt()
+        assert list(rebuilt.items()) == list(tree.items())
+        assert rebuilt.depth() <= tree.depth()
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(0, 50),
+            ),
+            max_size=120,
+        )
+    )
+    def test_dict_equivalence(self, ops):
+        tree = BPlusTree(order=4)
+        model = {}
+        for op, key in ops:
+            if op == "insert":
+                tree.insert(key, key)
+                model[key] = key
+            elif key in model:
+                tree.delete(key)
+                del model[key]
+        assert dict(tree.items()) == model
+        assert list(tree.keys()) == sorted(model)
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.sets(st.integers(-1000, 1000), max_size=200))
+    def test_range_matches_sorted_filter(self, keys):
+        tree = BPlusTree(order=6)
+        for key in keys:
+            tree.insert(key, key)
+        lo, hi = -100, 100
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert [k for k, _ in tree.range(lo, hi)] == expected
+
+
+class TestMultimap:
+    def test_multiple_values_per_key(self):
+        mm = BTreeMultimap(order=4)
+        mm.insert("k", 1)
+        mm.insert("k", 2)
+        assert mm.get_all("k") == [1, 2]
+
+    def test_remove_single_entry(self):
+        mm = BTreeMultimap(order=4)
+        mm.insert("k", 1)
+        mm.insert("k", 2)
+        assert mm.remove("k", 1)
+        assert mm.get_all("k") == [2]
+        assert not mm.remove("k", 99)
+
+    def test_range_spans_keys(self):
+        mm = BTreeMultimap(order=4)
+        mm.insert("a", 1)
+        mm.insert("b", 2)
+        mm.insert("c", 3)
+        assert [v for _, v in mm.range("a", "b")] == [1, 2]

@@ -1,0 +1,128 @@
+"""Tests for the Bx-style moving-object index."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError, KeyNotFoundError
+from repro.spatial import BBox, BxTree, Point, Velocity, interleave_bits
+
+DOMAIN = BBox(0, 0, 1000, 1000)
+
+
+def make_tree(**kwargs):
+    defaults = dict(domain=DOMAIN, resolution_bits=6, phase_interval=30.0, max_speed=10.0)
+    defaults.update(kwargs)
+    return BxTree(**defaults)
+
+
+class TestInterleave:
+    def test_known_values(self):
+        assert interleave_bits(0, 0, 4) == 0
+        assert interleave_bits(1, 0, 4) == 0b01
+        assert interleave_bits(0, 1, 4) == 0b10
+        assert interleave_bits(3, 3, 4) == 0b1111
+
+    def test_bijective_on_grid(self):
+        seen = set()
+        for x in range(16):
+            for y in range(16):
+                seen.add(interleave_bits(x, y, 4))
+        assert len(seen) == 256
+
+
+class TestUpdates:
+    def test_insert_and_contains(self):
+        tree = make_tree()
+        tree.update("a", Point(10, 10), Velocity(0, 0), now=0.0)
+        assert "a" in tree
+        assert len(tree) == 1
+
+    def test_update_replaces(self):
+        tree = make_tree()
+        tree.update("a", Point(10, 10), Velocity(0, 0), now=0.0)
+        tree.update("a", Point(500, 500), Velocity(0, 0), now=5.0)
+        assert len(tree) == 1
+        found = tree.query_range(BBox(490, 490, 510, 510), t=5.0)
+        assert found == ["a"]
+
+    def test_remove(self):
+        tree = make_tree()
+        tree.update("a", Point(10, 10), Velocity(0, 0), now=0.0)
+        tree.remove("a")
+        assert "a" not in tree
+        with pytest.raises(KeyNotFoundError):
+            tree.remove("a")
+
+    def test_speed_limit_enforced(self):
+        tree = make_tree(max_speed=5.0)
+        with pytest.raises(ConfigurationError):
+            tree.update("fast", Point(0, 0), Velocity(10, 0), now=0.0)
+
+    def test_phase_expiry(self):
+        tree = make_tree(phase_interval=10.0)
+        tree.update("a", Point(10, 10), Velocity(0, 0), now=0.0)
+        assert tree.active_phases == [0]
+        tree.update("a", Point(10, 10), Velocity(0, 0), now=25.0)
+        assert tree.active_phases == [3]
+
+
+class TestQueries:
+    def test_static_object_found(self):
+        tree = make_tree()
+        tree.update("a", Point(100, 100), Velocity(0, 0), now=0.0)
+        assert tree.query_range(BBox(90, 90, 110, 110), t=0.0) == ["a"]
+
+    def test_static_object_not_found_elsewhere(self):
+        tree = make_tree()
+        tree.update("a", Point(100, 100), Velocity(0, 0), now=0.0)
+        assert tree.query_range(BBox(300, 300, 400, 400), t=0.0) == []
+
+    def test_moving_object_found_at_predicted_position(self):
+        tree = make_tree()
+        # Starts at (100, 100) moving +5/s in x: at t=20 it is at (200, 100).
+        tree.update("m", Point(100, 100), Velocity(5, 0), now=0.0)
+        assert tree.query_range(BBox(195, 95, 205, 105), t=20.0) == ["m"]
+        assert tree.query_range(BBox(95, 95, 105, 105), t=20.0) == []
+
+    def test_position_at(self):
+        tree = make_tree()
+        tree.update("m", Point(0, 0), Velocity(1, 2), now=0.0)
+        assert tree.position_at("m", 10.0) == Point(10, 20)
+        with pytest.raises(KeyNotFoundError):
+            tree.position_at("ghost", 0.0)
+
+    def test_query_matches_brute_force(self):
+        rng = random.Random(9)
+        tree = make_tree(resolution_bits=5)
+        objects = {}
+        for i in range(300):
+            point = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            velocity = Velocity(rng.uniform(-8, 8), rng.uniform(-6, 6))
+            now = rng.uniform(0, 20)
+            objects[i] = (point, velocity, now)
+            tree.update(i, point, velocity, now=now)
+        t = 25.0
+        query = BBox(200, 200, 600, 600)
+        expected = set()
+        for i, (point, velocity, now) in enumerate(
+            (objects[i] for i in sorted(objects))
+        ):
+            x = point.x + velocity.vx * (t - now)
+            y = point.y + velocity.vy * (t - now)
+            if query.contains_point(Point(x, y)):
+                expected.add(i)
+        assert set(tree.query_range(query, t=t)) == expected
+
+    def test_objects_in_multiple_phases_all_found(self):
+        tree = make_tree(phase_interval=10.0)
+        tree.update("old", Point(100, 100), Velocity(0, 0), now=0.0)
+        tree.update("new", Point(110, 110), Velocity(0, 0), now=15.0)
+        found = set(tree.query_range(BBox(90, 90, 120, 120), t=16.0))
+        assert found == {"old", "new"}
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            make_tree(resolution_bits=1)
+        with pytest.raises(ConfigurationError):
+            make_tree(phase_interval=0)

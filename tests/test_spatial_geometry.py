@@ -1,0 +1,95 @@
+"""Tests for geometry primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError
+from repro.spatial import BBox, Point, Velocity, predicted_position
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_translate(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_points_are_hashable(self):
+        assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+
+
+class TestBBox:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BBox(1, 0, 0, 1)
+
+    def test_contains_point_inclusive(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.contains_point(Point(0, 0))
+        assert box.contains_point(Point(10, 10))
+        assert not box.contains_point(Point(10.01, 5))
+
+    def test_intersects(self):
+        a = BBox(0, 0, 10, 10)
+        assert a.intersects(BBox(5, 5, 15, 15))
+        assert a.intersects(BBox(10, 10, 20, 20))  # touching counts
+        assert not a.intersects(BBox(11, 11, 20, 20))
+
+    def test_union_and_enlargement(self):
+        a = BBox(0, 0, 2, 2)
+        b = BBox(3, 0, 4, 2)
+        union = a.union(b)
+        assert union == BBox(0, 0, 4, 2)
+        assert a.enlargement(b) == union.area - a.area
+
+    def test_contains_box(self):
+        assert BBox(0, 0, 10, 10).contains_box(BBox(1, 1, 9, 9))
+        assert not BBox(0, 0, 10, 10).contains_box(BBox(1, 1, 11, 9))
+
+    def test_center_and_dims(self):
+        box = BBox(0, 0, 4, 2)
+        assert box.center == Point(2, 1)
+        assert box.width == 4
+        assert box.height == 2
+        assert box.area == 8
+
+    def test_around(self):
+        box = BBox.around(Point(5, 5), 2)
+        assert box == BBox(3, 3, 7, 7)
+        with pytest.raises(ConfigurationError):
+            BBox.around(Point(0, 0), -1)
+
+    def test_from_points(self):
+        box = BBox.from_points([Point(1, 5), Point(3, 2)])
+        assert box == BBox(1, 2, 3, 5)
+        with pytest.raises(ConfigurationError):
+            BBox.from_points([])
+
+    def test_min_distance(self):
+        box = BBox(0, 0, 10, 10)
+        assert box.min_distance_to(Point(5, 5)) == 0.0
+        assert box.min_distance_to(Point(13, 14)) == 5.0
+
+    @given(x0=finite, y0=finite, w=st.floats(0, 1e3), h=st.floats(0, 1e3))
+    def test_union_is_commutative_and_covering(self, x0, y0, w, h):
+        a = BBox(x0, y0, x0 + w, y0 + h)
+        b = BBox(x0 - 1, y0 - 1, x0 + 1, y0 + 1)
+        assert a.union(b) == b.union(a)
+        assert a.union(b).contains_box(a)
+        assert a.union(b).contains_box(b)
+
+
+class TestMotion:
+    def test_velocity_speed(self):
+        assert Velocity(3, 4).speed == 5.0
+
+    def test_predicted_position(self):
+        pos = predicted_position(Point(0, 0), Velocity(1, 2), dt=3.0)
+        assert pos == Point(3, 6)
+
+    def test_prediction_backwards_in_time(self):
+        pos = predicted_position(Point(10, 10), Velocity(1, 0), dt=-2.0)
+        assert pos == Point(8, 10)

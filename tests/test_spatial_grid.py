@@ -1,0 +1,129 @@
+"""Tests for the uniform grid index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, KeyNotFoundError
+from repro.spatial import BBox, GridIndex, Point
+
+coords = st.floats(-1000, 1000, allow_nan=False, allow_infinity=False)
+
+
+class TestBasics:
+    def test_insert_and_position(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("a", Point(5, 5))
+        assert grid.position("a") == Point(5, 5)
+        assert "a" in grid
+        assert len(grid) == 1
+
+    def test_insert_existing_moves(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("a", Point(5, 5))
+        grid.insert("a", Point(100, 100))
+        assert grid.position("a") == Point(100, 100)
+        assert len(grid) == 1
+
+    def test_move_unknown_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            GridIndex().move("ghost", Point(0, 0))
+
+    def test_remove(self):
+        grid = GridIndex()
+        grid.insert("a", Point(0, 0))
+        grid.remove("a")
+        assert "a" not in grid
+        with pytest.raises(KeyNotFoundError):
+            grid.remove("a")
+
+    def test_cell_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex(cell_size=0)
+
+    def test_empty_cells_are_pruned(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("a", Point(5, 5))
+        grid.move("a", Point(105, 105))
+        assert grid.occupied_cells == 1
+
+
+class TestRangeQueries:
+    def test_exact_containment(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("in", Point(5, 5))
+        grid.insert("edge", Point(10, 10))
+        grid.insert("out", Point(11, 11))
+        found = set(grid.query_range(BBox(0, 0, 10, 10)))
+        assert found == {"in", "edge"}
+
+    def test_query_spanning_cells(self):
+        grid = GridIndex(cell_size=5)
+        for i in range(100):
+            grid.insert(i, Point(float(i), float(i)))
+        found = grid.query_range(BBox(10, 10, 50, 50))
+        assert sorted(found) == list(range(10, 51))
+
+    def test_radius_query(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("near", Point(3, 4))  # distance 5
+        grid.insert("far", Point(30, 40))  # distance 50
+        assert grid.query_radius(Point(0, 0), 5.0) == ["near"]
+        with pytest.raises(ConfigurationError):
+            grid.query_radius(Point(0, 0), -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(st.tuples(coords, coords), min_size=1, max_size=60),
+        qx=coords,
+        qy=coords,
+    )
+    def test_range_matches_brute_force(self, points, qx, qy):
+        grid = GridIndex(cell_size=37.0)
+        for idx, (x, y) in enumerate(points):
+            grid.insert(idx, Point(x, y))
+        box = BBox(qx, qy, qx + 200, qy + 150)
+        expected = {
+            idx for idx, (x, y) in enumerate(points) if box.contains_point(Point(x, y))
+        }
+        assert set(grid.query_range(box)) == expected
+
+
+class TestNearest:
+    def test_nearest_single(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("a", Point(1, 1))
+        grid.insert("b", Point(50, 50))
+        assert grid.nearest(Point(0, 0), k=1) == ["a"]
+
+    def test_nearest_k_ordering(self):
+        grid = GridIndex(cell_size=10)
+        for i, x in enumerate([1.0, 5.0, 20.0, 100.0]):
+            grid.insert(f"o{i}", Point(x, 0))
+        assert grid.nearest(Point(0, 0), k=3) == ["o0", "o1", "o2"]
+
+    def test_nearest_empty(self):
+        assert GridIndex().nearest(Point(0, 0)) == []
+
+    def test_nearest_more_than_population(self):
+        grid = GridIndex(cell_size=10)
+        grid.insert("a", Point(0, 0))
+        assert grid.nearest(Point(5, 5), k=10) == ["a"]
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            GridIndex().nearest(Point(0, 0), k=0)
+
+    def test_nearest_matches_brute_force(self):
+        rng = random.Random(11)
+        grid = GridIndex(cell_size=25)
+        pts = {}
+        for i in range(200):
+            p = Point(rng.uniform(0, 500), rng.uniform(0, 500))
+            pts[i] = p
+            grid.insert(i, p)
+        center = Point(250, 250)
+        expected = sorted(pts, key=lambda i: pts[i].distance_to(center))[:5]
+        assert grid.nearest(center, k=5) == expected

@@ -1,0 +1,207 @@
+"""Tests for the HDoV visibility tree."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.spatial import BBox, HDoVTree, Point, SceneObject
+
+DOMAIN = BBox(0, 0, 1000, 1000)
+
+
+def obj(object_id, x, y, radius=5.0, lods=(100, 1000, 10000)):
+    return SceneObject(object_id, Point(x, y), radius, tuple(lods))
+
+
+class TestSceneObject:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SceneObject("bad", Point(0, 0), -1, (10,))
+        with pytest.raises(ConfigurationError):
+            SceneObject("bad", Point(0, 0), 1, ())
+        with pytest.raises(ConfigurationError):
+            SceneObject("bad", Point(0, 0), 1, (100, 10))  # not ascending
+
+    def test_finest_bytes(self):
+        assert obj("a", 0, 0).finest_bytes == 10000
+
+
+class TestDov:
+    def test_dov_decreases_with_distance(self):
+        near = HDoVTree.degree_of_visibility(5.0, 10.0)
+        far = HDoVTree.degree_of_visibility(5.0, 100.0)
+        assert near > far
+
+    def test_dov_clamped_to_one(self):
+        assert HDoVTree.degree_of_visibility(5.0, 1.0) == 1.0
+
+
+class TestQueryVisible:
+    def build(self, n=200, seed=0):
+        tree = HDoVTree(DOMAIN, leaf_capacity=8)
+        rng = random.Random(seed)
+        for i in range(n):
+            tree.insert(obj(f"o{i}", rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        return tree
+
+    def test_insert_outside_domain_rejected(self):
+        tree = HDoVTree(DOMAIN)
+        with pytest.raises(ConfigurationError):
+            tree.insert(obj("out", 2000, 2000))
+
+    def test_nearby_objects_visible(self):
+        tree = HDoVTree(DOMAIN)
+        tree.insert(obj("near", 500, 500))
+        visible = tree.query_visible(Point(500, 505), view_radius=100)
+        assert [v.obj.object_id for v in visible] == ["near"]
+
+    def test_out_of_view_radius_not_returned(self):
+        tree = HDoVTree(DOMAIN)
+        tree.insert(obj("far", 900, 900))
+        assert tree.query_visible(Point(100, 100), view_radius=200) == []
+
+    def test_recall_of_visible_set_is_total(self):
+        """Every object within view radius and above cull DoV is returned."""
+        tree = self.build()
+        viewpoint = Point(500, 500)
+        view_radius = 300.0
+        visible_ids = {
+            v.obj.object_id for v in tree.query_visible(viewpoint, view_radius)
+        }
+        # Brute force over all inserted objects.
+        rng = random.Random(0)
+        for i in range(200):
+            x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+            pos = Point(x, y)
+            distance = pos.distance_to(viewpoint)
+            dov = HDoVTree.degree_of_visibility(5.0, distance)
+            if distance <= view_radius and dov >= tree.dov_thresholds[0]:
+                assert f"o{i}" in visible_ids
+
+    def test_closer_objects_get_finer_lod(self):
+        tree = HDoVTree(DOMAIN, dov_thresholds=(0.002, 0.05, 0.3))
+        tree.insert(obj("close", 500, 500, radius=5))
+        tree.insert(obj("mid", 500, 550, radius=5))
+        tree.insert(obj("far", 500, 900, radius=5))
+        by_id = {
+            v.obj.object_id: v
+            for v in tree.query_visible(Point(500, 495), view_radius=1000)
+        }
+        assert by_id["close"].lod_level > by_id["mid"].lod_level
+        assert by_id["mid"].lod_level >= by_id["far"].lod_level
+
+    def test_culling_prunes_subtrees(self):
+        tree = self.build(n=500, seed=1)
+        # A tiny view radius should visit far fewer nodes than the tree holds.
+        tree.query_visible(Point(500, 500), view_radius=50)
+        small_visit = tree.nodes_visited
+        tree.query_visible(Point(500, 500), view_radius=2000)
+        large_visit = tree.nodes_visited
+        assert small_visit < large_visit
+
+    def test_view_radius_validated(self):
+        with pytest.raises(ConfigurationError):
+            HDoVTree(DOMAIN).query_visible(Point(0, 0), view_radius=0)
+
+
+class TestWalkthrough:
+    def test_walkthrough_far_cheaper_than_full_scene(self):
+        """E7 shape: visibility/LOD culling cuts bytes by a large factor."""
+        tree = HDoVTree(DOMAIN, leaf_capacity=8)
+        rng = random.Random(2)
+        for i in range(1000):
+            tree.insert(
+                obj(f"o{i}", rng.uniform(0, 1000), rng.uniform(0, 1000), radius=2.0)
+            )
+        path = [Point(100 + 20 * i, 500) for i in range(10)]
+        walk_bytes = tree.walkthrough_bytes(path, view_radius=150)
+        full_bytes = tree.full_scene_bytes()
+        assert walk_bytes < full_bytes / 5
+
+    def test_revisits_do_not_refetch(self):
+        tree = HDoVTree(DOMAIN)
+        tree.insert(obj("a", 500, 500))
+        path = [Point(500, 505), Point(500, 505)]
+        once = tree.walkthrough_bytes(path[:1], view_radius=100)
+        twice = tree.walkthrough_bytes(path, view_radius=100)
+        assert once == twice
+
+    def test_approach_pays_upgrade_only(self):
+        tree = HDoVTree(DOMAIN, dov_thresholds=(0.001, 0.05, 0.5))
+        tree.insert(obj("a", 500, 500, radius=5, lods=(100, 1000, 10000)))
+        far_then_near = tree.walkthrough_bytes(
+            [Point(500, 800), Point(500, 510)], view_radius=1000
+        )
+        # Fetches coarse at distance, then the finer level on approach.
+        assert far_then_near in (100 + 1000, 100 + 10000, 1000 + 10000, 100 + 1000 + 10000)
+        assert far_then_near > 100
+
+
+class TestDynamicUpdates:
+    def build(self):
+        tree = HDoVTree(DOMAIN, leaf_capacity=4)
+        for i in range(20):
+            tree.insert(obj(f"o{i}", 100 + i * 10, 500))
+        return tree
+
+    def test_duplicate_insert_rejected(self):
+        tree = self.build()
+        with pytest.raises(ConfigurationError):
+            tree.insert(obj("o0", 50, 50))
+
+    def test_remove_hides_object(self):
+        tree = self.build()
+        tree.remove("o0")
+        assert len(tree) == 19
+        visible = {v.obj.object_id for v in tree.query_visible(Point(100, 500), 50)}
+        assert "o0" not in visible
+        with pytest.raises(ConfigurationError):
+            tree.remove("o0")
+
+    def test_update_position_moves_object(self):
+        tree = self.build()
+        tree.update_position("o0", Point(900, 900))
+        near_old = {v.obj.object_id for v in tree.query_visible(Point(100, 500), 30)}
+        near_new = {v.obj.object_id for v in tree.query_visible(Point(900, 900), 30)}
+        assert "o0" not in near_old
+        assert "o0" in near_new
+        assert len(tree) == 20
+
+    def test_update_unknown_rejected(self):
+        tree = self.build()
+        with pytest.raises(ConfigurationError):
+            tree.update_position("ghost", Point(0, 0))
+        with pytest.raises(ConfigurationError):
+            tree.update_position("o0", Point(99999, 0))
+
+    def test_many_moves_stay_correct_through_rebuilds(self):
+        import random
+
+        rng = random.Random(6)
+        tree = HDoVTree(DOMAIN, leaf_capacity=4)
+        positions = {}
+        for i in range(50):
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            positions[f"m{i}"] = p
+            tree.insert(obj(f"m{i}", p.x, p.y))
+        for _ in range(300):
+            object_id = f"m{rng.randrange(50)}"
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            positions[object_id] = p
+            tree.update_position(object_id, p)
+        viewpoint = Point(500, 500)
+        visible = {v.obj.object_id for v in tree.query_visible(viewpoint, 300)}
+        for object_id, p in positions.items():
+            distance = p.distance_to(viewpoint)
+            dov = HDoVTree.degree_of_visibility(5.0, distance)
+            if distance <= 300 and dov >= tree.dov_thresholds[0]:
+                assert object_id in visible, object_id
+            elif distance > 300:
+                assert object_id not in visible, object_id
+
+    def test_full_scene_bytes_tracks_live_set(self):
+        tree = self.build()
+        before = tree.full_scene_bytes()
+        tree.remove("o0")
+        assert tree.full_scene_bytes() < before

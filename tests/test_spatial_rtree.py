@@ -1,0 +1,170 @@
+"""Tests for the R-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, KeyNotFoundError
+from repro.spatial import BBox, Point, RTree
+
+
+def box_at(x, y, w=1.0, h=1.0):
+    return BBox(x, y, x + w, y + h)
+
+
+class TestBasics:
+    def test_insert_query(self):
+        tree = RTree()
+        tree.insert("a", box_at(0, 0))
+        assert tree.query_range(BBox(0, 0, 10, 10)) == ["a"]
+
+    def test_insert_point(self):
+        tree = RTree()
+        tree.insert_point("p", Point(5, 5))
+        assert tree.query_range(BBox(4, 4, 6, 6)) == ["p"]
+
+    def test_reinsert_same_id_replaces(self):
+        tree = RTree()
+        tree.insert("a", box_at(0, 0))
+        tree.insert("a", box_at(100, 100))
+        assert len(tree) == 1
+        assert tree.query_range(BBox(0, 0, 10, 10)) == []
+        assert tree.query_range(BBox(99, 99, 110, 110)) == ["a"]
+
+    def test_bbox_of(self):
+        tree = RTree()
+        tree.insert("a", box_at(1, 2))
+        assert tree.bbox_of("a") == box_at(1, 2)
+        with pytest.raises(KeyNotFoundError):
+            tree.bbox_of("ghost")
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=3)
+
+
+class TestSplitsAndScale:
+    def test_many_inserts_query_correct(self):
+        tree = RTree(max_entries=4)
+        rng = random.Random(0)
+        boxes = {}
+        for i in range(300):
+            box = box_at(rng.uniform(0, 1000), rng.uniform(0, 1000), 5, 5)
+            boxes[i] = box
+            tree.insert(i, box)
+        query = BBox(200, 200, 400, 400)
+        expected = {i for i, b in boxes.items() if b.intersects(query)}
+        assert set(tree.query_range(query)) == expected
+
+    def test_depth_reasonable(self):
+        tree = RTree(max_entries=8)
+        rng = random.Random(1)
+        for i in range(500):
+            tree.insert(i, box_at(rng.uniform(0, 1000), rng.uniform(0, 1000)))
+        assert tree.depth() <= 6
+
+    def test_bulk_load_equivalent(self):
+        rng = random.Random(2)
+        items = [
+            (i, box_at(rng.uniform(0, 500), rng.uniform(0, 500)))
+            for i in range(100)
+        ]
+        tree = RTree.bulk_load(items)
+        query = BBox(100, 100, 300, 300)
+        expected = {i for i, b in items if b.intersects(query)}
+        assert set(tree.query_range(query)) == expected
+
+
+class TestRemove:
+    def test_remove_then_gone(self):
+        tree = RTree()
+        tree.insert("a", box_at(0, 0))
+        tree.remove("a")
+        assert len(tree) == 0
+        assert tree.query_range(BBox(-10, -10, 10, 10)) == []
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            RTree().remove("ghost")
+
+    def test_remove_half_preserves_rest(self):
+        tree = RTree(max_entries=4)
+        rng = random.Random(3)
+        boxes = {}
+        for i in range(200):
+            box = box_at(rng.uniform(0, 500), rng.uniform(0, 500))
+            boxes[i] = box
+            tree.insert(i, box)
+        for i in range(0, 200, 2):
+            tree.remove(i)
+        query = BBox(0, 0, 500, 501)
+        assert set(tree.query_range(query)) == set(range(1, 200, 2))
+        assert len(tree) == 100
+
+
+class TestNearest:
+    def test_nearest_simple(self):
+        tree = RTree()
+        tree.insert_point("near", Point(1, 0))
+        tree.insert_point("far", Point(100, 0))
+        assert tree.nearest(Point(0, 0), k=1) == ["near"]
+
+    def test_nearest_k_matches_brute_force(self):
+        tree = RTree(max_entries=4)
+        rng = random.Random(4)
+        pts = {}
+        for i in range(150):
+            p = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            pts[i] = p
+            tree.insert_point(i, p)
+        center = Point(50, 50)
+        expected = sorted(pts, key=lambda i: pts[i].distance_to(center))[:7]
+        assert tree.nearest(center, k=7) == expected
+
+    def test_k_validated(self):
+        with pytest.raises(ConfigurationError):
+            RTree().nearest(Point(0, 0), k=0)
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        coords=st.lists(
+            st.tuples(
+                st.floats(0, 1000, allow_nan=False),
+                st.floats(0, 1000, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_range_query_matches_brute_force(self, coords):
+        tree = RTree(max_entries=4)
+        boxes = {}
+        for i, (x, y) in enumerate(coords):
+            box = box_at(x, y, 10, 10)
+            boxes[i] = box
+            tree.insert(i, box)
+        query = BBox(250, 250, 750, 750)
+        expected = {i for i, b in boxes.items() if b.intersects(query)}
+        assert set(tree.query_range(query)) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 60),
+        removals=st.lists(st.integers(0, 59), max_size=40),
+    )
+    def test_insert_remove_size_invariant(self, n, removals):
+        tree = RTree(max_entries=4)
+        rng = random.Random(5)
+        for i in range(n):
+            tree.insert(i, box_at(rng.uniform(0, 100), rng.uniform(0, 100)))
+        alive = set(range(n))
+        for r in removals:
+            if r in alive:
+                tree.remove(r)
+                alive.discard(r)
+        assert len(tree) == len(alive)
+        assert set(tree.query_range(BBox(-10, -10, 120, 120))) == alive

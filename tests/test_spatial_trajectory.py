@@ -1,0 +1,162 @@
+"""Tests for trajectory storage, interpolation, and simplification."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, KeyNotFoundError
+from repro.spatial import BBox, Point, Trajectory, TrajectoryStore
+
+
+class TestTrajectory:
+    def test_append_monotonic_time_enforced(self):
+        trajectory = Trajectory()
+        trajectory.append(1.0, Point(0, 0))
+        with pytest.raises(ConfigurationError):
+            trajectory.append(1.0, Point(1, 1))
+
+    def test_interpolation_midpoint(self):
+        trajectory = Trajectory()
+        trajectory.append(0.0, Point(0, 0))
+        trajectory.append(10.0, Point(10, 20))
+        assert trajectory.position_at(5.0) == Point(5, 10)
+
+    def test_interpolation_clamped_at_ends(self):
+        trajectory = Trajectory()
+        trajectory.append(5.0, Point(1, 1))
+        trajectory.append(10.0, Point(2, 2))
+        assert trajectory.position_at(0.0) == Point(1, 1)
+        assert trajectory.position_at(20.0) == Point(2, 2)
+
+    def test_empty_interpolation_raises(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory().position_at(0.0)
+
+    def test_slice_window(self):
+        trajectory = Trajectory()
+        for t in range(10):
+            trajectory.append(float(t), Point(t, 0))
+        window = trajectory.slice(3.0, 6.0)
+        assert [s.t for s in window] == [3.0, 4.0, 5.0, 6.0]
+        with pytest.raises(ConfigurationError):
+            trajectory.slice(6.0, 3.0)
+
+    def test_length(self):
+        trajectory = Trajectory()
+        trajectory.append(0.0, Point(0, 0))
+        trajectory.append(1.0, Point(3, 4))
+        trajectory.append(2.0, Point(3, 4))
+        assert trajectory.length() == 5.0
+
+    def test_start_end_time(self):
+        trajectory = Trajectory()
+        trajectory.append(2.0, Point(0, 0))
+        trajectory.append(9.0, Point(1, 1))
+        assert trajectory.start_time == 2.0
+        assert trajectory.end_time == 9.0
+
+
+class TestSimplification:
+    def test_straight_line_collapses_to_endpoints(self):
+        trajectory = Trajectory()
+        for t in range(100):
+            trajectory.append(float(t), Point(float(t), 2.0 * t))
+        simplified = trajectory.simplified(tolerance=0.01)
+        assert len(simplified) == 2
+
+    def test_corner_is_preserved(self):
+        trajectory = Trajectory()
+        for t in range(10):
+            trajectory.append(float(t), Point(float(t), 0))
+        for t in range(10, 20):
+            trajectory.append(float(t), Point(9.0, float(t - 9)))
+        simplified = trajectory.simplified(tolerance=0.5)
+        corner_kept = any(
+            s.point == Point(9.0, 0.0) or s.point == Point(9.0, 1.0)
+            for s in simplified.samples()
+        )
+        assert corner_kept
+
+    def test_simplified_stays_within_tolerance(self):
+        import random
+
+        rng = random.Random(5)
+        trajectory = Trajectory()
+        x = y = 0.0
+        for t in range(200):
+            x += rng.uniform(0, 2)
+            y += rng.uniform(-1, 1)
+            trajectory.append(float(t), Point(x, y))
+        tolerance = 3.0
+        simplified = trajectory.simplified(tolerance)
+        for sample in trajectory.samples():
+            approx = simplified.position_at(sample.t)
+            # Conservative check: interpolated error bounded by a small
+            # multiple of the DP perpendicular tolerance.
+            assert approx.distance_to(sample.point) <= 4 * tolerance
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Trajectory().simplified(-1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ys=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=3, max_size=50
+        )
+    )
+    def test_simplified_is_subset_and_keeps_endpoints(self, ys):
+        trajectory = Trajectory()
+        for t, y in enumerate(ys):
+            trajectory.append(float(t), Point(float(t), y))
+        simplified = trajectory.simplified(tolerance=5.0)
+        original = {(s.t, s.point) for s in trajectory.samples()}
+        for sample in simplified.samples():
+            assert (sample.t, sample.point) in original
+        assert simplified.samples()[0].t == 0.0
+        assert simplified.samples()[-1].t == float(len(ys) - 1)
+
+
+class TestTrajectoryStore:
+    def build(self):
+        store = TrajectoryStore()
+        for t in range(10):
+            store.append("walker", float(t), Point(float(t * 10), 0))
+            store.append("static", float(t), Point(500, 500))
+        return store
+
+    def test_append_and_lookup(self):
+        store = self.build()
+        assert len(store) == 2
+        assert "walker" in store
+        with pytest.raises(KeyNotFoundError):
+            store.trajectory("ghost")
+
+    def test_region_during_window(self):
+        store = self.build()
+        found = store.objects_in_region_during(BBox(0, -1, 30, 1), 0.0, 9.0)
+        assert found == ["walker"]
+
+    def test_positions_at(self):
+        store = self.build()
+        positions = store.positions_at(4.5)
+        assert positions["walker"] == Point(45, 0)
+        assert positions["static"] == Point(500, 500)
+
+    def test_positions_at_outside_lifetime_excluded(self):
+        store = TrajectoryStore()
+        store.append("a", 5.0, Point(0, 0))
+        store.append("a", 6.0, Point(1, 1))
+        assert store.positions_at(100.0) == {}
+
+    def test_store_simplification_reduces_samples(self):
+        store = TrajectoryStore()
+        for t in range(100):
+            store.append("line", float(t), Point(float(t), float(t)))
+        simplified = store.simplified(tolerance=0.1)
+        assert simplified.total_samples() < store.total_samples()
+        assert math.isclose(
+            simplified.trajectory("line").position_at(50.0).x, 50.0, abs_tol=0.2
+        )

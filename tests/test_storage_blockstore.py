@@ -1,0 +1,111 @@
+"""Tests for the fixed-size block store."""
+
+import pytest
+
+from repro.core import ConfigurationError, StorageError
+from repro.storage import BlockStore
+
+
+class TestAllocation:
+    def test_allocate_and_count(self):
+        store = BlockStore(block_size=16, capacity_blocks=8)
+        extent = store.allocate(3)
+        assert extent.count == 3
+        assert store.allocated_blocks == 3
+
+    def test_capacity_enforced(self):
+        store = BlockStore(block_size=16, capacity_blocks=4)
+        store.allocate(4)
+        with pytest.raises(StorageError):
+            store.allocate(1)
+
+    def test_free_then_reuse(self):
+        store = BlockStore(block_size=16, capacity_blocks=2)
+        extent = store.allocate(2)
+        store.free(extent)
+        again = store.allocate(1)
+        assert store.allocated_blocks == 1
+        assert list(again.blocks())[0] in extent.blocks()
+
+    def test_double_free_rejected(self):
+        store = BlockStore()
+        extent = store.allocate(1)
+        store.free(extent)
+        with pytest.raises(StorageError):
+            store.free(extent)
+
+    def test_contiguous_run_found_in_freed_space(self):
+        store = BlockStore(block_size=16, capacity_blocks=4)
+        first = store.allocate(2)
+        store.allocate(2)
+        store.free(first)
+        extent = store.allocate(2)  # must reuse the freed contiguous run
+        assert list(extent.blocks()) == list(first.blocks())
+
+    def test_fragmentation_error(self):
+        store = BlockStore(block_size=16, capacity_blocks=4)
+        extents = [store.allocate(1) for _ in range(4)]
+        store.free(extents[0])
+        store.free(extents[2])  # two free blocks, not contiguous
+        with pytest.raises(StorageError):
+            store.allocate(2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BlockStore(block_size=0)
+        with pytest.raises(ConfigurationError):
+            BlockStore().allocate(0)
+
+
+class TestIO:
+    def test_write_read_block(self):
+        store = BlockStore(block_size=16)
+        extent = store.allocate(1)
+        block_id = next(iter(extent.blocks()))
+        store.write_block(block_id, b"hello")
+        assert store.read_block(block_id) == b"hello"
+
+    def test_oversized_write_rejected(self):
+        store = BlockStore(block_size=4)
+        extent = store.allocate(1)
+        with pytest.raises(StorageError):
+            store.write_block(next(iter(extent.blocks())), b"too-long")
+
+    def test_unallocated_io_rejected(self):
+        store = BlockStore()
+        with pytest.raises(StorageError):
+            store.write_block(0, b"x")
+        with pytest.raises(StorageError):
+            store.read_block(0)
+
+    def test_extent_striping_roundtrip(self):
+        store = BlockStore(block_size=4)
+        extent = store.allocate(3)
+        store.write_extent(extent, b"abcdefghij")
+        assert store.read_extent(extent) == b"abcdefghij"
+
+    def test_extent_overflow_rejected(self):
+        store = BlockStore(block_size=4)
+        extent = store.allocate(1)
+        with pytest.raises(StorageError):
+            store.write_extent(extent, b"12345")
+
+    def test_io_metrics(self):
+        store = BlockStore(block_size=16)
+        extent = store.allocate(1)
+        block_id = next(iter(extent.blocks()))
+        store.write_block(block_id, b"data")
+        store.read_block(block_id)
+        assert store.metrics.counter("blk.writes").value == 1
+        assert store.metrics.counter("blk.reads").value == 1
+        assert store.metrics.counter("blk.bytes_written").value == 4
+
+    def test_freed_block_loses_data(self):
+        store = BlockStore(block_size=16, capacity_blocks=2)
+        extent = store.allocate(1)
+        block_id = next(iter(extent.blocks()))
+        store.write_block(block_id, b"secret")
+        store.free(extent)
+        fresh = store.allocate(1)
+        if block_id in fresh.blocks():
+            assert store.read_block(block_id) == b""

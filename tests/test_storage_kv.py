@@ -1,0 +1,183 @@
+"""Tests for the LSM-style KV store, including crash recovery and properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeyNotFoundError
+from repro.storage import KVStore, WriteAheadLog
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        assert kv.get("a") == 1
+
+    def test_overwrite(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        kv.put("a", 2)
+        assert kv.get("a") == 2
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            KVStore().get("ghost")
+
+    def test_get_or_default(self):
+        assert KVStore().get_or("ghost", 42) == 42
+
+    def test_delete(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        kv.delete("a")
+        assert "a" not in kv
+        with pytest.raises(KeyNotFoundError):
+            kv.get("a")
+
+    def test_delete_missing_is_noop(self):
+        KVStore().delete("ghost")
+
+    def test_contains(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        assert "a" in kv
+        assert "b" not in kv
+
+    def test_json_values(self):
+        kv = KVStore()
+        kv.put("a", {"nested": [1, 2, {"x": None}]})
+        assert kv.get("a") == {"nested": [1, 2, {"x": None}]}
+
+
+class TestScan:
+    def test_scan_range_inclusive_sorted(self):
+        kv = KVStore()
+        for key in ["d", "a", "c", "b", "e"]:
+            kv.put(key, key.upper())
+        assert list(kv.scan("b", "d")) == [("b", "B"), ("c", "C"), ("d", "D")]
+
+    def test_scan_sees_latest_across_runs(self):
+        kv = KVStore(memtable_budget_bytes=1)
+        kv.put("k", "old")  # flushes immediately
+        kv.put("k", "new")
+        assert dict(kv.scan("", "z"))["k"] == "new"
+
+    def test_scan_skips_tombstones(self):
+        kv = KVStore(memtable_budget_bytes=1)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        kv.delete("a")
+        assert list(kv.scan("", "z")) == [("b", 2)]
+
+    def test_keys_and_len(self):
+        kv = KVStore()
+        kv.put("x", 1)
+        kv.put("y", 2)
+        kv.delete("x")
+        assert kv.keys() == ["y"]
+        assert len(kv) == 1
+
+
+class TestFlushCompact:
+    def test_flush_on_budget(self):
+        kv = KVStore(memtable_budget_bytes=64)
+        for i in range(50):
+            kv.put(f"key-{i:04d}", "v" * 20)
+        assert kv.run_count >= 1
+        assert kv.get("key-0000") == "v" * 20
+
+    def test_compaction_bounds_runs(self):
+        kv = KVStore(memtable_budget_bytes=1, max_runs=3)
+        for i in range(20):
+            kv.put(f"k{i}", i)
+        assert kv.run_count <= 3
+
+    def test_compaction_preserves_data(self):
+        kv = KVStore(memtable_budget_bytes=1, max_runs=2)
+        for i in range(30):
+            kv.put(f"k{i:02d}", i)
+        kv.delete("k05")
+        kv.flush()
+        kv.compact()
+        assert kv.get("k00") == 0
+        assert kv.get("k29") == 29
+        assert "k05" not in kv
+
+    def test_explicit_flush_empty_is_noop(self):
+        kv = KVStore()
+        kv.flush()
+        assert kv.run_count == 0
+
+
+class TestRecovery:
+    def test_recover_replays_committed_writes(self):
+        wal = WriteAheadLog()
+        kv = KVStore(wal=wal)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        kv.delete("a")
+        # Simulated crash: all in-memory state is lost, WAL survives.
+        recovered = KVStore(wal=wal)
+        applied = recovered.recover()
+        assert applied == 3
+        assert "a" not in recovered
+        assert recovered.get("b") == 2
+
+    def test_recover_stops_at_torn_write(self):
+        wal = WriteAheadLog()
+        kv = KVStore(wal=wal)
+        kv.put("a", 1)
+        kv.put("b", 2)
+        wal.corrupt_tail(4)  # tear the last record
+        recovered = KVStore(wal=wal)
+        recovered.recover()
+        assert recovered.get("a") == 1
+        assert "b" not in recovered
+
+    def test_recover_empty_wal(self):
+        assert KVStore().recover() == 0
+
+
+class TestProperties:
+    """Hypothesis: the store behaves like a dict under any op sequence."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.text(alphabet="abcdef", min_size=1, max_size=3),
+                st.integers(-1000, 1000),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_dict_semantics(self, ops):
+        kv = KVStore(memtable_budget_bytes=64, max_runs=2)
+        model: dict[str, int] = {}
+        for op, key, value in ops:
+            if op == "put":
+                kv.put(key, value)
+                model[key] = value
+            else:
+                kv.delete(key)
+                model.pop(key, None)
+        assert dict(kv.scan("", "zzzz")) == model
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        entries=st.dictionaries(
+            st.text(alphabet="abc", min_size=1, max_size=4),
+            st.integers(),
+            max_size=20,
+        )
+    )
+    def test_recovery_is_lossless(self, entries):
+        wal = WriteAheadLog()
+        kv = KVStore(wal=wal, memtable_budget_bytes=32)
+        for key, value in entries.items():
+            kv.put(key, value)
+        recovered = KVStore(wal=wal)
+        recovered.recover()
+        assert dict(recovered.scan("", "zzzz")) == entries

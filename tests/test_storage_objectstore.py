@@ -1,0 +1,85 @@
+"""Tests for the content-addressed object store."""
+
+import pytest
+
+from repro.core import KeyNotFoundError, StorageError
+from repro.storage import ObjectStore
+
+
+class TestPutGet:
+    def test_roundtrip(self):
+        store = ObjectStore()
+        store.put("avatar/alice", b"mesh-bytes")
+        assert store.get("avatar/alice") == b"mesh-bytes"
+
+    def test_versions_accumulate(self):
+        store = ObjectStore()
+        r1 = store.put("a", b"v1")
+        r2 = store.put("a", b"v2")
+        assert (r1.version, r2.version) == (1, 2)
+        assert store.get("a") == b"v2"
+        assert store.get("a", version=1) == b"v1"
+
+    def test_missing_name_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            ObjectStore().get("ghost")
+
+    def test_missing_version_raises(self):
+        store = ObjectStore()
+        store.put("a", b"x")
+        with pytest.raises(KeyNotFoundError):
+            store.get("a", version=5)
+
+    def test_metadata_preserved(self):
+        store = ObjectStore()
+        ref = store.put("a", b"x", metadata={"lod": "2"})
+        assert ref.meta() == {"lod": "2"}
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            ObjectStore().put("a", "string")  # type: ignore[arg-type]
+
+    def test_get_by_hash(self):
+        store = ObjectStore()
+        ref = store.put("a", b"data")
+        assert store.get_by_hash(ref.content_hash) == b"data"
+        with pytest.raises(KeyNotFoundError):
+            store.get_by_hash("0" * 64)
+
+
+class TestDedup:
+    def test_identical_content_stored_once(self):
+        store = ObjectStore()
+        store.put("a", b"same-bytes")
+        store.put("b", b"same-bytes")
+        assert store.physical_bytes() == len(b"same-bytes")
+        assert store.logical_bytes() == 2 * len(b"same-bytes")
+        assert store.metrics.counter("obj.dedup_hits").value == 1
+
+    def test_delete_refcounts_blobs(self):
+        store = ObjectStore()
+        store.put("a", b"shared")
+        store.put("b", b"shared")
+        store.delete("a")
+        assert store.get("b") == b"shared"  # blob survives: b still refs it
+        store.delete("b")
+        assert store.physical_bytes() == 0
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            ObjectStore().delete("ghost")
+
+
+class TestIntrospection:
+    def test_names_sorted(self):
+        store = ObjectStore()
+        store.put("b", b"1")
+        store.put("a", b"2")
+        assert store.names() == ["a", "b"]
+
+    def test_iter_refs_counts(self):
+        store = ObjectStore()
+        store.put("a", b"1")
+        store.put("a", b"2")
+        store.put("b", b"3")
+        assert len(list(store.iter_refs())) == 3

@@ -1,0 +1,137 @@
+"""Tests for the sharded, quorum-replicated KV cluster."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfigurationError, KeyNotFoundError, StorageError
+from repro.storage import ShardedKVCluster
+
+
+def cluster(n_nodes=6, **kwargs):
+    defaults = dict(n_replicas=3, write_quorum=2, read_quorum=2)
+    defaults.update(kwargs)
+    return ShardedKVCluster([f"node-{i}" for i in range(n_nodes)], **defaults)
+
+
+class TestBasics:
+    def test_put_get_roundtrip(self):
+        c = cluster()
+        c.put("player:alice", {"score": 10})
+        assert c.get("player:alice").value == {"score": 10}
+
+    def test_missing_key(self):
+        with pytest.raises(KeyNotFoundError):
+            cluster().get("ghost")
+
+    def test_versions_increase(self):
+        c = cluster()
+        v1 = c.put("k", 1)
+        v2 = c.put("k", 2)
+        assert v2 > v1
+        assert c.get("k").value == 2
+
+    def test_replica_count_and_distinctness(self):
+        c = cluster()
+        replicas = c.replicas_of("some-key")
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+
+    def test_keys_spread_across_nodes(self):
+        c = cluster(n_nodes=8)
+        for i in range(200):
+            c.put(f"key-{i}", i)
+        per_node = c.keys_per_node()
+        assert sum(per_node.values()) == 200 * 3  # replication factor
+        assert max(per_node.values()) < 200  # no node holds everything
+
+    def test_configuration_validated(self):
+        with pytest.raises(ConfigurationError):
+            ShardedKVCluster([])
+        with pytest.raises(ConfigurationError):
+            cluster(n_nodes=2, n_replicas=3)
+        with pytest.raises(ConfigurationError):
+            cluster(write_quorum=1, read_quorum=1)  # quorums don't overlap
+
+
+class TestFailures:
+    def test_survives_one_replica_failure(self):
+        c = cluster()
+        c.put("k", "v")
+        victim = c.replicas_of("k")[0]
+        c.fail_node(victim)
+        assert c.get("k").value == "v"
+        c.put("k", "v2")
+        assert c.get("k").value == "v2"
+
+    def test_write_quorum_failure_raises(self):
+        c = cluster()
+        for name in c.replicas_of("k")[:2]:
+            c.fail_node(name)
+        with pytest.raises(StorageError, match="write quorum"):
+            c.put("k", "v")
+
+    def test_read_quorum_failure_raises(self):
+        c = cluster()
+        c.put("k", "v")
+        for name in c.replicas_of("k")[:2]:
+            c.fail_node(name)
+        with pytest.raises(StorageError, match="read quorum"):
+            c.get("k")
+
+    def test_recovered_node_catches_up_via_read_repair(self):
+        c = cluster()
+        replicas = c.replicas_of("k")
+        c.put("k", "old")
+        c.fail_node(replicas[0])
+        c.put("k", "new")          # misses the dead replica
+        c.recover_node(replicas[0])
+        # The recovered node still holds the stale version...
+        assert c.replica_versions("k")[replicas[0]] == 1
+        # ...until a read repairs it.
+        assert c.get("k").value == "new"
+        assert c.replica_versions("k")[replicas[0]] == 2
+        assert c.read_repairs >= 1
+
+    def test_read_your_writes_through_failures(self):
+        """The quorum-overlap guarantee: any R replicas include a W replica."""
+        c = cluster()
+        c.put("k", "v1")
+        replicas = c.replicas_of("k")
+        # Kill any single replica: reads must still see the latest write.
+        for victim in replicas:
+            c.fail_node(victim)
+            assert c.get("k").value == "v1"
+            c.recover_node(victim)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from([f"key-{i}" for i in range(8)]),
+                st.integers(0, 1000),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_last_write_wins_semantics(self, ops):
+        c = cluster()
+        model = {}
+        for key, value in ops:
+            c.put(key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert c.get(key).value == value
+
+    @settings(max_examples=20, deadline=None)
+    @given(fail_idx=st.integers(0, 2), ops=st.integers(1, 15))
+    def test_single_failure_never_loses_acked_writes(self, fail_idx, ops):
+        c = cluster()
+        for i in range(ops):
+            c.put("hot", i)
+        victim = c.replicas_of("hot")[fail_idx]
+        c.fail_node(victim)
+        assert c.get("hot").value == ops - 1

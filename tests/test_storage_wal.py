@@ -1,0 +1,72 @@
+"""Tests for the write-ahead log."""
+
+import pytest
+
+from repro.core import StorageError
+from repro.storage import WriteAheadLog
+
+
+class TestAppendReplay:
+    def test_replay_returns_entries_in_order(self):
+        wal = WriteAheadLog()
+        wal.append(b"one")
+        wal.append(b"two")
+        wal.append(b"three")
+        entries = list(wal.replay())
+        assert [e.payload for e in entries] == [b"one", b"two", b"three"]
+        assert [e.lsn for e in entries] == [1, 2, 3]
+
+    def test_lsns_monotonic(self):
+        wal = WriteAheadLog()
+        lsns = [wal.append(b"x") for _ in range(5)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_empty_log_replays_nothing(self):
+        assert list(WriteAheadLog().replay()) == []
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog().append("not-bytes")  # type: ignore[arg-type]
+
+
+class TestCorruption:
+    def test_torn_tail_truncates_last_entry(self):
+        wal = WriteAheadLog()
+        wal.append(b"good-1")
+        wal.append(b"good-2")
+        wal.append(b"torn!!")
+        wal.corrupt_tail(3)
+        payloads = [e.payload for e in wal.replay()]
+        assert payloads == [b"good-1", b"good-2"]
+
+    def test_fully_torn_entry_header(self):
+        wal = WriteAheadLog()
+        wal.append(b"alpha")
+        wal.append(b"beta")
+        # chop the whole second record plus part of its header
+        wal.corrupt_tail(len(b"beta") + 10)
+        payloads = [e.payload for e in wal.replay()]
+        assert payloads == [b"alpha"]
+
+    def test_corrupt_tail_negative_rejected(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog().corrupt_tail(-1)
+
+
+class TestTruncation:
+    def test_truncate_before_drops_old_entries(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.append(f"entry-{i}".encode())
+        wal.truncate_before(3)
+        entries = list(wal.replay())
+        assert [e.lsn for e in entries] == [3, 4, 5]
+
+    def test_truncate_preserves_future_appends(self):
+        wal = WriteAheadLog()
+        wal.append(b"a")
+        wal.truncate_before(2)
+        lsn = wal.append(b"b")
+        assert lsn == 2
+        assert [e.payload for e in wal.replay()] == [b"b"]

@@ -1,0 +1,151 @@
+"""Tests for LOD assets, shared avatar codebooks, and adaptive streaming."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError
+from repro.streamlod import (
+    AdaptiveStreamer,
+    SharedCodebook,
+    VoxelAsset,
+    generate_avatar_population,
+    naive_full_fetch_bytes,
+    storage_comparison,
+)
+
+
+class TestVoxelAsset:
+    def test_sphere_pyramid_shape(self):
+        asset = VoxelAsset.sphere("ball", resolution=32)
+        pyramid = asset.pyramid()
+        assert pyramid[0].resolution == 4
+        assert pyramid[-1].resolution == 32
+        assert len(pyramid) == 4  # 4, 8, 16, 32
+
+    def test_sizes_grow_eightfold_per_level(self):
+        asset = VoxelAsset.sphere("ball", resolution=32)
+        sizes = [lvl.size_bytes for lvl in asset.pyramid()]
+        for a, b in zip(sizes, sizes[1:]):
+            assert b == 8 * a
+
+    def test_error_decreases_with_level(self):
+        asset = VoxelAsset.sphere("ball", resolution=64)
+        errors = [lvl.error for lvl in asset.pyramid()]
+        assert errors[-1] == 0.0
+        assert errors[0] > errors[-2]
+        assert all(e1 >= e2 - 1e-9 for e1, e2 in zip(errors, errors[1:]))
+
+    def test_non_cube_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoxelAsset("bad", np.zeros((4, 4, 8)))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoxelAsset("bad", np.zeros((6, 6, 6)))
+
+    def test_random_blob_deterministic(self):
+        a = VoxelAsset.random_blob("a", resolution=16, seed=5)
+        b = VoxelAsset.random_blob("b", resolution=16, seed=5)
+        assert np.array_equal(a.grid(a.levels - 1), b.grid(b.levels - 1))
+
+    def test_invalid_level_rejected(self):
+        asset = VoxelAsset.sphere("ball", resolution=16)
+        with pytest.raises(ConfigurationError):
+            asset.grid(99)
+
+
+class TestSharedCodebook:
+    def test_roundtrip_low_error(self):
+        avatars = generate_avatar_population(50, dim=64, n_archetypes=4, seed=1)
+        codebook = SharedCodebook(k=4, residual_components=16).fit(avatars)
+        encoded = codebook.encode(avatars[0])
+        decoded = codebook.decode(encoded, dim=64)
+        relative_error = np.linalg.norm(decoded - avatars[0]) / np.linalg.norm(avatars[0])
+        assert relative_error < 0.15
+
+    def test_unfitted_codebook_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedCodebook().encode(np.zeros(8))
+
+    def test_storage_comparison_compresses(self):
+        """E14 headline: shared representation << independent storage."""
+        avatars = generate_avatar_population(
+            500, dim=256, n_archetypes=8, within_archetype_sigma=0.05, seed=2
+        )
+        report = storage_comparison(
+            avatars, SharedCodebook(k=16, residual_components=16)
+        )
+        assert report.compression_ratio > 5
+        assert report.mean_reconstruction_error < 0.1
+
+    def test_more_residuals_more_bytes_less_error(self):
+        avatars = generate_avatar_population(100, dim=128, seed=3)
+        small = storage_comparison(avatars, SharedCodebook(k=8, residual_components=4))
+        large = storage_comparison(avatars, SharedCodebook(k=8, residual_components=64))
+        assert large.shared_bytes > small.shared_bytes
+        assert large.mean_reconstruction_error < small.mean_reconstruction_error
+
+    def test_population_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_avatar_population(0)
+
+
+class TestAdaptiveStreamer:
+    def assets(self, n=5, resolution=32):
+        return [
+            VoxelAsset.random_blob(f"asset-{i}", resolution=resolution, seed=i)
+            for i in range(n)
+        ]
+
+    def streamer(self, budget, n=5):
+        streamer = AdaptiveStreamer(frame_budget_bytes=budget)
+        for asset in self.assets(n):
+            streamer.add_asset(asset)
+        return streamer
+
+    def test_first_frames_fetch_coarse_everything(self):
+        streamer = self.streamer(budget=10_000)
+        streamer.stream_frame()
+        assert all(streamer.level_of(f"asset-{i}") >= 0 for i in range(5))
+
+    def test_quality_improves_over_frames(self):
+        # Budget fits one finest-level (4096 B) upgrade per frame, so quality
+        # keeps improving until every asset is at full fidelity.
+        streamer = self.streamer(budget=5_000)
+        errors = [streamer.stream_frame().mean_error for _ in range(30)]
+        assert errors[-1] < errors[0]
+        assert errors[-1] == 0.0
+
+    def test_budget_respected_every_frame(self):
+        streamer = self.streamer(budget=1_500)
+        for report in streamer.stream(20):
+            assert report.bytes_sent <= 1_500
+
+    def test_no_deadline_misses_with_sane_budget(self):
+        """E14 shape: adaptive streaming degrades quality, not deadlines."""
+        streamer = self.streamer(budget=2_000)
+        streamer.stream(30)
+        assert streamer.deadline_miss_rate() == 0.0
+
+    def test_tiny_budget_misses_deadlines(self):
+        streamer = AdaptiveStreamer(frame_budget_bytes=2)
+        streamer.add_asset(VoxelAsset.sphere("big", resolution=32))
+        report = streamer.stream_frame()
+        assert report.deadline_missed
+
+    def test_total_bytes_below_naive_full_fetch(self):
+        assets = self.assets(n=8, resolution=64)
+        streamer = AdaptiveStreamer(frame_budget_bytes=4_000)
+        for asset in assets:
+            streamer.add_asset(asset)
+        streamer.stream(10)
+        assert streamer.total_bytes() < naive_full_fetch_bytes(assets)
+
+    def test_duplicate_asset_rejected(self):
+        streamer = self.streamer(budget=100)
+        with pytest.raises(ConfigurationError):
+            streamer.add_asset(self.assets(1)[0])
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveStreamer(frame_budget_bytes=0)

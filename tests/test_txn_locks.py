@@ -1,0 +1,137 @@
+"""Tests for the 2PL lock manager."""
+
+import pytest
+
+from repro.core import DeadlockError
+from repro.txn import LockManager, LockMode
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+class TestGrants:
+    def test_shared_locks_coexist(self):
+        lm = LockManager()
+        assert lm.acquire(1, "r", S)
+        assert lm.acquire(2, "r", S)
+        assert set(lm.holders_of("r")) == {1, 2}
+
+    def test_exclusive_excludes(self):
+        lm = LockManager()
+        assert lm.acquire(1, "r", X)
+        assert not lm.acquire(2, "r", S)
+        assert not lm.acquire(3, "r", X)
+        assert lm.waiters_of("r") == [(2, S), (3, X)]
+
+    def test_reentrant(self):
+        lm = LockManager()
+        assert lm.acquire(1, "r", X)
+        assert lm.acquire(1, "r", X)
+        assert lm.acquire(1, "r", S)  # weaker re-request is satisfied
+
+    def test_upgrade_sole_holder(self):
+        lm = LockManager()
+        assert lm.acquire(1, "r", S)
+        assert lm.acquire(1, "r", X)
+        assert lm.holders_of("r")[1] is X
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        lm = LockManager()
+        lm.acquire(1, "r", S)
+        lm.acquire(2, "r", S)
+        assert not lm.acquire(1, "r", X)
+
+    def test_exclusive_waiter_blocks_new_shared(self):
+        """FIFO fairness prevents writer starvation."""
+        lm = LockManager()
+        lm.acquire(1, "r", S)
+        assert not lm.acquire(2, "r", X)  # waits
+        assert not lm.acquire(3, "r", S)  # must queue behind the X waiter
+
+
+class TestRelease:
+    def test_release_grants_waiters(self):
+        lm = LockManager()
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", X)
+        granted = lm.release_all(1)
+        assert granted == [(2, "r")]
+        assert lm.holders_of("r") == {2: X}
+
+    def test_release_grants_multiple_sharers(self):
+        lm = LockManager()
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", S)
+        lm.acquire(3, "r", S)
+        granted = lm.release_all(1)
+        assert set(granted) == {(2, "r"), (3, "r")}
+
+    def test_release_stops_at_exclusive(self):
+        lm = LockManager()
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", X)
+        lm.acquire(3, "r", S)
+        granted = lm.release_all(1)
+        assert granted == [(2, "r")]
+        assert lm.waiters_of("r") == [(3, S)]
+
+    def test_release_clears_own_waits(self):
+        lm = LockManager()
+        lm.acquire(1, "r", X)
+        lm.acquire(2, "r", X)
+        lm.release_all(2)
+        assert lm.waiters_of("r") == []
+
+    def test_locks_held_tracking(self):
+        lm = LockManager()
+        lm.acquire(1, "a", S)
+        lm.acquire(1, "b", X)
+        assert lm.locks_held(1) == {"a", "b"}
+        lm.release_all(1)
+        assert lm.locks_held(1) == set()
+
+
+class TestDeadlock:
+    def test_two_txn_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        assert not lm.acquire(1, "b", X)  # 1 waits on 2
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", X)  # 2 waits on 1 -> cycle
+        assert lm.deadlocks_detected == 1
+
+    def test_three_txn_cycle_detected(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(3, "c", X)
+        assert not lm.acquire(1, "b", X)
+        assert not lm.acquire(2, "c", X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(3, "a", X)
+
+    def test_no_false_positive_on_chain(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        assert not lm.acquire(2, "a", X)  # 2 waits on 1: a chain, not a cycle
+        assert not lm.acquire(3, "a", X)
+
+    def test_victim_not_queued(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(1, "b", X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", X)
+        # Victim's failed request must not linger in the wait queue.
+        assert (2, X) not in lm.waiters_of("a")
+
+    def test_progress_after_victim_releases(self):
+        lm = LockManager()
+        lm.acquire(1, "a", X)
+        lm.acquire(2, "b", X)
+        lm.acquire(1, "b", X)
+        with pytest.raises(DeadlockError):
+            lm.acquire(2, "a", X)
+        granted = lm.release_all(2)  # victim aborts, releasing b
+        assert (1, "b") in granted

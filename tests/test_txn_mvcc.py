@@ -1,0 +1,222 @@
+"""Tests for MVCC snapshot isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KeyNotFoundError, TransactionAborted, WriteConflictError
+from repro.txn import MVStore, TransactionManager
+
+
+class TestBasicTransactions:
+    def test_commit_visible_to_later_txn(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 1)
+        tm.commit(t1)
+        t2 = tm.begin()
+        assert t2.read("k") == 1
+
+    def test_uncommitted_invisible(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 1)
+        t2 = tm.begin()
+        with pytest.raises(KeyNotFoundError):
+            t2.read("k")
+
+    def test_read_own_writes(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 5)
+        assert t1.read("k") == 5
+
+    def test_read_own_delete(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 1)
+        tm.commit(t1)
+        t2 = tm.begin()
+        t2.delete("k")
+        with pytest.raises(KeyNotFoundError):
+            t2.read("k")
+
+    def test_read_or_default(self):
+        tm = TransactionManager()
+        assert tm.begin().read_or("missing", 7) == 7
+
+
+class TestSnapshotIsolation:
+    def test_repeatable_reads(self):
+        tm = TransactionManager()
+        setup = tm.begin()
+        setup.write("k", "old")
+        tm.commit(setup)
+        reader = tm.begin()
+        assert reader.read("k") == "old"
+        writer = tm.begin()
+        writer.write("k", "new")
+        tm.commit(writer)
+        # Reader still sees its snapshot.
+        assert reader.read("k") == "old"
+
+    def test_first_committer_wins(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t2 = tm.begin()
+        t1.write("k", "t1")
+        t2.write("k", "t2")
+        tm.commit(t1)
+        with pytest.raises(WriteConflictError):
+            tm.commit(t2)
+        assert tm.aborts == 1
+        assert tm.begin().read("k") == "t1"
+
+    def test_disjoint_writes_both_commit(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t2 = tm.begin()
+        t1.write("a", 1)
+        t2.write("b", 2)
+        tm.commit(t1)
+        tm.commit(t2)
+        t3 = tm.begin()
+        assert t3.read("a") == 1
+        assert t3.read("b") == 2
+
+    def test_delete_conflicts_like_write(self):
+        tm = TransactionManager()
+        setup = tm.begin()
+        setup.write("k", 1)
+        tm.commit(setup)
+        t1 = tm.begin()
+        t2 = tm.begin()
+        t1.delete("k")
+        t2.write("k", 2)
+        tm.commit(t1)
+        with pytest.raises(WriteConflictError):
+            tm.commit(t2)
+
+    def test_write_skew_is_allowed(self):
+        """SI (not serializability): disjoint write sets with crossed reads commit."""
+        tm = TransactionManager()
+        setup = tm.begin()
+        setup.write("x", 1)
+        setup.write("y", 1)
+        tm.commit(setup)
+        t1 = tm.begin()
+        t2 = tm.begin()
+        if t1.read("y") == 1:
+            t1.write("x", 0)
+        if t2.read("x") == 1:
+            t2.write("y", 0)
+        tm.commit(t1)
+        tm.commit(t2)  # both commit: classic write skew under SI
+        t3 = tm.begin()
+        assert (t3.read("x"), t3.read("y")) == (0, 0)
+
+    def test_committed_txn_cannot_be_reused(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 1)
+        tm.commit(t1)
+        with pytest.raises(TransactionAborted):
+            t1.write("k", 2)
+        with pytest.raises(TransactionAborted):
+            tm.commit(t1)
+
+    def test_aborted_txn_writes_discarded(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 1)
+        tm.abort(t1)
+        t2 = tm.begin()
+        with pytest.raises(KeyNotFoundError):
+            t2.read("k")
+
+
+class TestMVStore:
+    def test_scan_at_snapshot(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("a", 1)
+        t1.write("b", 2)
+        tm.commit(t1)
+        snapshot = tm.store.last_commit_ts
+        t2 = tm.begin()
+        t2.write("c", 3)
+        t2.delete("a")
+        tm.commit(t2)
+        assert dict(tm.store.scan_at(snapshot)) == {"a": 1, "b": 2}
+        assert dict(tm.store.scan_at(tm.store.last_commit_ts)) == {"b": 2, "c": 3}
+
+    def test_vacuum_drops_old_versions(self):
+        tm = TransactionManager()
+        for i in range(10):
+            txn = tm.begin()
+            txn.write("k", i)
+            tm.commit(txn)
+        assert tm.store.version_count() == 10
+        removed = tm.store.vacuum(tm.store.last_commit_ts)
+        assert removed == 9
+        assert tm.begin().read("k") == 9
+
+    def test_vacuum_keeps_versions_needed_by_horizon(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", "v1")
+        tm.commit(t1)
+        horizon = tm.store.last_commit_ts
+        t2 = tm.begin()
+        t2.write("k", "v2")
+        tm.commit(t2)
+        tm.store.vacuum(horizon)
+        assert tm.store.read_at("k", horizon) == "v1"
+        assert tm.store.read_at("k", tm.store.last_commit_ts) == "v2"
+
+    def test_vacuum_removes_fully_deleted_keys(self):
+        tm = TransactionManager()
+        t1 = tm.begin()
+        t1.write("k", 1)
+        tm.commit(t1)
+        t2 = tm.begin()
+        t2.delete("k")
+        tm.commit(t2)
+        tm.store.vacuum(tm.store.last_commit_ts)
+        assert tm.store.version_count() == 0
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.sampled_from("abc"), st.integers(0, 100)), max_size=30
+        )
+    )
+    def test_serial_transactions_match_dict(self, writes):
+        tm = TransactionManager()
+        model = {}
+        for key, value in writes:
+            txn = tm.begin()
+            txn.write(key, value)
+            tm.commit(txn)
+            model[key] = value
+        final = tm.begin()
+        for key, value in model.items():
+            assert final.read(key) == value
+
+    @settings(max_examples=30, deadline=None)
+    @given(n_concurrent=st.integers(2, 8))
+    def test_exactly_one_winner_per_contended_key(self, n_concurrent):
+        tm = TransactionManager()
+        txns = [tm.begin() for _ in range(n_concurrent)]
+        for idx, txn in enumerate(txns):
+            txn.write("hot", idx)
+        winners = 0
+        for txn in txns:
+            try:
+                tm.commit(txn)
+                winners += 1
+            except WriteConflictError:
+                pass
+        assert winners == 1

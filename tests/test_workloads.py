@@ -1,0 +1,261 @@
+"""Tests for movement models and the five use-case workload generators."""
+
+import pytest
+
+from repro.core import ConfigurationError, Space
+from repro.spatial import BBox, Point
+from repro.workloads import (
+    AnomalyEpisode,
+    CityConfig,
+    FlashSaleConfig,
+    GameConfig,
+    LocationBasedGame,
+    MarketplaceWorkload,
+    MilitaryConfig,
+    MilitaryExercise,
+    PatrolRoute,
+    RandomWaypoint,
+    SensorGrid,
+    SurgerySession,
+    VitalsStream,
+    diurnal_rate,
+    is_anomalous,
+    zipf_sampler,
+)
+from repro.world import MetaverseWorld
+
+DOMAIN = BBox(0, 0, 1000, 1000)
+
+
+class TestMovement:
+    def test_random_waypoint_stays_in_domain(self):
+        mover = RandomWaypoint(DOMAIN, seed=1)
+        for _ in range(500):
+            position = mover.step(1.0)
+            assert DOMAIN.contains_point(position)
+
+    def test_random_waypoint_moves(self):
+        mover = RandomWaypoint(DOMAIN, seed=2)
+        start = mover.position
+        mover.step(10.0)
+        assert mover.position != start
+
+    def test_speed_range_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(DOMAIN, speed_range=(0, 1))
+
+    def test_patrol_visits_waypoints_in_order(self):
+        patrol = PatrolRoute([Point(0, 0), Point(10, 0), Point(10, 10)], speed=10.0)
+        patrol.step(1.0)
+        assert patrol.position == Point(10, 0)
+        patrol.step(1.0)
+        assert patrol.position == Point(10, 10)
+        patrol.step(2.0)  # loops through (0, 0) and continues toward (10, 0)
+        assert patrol.position.y == pytest.approx(0.0)
+        assert 0 <= patrol.position.x <= 10
+
+    def test_patrol_validation(self):
+        with pytest.raises(ConfigurationError):
+            PatrolRoute([Point(0, 0)])
+
+    def test_zipf_skews_to_head(self):
+        sample = zipf_sampler(100, skew=1.5, seed=3)
+        draws = [sample() for _ in range(5000)]
+        head = sum(1 for d in draws if d < 5)
+        assert head > len(draws) * 0.4
+
+    def test_zipf_zero_skew_uniformish(self):
+        sample = zipf_sampler(10, skew=0.0, seed=4)
+        draws = [sample() for _ in range(10000)]
+        counts = [draws.count(i) for i in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_diurnal_rate_peaks_at_peak_hour(self):
+        peak = diurnal_rate(100, hour=18.0)
+        trough = diurnal_rate(100, hour=6.0)
+        assert peak > trough
+
+
+class TestMarketplace:
+    def test_burst_window_raises_rate(self):
+        config = FlashSaleConfig(burst_start=60, burst_end=90)
+        workload = MarketplaceWorkload(config, seed=5)
+        quiet = workload.requests_between(0, 30)
+        burst = workload.requests_between(60, 90)
+        assert len(burst) > 5 * len(quiet)
+
+    def test_requests_skewed_to_hot_products(self):
+        workload = MarketplaceWorkload(FlashSaleConfig(zipf_skew=1.5), seed=6)
+        requests = workload.requests_between(60, 90)
+        hot = workload.hot_products(requests, top=5)
+        hot_share = sum(1 for r in requests if r.product_id in hot) / len(requests)
+        assert hot_share > 0.4
+
+    def test_spaces_mixed_per_fraction(self):
+        workload = MarketplaceWorkload(
+            FlashSaleConfig(physical_fraction=0.3), seed=7
+        )
+        requests = workload.requests_between(60, 90)
+        physical = sum(1 for r in requests if r.space is Space.PHYSICAL)
+        assert 0.2 < physical / len(requests) < 0.4
+
+    def test_catalog_records(self):
+        workload = MarketplaceWorkload(FlashSaleConfig(n_products=10))
+        catalog = workload.catalog_records()
+        assert len(catalog) == 10
+        assert all(r.payload["stock"] == 50 for r in catalog)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlashSaleConfig(physical_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            FlashSaleConfig(burst_start=100, burst_end=50)
+
+
+class TestMilitary:
+    def exercise(self, n_units=20):
+        w = MetaverseWorld(position_epsilon=5.0)
+        return w, MilitaryExercise(
+            w, MilitaryConfig(n_units=n_units, physical_area=BBox(0, 0, 1000, 1000)), seed=8
+        )
+
+    def test_units_installed_and_move(self):
+        w, exercise = self.exercise()
+        before = {
+            uid: w.physical.entities[uid].position
+            for uid in list(w.physical.entities)[:5]
+        }
+        exercise.tick(10.0)
+        moved = sum(
+            1
+            for uid, pos in before.items()
+            if w.physical.entities[uid].position != pos
+        )
+        assert moved >= 4
+
+    def test_airstrike_kills_units_in_region(self):
+        """The paper's rule: air-raided troops 'perish'."""
+        w, exercise = self.exercise()
+        exercise.tick(1.0)
+        cascade = exercise.order_airstrike(BBox(0, 0, 1000, 1000))
+        assert exercise.active_units() == 0
+        perish_events = [e for e in cascade if e.topic == "ground.perish"]
+        assert len(perish_events) == 20
+        assert all(e.space is Space.PHYSICAL for e in perish_events)
+
+    def test_airstrike_outside_region_harmless(self):
+        w, exercise = self.exercise()
+        exercise.order_airstrike(BBox(5000, 5000, 6000, 6000))
+        assert exercise.active_units() == 20
+
+    def test_down_units_stop_moving(self):
+        w, exercise = self.exercise(n_units=5)
+        exercise.order_airstrike(BBox(0, 0, 1000, 1000))
+        positions = {
+            uid: w.physical.entities[uid].position for uid in w.physical.entities
+        }
+        exercise.tick(10.0)
+        assert all(
+            w.physical.entities[uid].position == pos for uid, pos in positions.items()
+        )
+
+    def test_noisy_position_near_truth(self):
+        w, exercise = self.exercise(n_units=1)
+        unit_id = next(iter(w.physical.entities))
+        true = w.physical.entities[unit_id].position
+        noisy = exercise.noisy_position(unit_id)
+        assert true.distance_to(noisy) < 20.0
+
+
+class TestGaming:
+    def game(self):
+        w = MetaverseWorld(position_epsilon=2.0)
+        return w, LocationBasedGame(
+            w,
+            GameConfig(n_players=30, n_virtual_players=10, n_spawns=20, capture_radius=50),
+            seed=9,
+        )
+
+    def test_captures_happen(self):
+        _, game = self.game()
+        total = []
+        for _ in range(20):
+            total.extend(game.tick(5.0))
+        assert len(total) > 0
+        assert len(game.spawns) == 20  # respawns keep the count constant
+
+    def test_social_encounters_cross_space(self):
+        _, game = self.game()
+        game.tick(1.0)
+        matches = game.social_encounters(radius=500.0)
+        assert all(m.cross_space for m in matches)
+
+    def test_position_records_stream(self):
+        _, game = self.game()
+        game.tick(1.0)
+        records = game.position_records()
+        assert len(records) == 30
+        assert all(r.space is Space.PHYSICAL for r in records)
+
+
+class TestHealthcare:
+    def test_normal_vitals_not_anomalous(self):
+        stream = VitalsStream(n_patients=5, seed=10)
+        assert not any(is_anomalous(r) for r in stream.readings_at(0.0))
+
+    def test_episode_triggers_anomaly(self):
+        episode = AnomalyEpisode(patient_index=2, start=10.0, end=20.0, kind="tachycardia")
+        stream = VitalsStream(n_patients=5, episodes=[episode], seed=11)
+        during = stream.readings_at(15.0)
+        assert is_anomalous(during[2])
+        assert not is_anomalous(during[0])
+        after = stream.readings_at(25.0)
+        assert not is_anomalous(after[2])
+
+    def test_desaturation_detected(self):
+        episode = AnomalyEpisode(0, 0.0, 10.0, "desaturation")
+        stream = VitalsStream(n_patients=1, episodes=[episode], seed=12)
+        assert is_anomalous(stream.readings_at(5.0)[0])
+
+    def test_stream_length(self):
+        stream = VitalsStream(n_patients=3, interval_s=1.0)
+        assert len(stream.stream(10.0)) == 30
+
+    def test_surgery_session_degrades(self):
+        session = SurgerySession("op-1")
+        assert session.feasible(30e6) == "full"
+        assert session.feasible(10e6) == "fallback"
+        assert session.feasible(1e6) is None
+        assert session.bytes_transferred(10e6) < session.bytes_transferred(30e6)
+
+
+class TestSmartCity:
+    def test_grid_emits_one_reading_per_sensor(self):
+        grid = SensorGrid(CityConfig(grid_side=5), seed=13)
+        readings = grid.readings_at(0.0)
+        assert len(readings) == 25
+        assert len({r.key for r in readings}) == 25
+
+    def test_downtown_sensors_busier(self):
+        grid = SensorGrid(CityConfig(grid_side=10), seed=14)
+        readings = {r.key: r for r in grid.readings_at(12 * 3600.0)}
+        center = readings[grid.sensor_id(5, 5)].payload["traffic"]
+        corner = readings[grid.sensor_id(0, 0)].payload["traffic"]
+        assert center > corner
+
+    def test_peak_hour_busier_than_night(self):
+        grid = SensorGrid(CityConfig(grid_side=6), seed=15)
+        evening = sum(r.payload["traffic"] for r in grid.readings_at(18 * 3600.0))
+        night = sum(r.payload["traffic"] for r in grid.readings_at(6 * 3600.0))
+        assert evening > night
+
+    def test_district_rollup(self):
+        grid = SensorGrid(CityConfig(grid_side=8))
+        record = grid.readings_at(0.0)[0]
+        district = grid.district_of(record)
+        assert district.startswith("district-")
+
+    def test_stream_cadence(self):
+        grid = SensorGrid(CityConfig(grid_side=2, reading_interval_s=10.0))
+        records = grid.stream(30.0)
+        assert len(records) == 4 * 3

@@ -1,0 +1,115 @@
+"""Tests for historical replay (the paper's 'back to the future' scenario)."""
+
+import pytest
+
+from repro.core import ConfigurationError, Event, Space
+from repro.spatial import Point, Velocity
+from repro.world import Entity, HistoryRecorder, MetaverseWorld
+
+
+def build_world_with_runner(vx=10.0):
+    world = MetaverseWorld(position_epsilon=1.0)
+    world.physical.add(Entity("runner", Point(0, 0), Velocity(vx, 0)))
+    world.physical.add(Entity("statue", Point(500, 500)))
+    return world
+
+
+class TestCapture:
+    def test_capture_respects_interval(self):
+        world = build_world_with_runner()
+        recorder = HistoryRecorder(world, sample_interval=2.0)
+        assert recorder.capture()      # t=0
+        world.tick(1.0)
+        assert not recorder.capture()  # only 1 s elapsed
+        world.tick(1.0)
+        assert recorder.capture()      # 2 s elapsed
+        assert recorder.samples_taken == 2
+
+    def test_interval_validated(self):
+        with pytest.raises(ConfigurationError):
+            HistoryRecorder(build_world_with_runner(), sample_interval=0)
+
+
+class TestReplay:
+    def record_run(self, ticks=20):
+        world = build_world_with_runner()
+        recorder = HistoryRecorder(world, sample_interval=1.0)
+        recorder.capture()
+        for _ in range(ticks):
+            world.tick(1.0)
+            recorder.capture()
+        return world, recorder
+
+    def test_replay_at_reconstructs_positions(self):
+        _, recorder = self.record_run()
+        frame = recorder.replay_at(5.0)
+        assert frame.positions["runner"] == Point(50, 0)
+        assert frame.positions["statue"] == Point(500, 500)
+
+    def test_replay_interpolates_between_samples(self):
+        world = build_world_with_runner()
+        recorder = HistoryRecorder(world, sample_interval=4.0)
+        recorder.capture()
+        for _ in range(8):
+            world.tick(1.0)
+            recorder.capture()
+        frame = recorder.replay_at(2.0)  # between samples at t=0 and t=4
+        assert frame.positions["runner"].x == pytest.approx(20.0)
+
+    def test_cannot_replay_future(self):
+        _, recorder = self.record_run(ticks=3)
+        with pytest.raises(ConfigurationError):
+            recorder.replay_at(100.0)
+
+    def test_replay_window_produces_frames(self):
+        _, recorder = self.record_run()
+        frames = recorder.replay_window(2.0, 6.0, step=2.0)
+        assert [f.timestamp for f in frames] == [2.0, 4.0, 6.0]
+        xs = [f.positions["runner"].x for f in frames]
+        assert xs == sorted(xs)
+
+    def test_events_attached_to_frames(self):
+        world, recorder = build_world_with_runner(), None
+        recorder = HistoryRecorder(world, sample_interval=1.0)
+        recorder.capture()
+        for tick in range(10):
+            world.tick(1.0)
+            if tick == 4:
+                world.bus.publish(
+                    Event("battle.skirmish", Space.PHYSICAL, world.now, {})
+                )
+            recorder.capture()
+        frame = recorder.replay_at(5.0)
+        assert any(e.topic == "battle.skirmish" for e in frame.events)
+        assert recorder.events_between(0.0, 3.0) == []
+
+    def test_who_was_at_this_spot(self):
+        """The paper's scenario: standing at a spot, replay who passed by."""
+        _, recorder = self.record_run()
+        # The runner passes x=100 at t=10.
+        passers = recorder.entities_near_spot_during(
+            Point(100, 0), radius=15.0, t_start=8.0, t_end=12.0
+        )
+        assert passers == ["runner"]
+        nobody = recorder.entities_near_spot_during(
+            Point(100, 300), radius=15.0, t_start=8.0, t_end=12.0
+        )
+        assert nobody == []
+
+
+class TestCompaction:
+    def test_compaction_reduces_samples_preserving_replay(self):
+        world = build_world_with_runner()
+        recorder = HistoryRecorder(world, sample_interval=1.0)
+        recorder.capture()
+        for _ in range(100):
+            world.tick(1.0)
+            recorder.capture()
+        before = recorder.total_samples()
+        removed = recorder.compact(tolerance=0.1)
+        assert removed > 0
+        assert recorder.total_samples() < before
+        # Straight-line motion replays exactly from just the endpoints.
+        assert recorder.replay_at(50.0).positions["runner"].x == pytest.approx(
+            500.0, abs=1.0
+        )

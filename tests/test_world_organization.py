@@ -1,0 +1,113 @@
+"""Tests for the tagged/separate/hybrid data-organization strategies (E15)."""
+
+import pytest
+
+from repro.core import ConfigurationError, DataKind, DataRecord, Space
+from repro.world import (
+    HybridStore,
+    SeparateStores,
+    TaggedUnifiedStore,
+    make_organization,
+    run_query_mix,
+)
+
+
+def records(n_per_space=50, kind=DataKind.STRUCTURED):
+    out = []
+    for i in range(n_per_space):
+        out.append(
+            DataRecord(
+                key=f"p-{i:04d}",
+                payload={"v": i},
+                space=Space.PHYSICAL,
+                timestamp=float(i),
+                kind=kind,
+            )
+        )
+        out.append(
+            DataRecord(
+                key=f"v-{i:04d}",
+                payload={"v": i},
+                space=Space.VIRTUAL,
+                timestamp=float(i) + 0.5,
+                kind=kind,
+            )
+        )
+    return out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["tagged-unified", "separate", "hybrid"])
+    def test_single_space_query_returns_only_that_space(self, name):
+        organization = make_organization(name)
+        for record in records(20):
+            organization.put(record)
+        rows = organization.query_space(Space.PHYSICAL)
+        assert len(rows) == 20
+        assert all(r["space"] == "physical" for r in rows)
+
+    @pytest.mark.parametrize("name", ["tagged-unified", "separate", "hybrid"])
+    def test_cross_space_query_returns_everything(self, name):
+        organization = make_organization(name)
+        for record in records(20):
+            organization.put(record)
+        rows = organization.query_cross()
+        assert len(rows) == 40
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_organization("nope")
+
+
+class TestCostShapes:
+    def test_separate_wins_single_space_heavy_mix(self):
+        """E15: per-space stores avoid scanning the other space."""
+        cost_separate = run_query_mix(
+            SeparateStores(), records(100), single_space_queries=50, cross_space_queries=0
+        )
+        cost_tagged = run_query_mix(
+            TaggedUnifiedStore(), records(100), single_space_queries=50, cross_space_queries=0
+        )
+        assert cost_separate < cost_tagged
+
+    def test_tagged_wins_cross_space_heavy_mix(self):
+        """E15: the unified store avoids the two-scan merge."""
+        cost_separate = run_query_mix(
+            SeparateStores(), records(100), single_space_queries=0, cross_space_queries=50
+        )
+        cost_tagged = run_query_mix(
+            TaggedUnifiedStore(), records(100), single_space_queries=0, cross_space_queries=50
+        )
+        assert cost_tagged < cost_separate
+
+    def test_hybrid_routes_by_kind(self):
+        hybrid = HybridStore(unified_kinds={DataKind.EVENT})
+        event = DataRecord(
+            key="e-1", payload={}, space=Space.PHYSICAL, kind=DataKind.EVENT
+        )
+        bulk = DataRecord(
+            key="m-1", payload={}, space=Space.VIRTUAL, kind=DataKind.MEDIA
+        )
+        hybrid.put(event)
+        hybrid.put(bulk)
+        assert len(hybrid._unified.query_cross()) == 1
+        assert len(hybrid._separate.query_space(Space.VIRTUAL)) == 1
+
+    def test_hybrid_between_extremes_on_mixed_mix(self):
+        """Hybrid should not be the worst strategy on a mixed workload."""
+        mixed = records(60, kind=DataKind.LOCATION) + records(60, kind=DataKind.MEDIA)
+        # Distinct keys for the second batch.
+        for i, record in enumerate(mixed[120:]):
+            record.key = f"m{record.key}"
+        costs = {}
+        for name in ("tagged-unified", "separate", "hybrid"):
+            costs[name] = run_query_mix(
+                make_organization(name),
+                [DataRecord(
+                    key=r.key, payload=dict(r.payload), space=r.space,
+                    timestamp=r.timestamp, kind=r.kind,
+                ) for r in mixed],
+                single_space_queries=20,
+                cross_space_queries=20,
+            )
+        assert costs["hybrid"] <= max(costs["tagged-unified"], costs["separate"])

@@ -1,0 +1,138 @@
+"""Tests for the twin world model and sync engine."""
+
+import pytest
+
+from repro.core import ConfigurationError, KeyNotFoundError, Space
+from repro.spatial import BBox, Point, Velocity
+from repro.world import Avatar, Entity, MetaverseWorld
+
+
+def world(epsilon=5.0):
+    return MetaverseWorld(position_epsilon=epsilon)
+
+
+def entity(entity_id="e1", x=0.0, y=0.0, vx=0.0, vy=0.0):
+    return Entity(entity_id=entity_id, position=Point(x, y), velocity=Velocity(vx, vy))
+
+
+class TestSpaces:
+    def test_add_and_query_physical(self):
+        w = world()
+        w.physical.add(entity("a", 10, 10))
+        w.physical.add(entity("b", 500, 500))
+        found = w.physical.in_region(BBox(0, 0, 100, 100))
+        assert [e.entity_id for e in found] == ["a"]
+
+    def test_duplicate_entity_rejected(self):
+        w = world()
+        w.physical.add(entity("a"))
+        with pytest.raises(ConfigurationError):
+            w.physical.add(entity("a"))
+
+    def test_remove_entity(self):
+        w = world()
+        w.physical.add(entity("a"))
+        w.physical.remove("a")
+        with pytest.raises(KeyNotFoundError):
+            w.physical.remove("a")
+
+    def test_avatar_management(self):
+        w = world()
+        w.virtual.add_avatar(Avatar("av1", Point(0, 0)))
+        w.virtual.move_avatar("av1", Point(10, 10))
+        assert w.virtual.avatars["av1"].position == Point(10, 10)
+        with pytest.raises(KeyNotFoundError):
+            w.virtual.move_avatar("ghost", Point(0, 0))
+
+
+class TestSync:
+    def test_first_sync_mirrors_everything(self):
+        w = world()
+        w.physical.add(entity("a"))
+        w.physical.add(entity("b", 100, 100))
+        assert w.sync() == 2
+        assert w.virtual.mirrored_position("a") == Point(0, 0)
+
+    def test_small_moves_suppressed(self):
+        w = world(epsilon=5.0)
+        w.physical.add(entity("a", vx=1.0))  # 1 unit/s
+        w.tick(1.0)  # first sync always sends
+        sent = w.tick(1.0)  # moved 1 < 5: suppressed
+        assert sent == 0
+        assert w.metrics.counter("world.mirror_suppressed").value >= 1
+
+    def test_staleness_bounded_by_epsilon(self):
+        w = world(epsilon=5.0)
+        w.physical.add(entity("a", vx=2.0))
+        for _ in range(50):
+            w.tick(1.0)
+            assert w.staleness("a") <= 5.0
+
+    def test_zero_epsilon_syncs_every_move(self):
+        w = world(epsilon=0.0)
+        w.physical.add(entity("a", vx=1.0))
+        w.tick(1.0)
+        assert w.tick(1.0) == 1
+
+    def test_mirror_cleaned_after_entity_leaves(self):
+        w = world()
+        w.physical.add(entity("a"))
+        w.sync()
+        w.physical.remove("a")
+        w.sync()
+        with pytest.raises(KeyNotFoundError):
+            w.virtual.mirrored_position("a")
+
+    def test_max_staleness_empty_world(self):
+        assert world().max_staleness() == 0.0
+
+    def test_unknown_staleness_infinite(self):
+        assert world().staleness("ghost") == float("inf")
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ConfigurationError):
+            MetaverseWorld(position_epsilon=-1)
+
+
+class TestCrossSpace:
+    def test_encounter_detected(self):
+        w = world()
+        w.physical.add(entity("phys-user", 100, 100))
+        w.virtual.add_avatar(Avatar("cyber-user", Point(105, 100)))
+        matches = w.cross_space_encounters(radius=10)
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.first == "phys-user"
+        assert match.second == "cyber-user"
+        assert match.cross_space
+        assert match.distance == pytest.approx(5.0)
+
+    def test_own_avatar_not_an_encounter(self):
+        w = world()
+        w.physical.add(entity("user", 100, 100))
+        w.virtual.add_avatar(
+            Avatar("user-avatar", Point(100, 100), owner_entity_id="user")
+        )
+        assert w.cross_space_encounters(radius=10) == []
+
+    def test_far_apart_no_encounter(self):
+        w = world()
+        w.physical.add(entity("a", 0, 0))
+        w.virtual.add_avatar(Avatar("b", Point(1000, 1000)))
+        assert w.cross_space_encounters(radius=10) == []
+
+    def test_radius_validated(self):
+        with pytest.raises(ConfigurationError):
+            world().cross_space_encounters(radius=0)
+
+    def test_virtual_view_sees_mirror_not_truth(self):
+        """A cyber user sees the synced mirror, which can lag the truth."""
+        w = world(epsilon=50.0)
+        w.physical.add(entity("runner", 0, 0, vx=10.0))
+        w.sync()  # mirrored at (0, 0)
+        w.physical.advance(3.0)  # truth now at (30, 0), inside epsilon
+        w.sync()
+        seen = w.physical_entities_in_virtual_view(Point(0, 0), radius=5)
+        assert seen == ["runner"]  # mirror still shows (0, 0)
+        seen_at_truth = w.physical_entities_in_virtual_view(Point(30, 0), radius=5)
+        assert seen_at_truth == []
