@@ -38,7 +38,7 @@ def run_executor_sweep(skew):
         rows.append(
             {
                 "executors": n_executors,
-                "throughput": platform.throughput(len(requests)),
+                "throughput": platform.compute_throughput(len(requests)),
             }
         )
     return rows

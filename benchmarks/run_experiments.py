@@ -1,9 +1,12 @@
-"""Regenerate every experiment table (E1-E18) in one run.
+"""Regenerate every experiment table (E1-E22) in one run.
 
 Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
+                                             [--artifacts-dir DIR]
 
 Each bench module exposes ``report()``; this driver runs them in experiment
-order and prints the tables recorded in EXPERIMENTS.md.
+order and prints the tables recorded in EXPERIMENTS.md.  Per-experiment
+runtimes are recorded in a driver-level :class:`MetricsRegistry` and dumped
+as a snapshot artifact (Prometheus text + JSON) at the end of the run.
 """
 
 from __future__ import annotations
@@ -12,6 +15,11 @@ import argparse
 import importlib
 import sys
 import time
+
+sys.path.insert(0, "src")
+
+from repro.core import MetricsRegistry  # noqa: E402
+from repro.obs import write_snapshot  # noqa: E402
 
 MODULES = [
     ("E1/E2", "bench_dissemination"),
@@ -33,6 +41,7 @@ MODULES = [
     ("E18", "bench_stream"),
     ("E19/E20", "bench_selftune"),
     ("E21", "bench_decentralized"),
+    ("E22", "bench_obs_overhead"),
 ]
 
 
@@ -40,8 +49,11 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (e.g. E4 E8)")
+    parser.add_argument("--artifacts-dir", default="benchmarks/artifacts",
+                        help="where to write the metrics snapshot artifact")
     args = parser.parse_args()
     sys.path.insert(0, "benchmarks")
+    metrics = MetricsRegistry()
     for experiment, module_name in MODULES:
         if args.only and not any(
             wanted in experiment.split("/") for wanted in args.only
@@ -53,7 +65,15 @@ def main() -> None:
         print("=" * 72)
         start = time.perf_counter()
         module.report()
-        print(f"[{experiment} regenerated in {time.perf_counter() - start:.1f}s]\n")
+        elapsed = time.perf_counter() - start
+        metrics.histogram("experiments.runtime_s").observe(elapsed)
+        metrics.gauge(f"experiments.{module_name}.runtime_s").set(elapsed)
+        metrics.counter("experiments.regenerated").inc()
+        print(f"[{experiment} regenerated in {elapsed:.1f}s]\n")
+    prom_path, json_path = write_snapshot(
+        metrics, args.artifacts_dir, basename="experiments", prefix="repro"
+    )
+    print(f"[metrics snapshot: {prom_path} and {json_path}]")
 
 
 if __name__ == "__main__":

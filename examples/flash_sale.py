@@ -49,9 +49,9 @@ def main() -> None:
     )
     print(f"\ntotal: {total_sold}/{total_requests} purchases succeeded")
     print(f"hot products now: "
-          f"{ {p: platform.stock_of(p) for p in hot} } units left")
-    print(f"executor makespan: {platform.makespan() * 1000:.1f} ms simulated, "
-          f"throughput {platform.throughput(total_requests):,.0f} txn/s")
+          f"{ {p: platform.get_stock(p) for p in hot} } units left")
+    print(f"executor makespan: {platform.compute_makespan() * 1000:.1f} ms simulated, "
+          f"throughput {platform.compute_throughput(total_requests):,.0f} txn/s")
     print(f"conflict retries: "
           f"{platform.metrics.counter('platform.retries').value:.0f}")
 

@@ -4,6 +4,52 @@ A laptop-scale, from-scratch prototype of the data-management system
 envisioned by "The Metaverse Data Deluge: What Can We Do About It?"
 (Ooi et al., ICDE 2023).  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for the claim-by-claim benchmark index.
+
+The one-stop user-facing surface is re-exported here::
+
+    from repro import MetaversePlatform, MetaverseWorld, Tracer
+
+    tracer = Tracer()
+    platform = MetaversePlatform(tracer=tracer)
+    ...
+    print(tracer.render_tree())
+
+Subsystem packages (``repro.spatial``, ``repro.query``, ``repro.obs``,
+...) remain importable directly for everything else.
 """
 
-__version__ = "1.0.0"
+from .core.clock import EventScheduler, SimulationClock
+from .core.metrics import MetricsRegistry
+from .core.records import DataKind, DataRecord, Space
+from .ledger.ledgerdb import LedgerDB
+from .obs.export import render_json, render_prometheus, write_snapshot
+from .obs.logsink import LogSink
+from .obs.profiling import timed
+from .obs.tracing import NoopTracer, Span, Tracer
+from .platform.gateway import DeviceGateway
+from .platform.platform import MetaversePlatform
+from .world.twin import MetaverseWorld
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "DataKind",
+    "DataRecord",
+    "DeviceGateway",
+    "EventScheduler",
+    "LedgerDB",
+    "LogSink",
+    "MetaversePlatform",
+    "MetaverseWorld",
+    "MetricsRegistry",
+    "NoopTracer",
+    "SimulationClock",
+    "Space",
+    "Span",
+    "Tracer",
+    "render_json",
+    "render_prometheus",
+    "timed",
+    "write_snapshot",
+    "__version__",
+]

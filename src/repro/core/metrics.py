@@ -11,6 +11,8 @@ import math
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from .errors import ConfigurationError
+
 
 @dataclass
 class Counter:
@@ -78,11 +80,20 @@ class Histogram:
         return math.sqrt(var)
 
     def quantile(self, q: float) -> float:
-        """Exact q-quantile via linear interpolation (q in [0, 1])."""
+        """Exact q-quantile via linear interpolation (q in [0, 1]).
+
+        Raises :class:`ConfigurationError` when the histogram is empty: a
+        quantile of nothing has no value, and silently returning 0.0 (the
+        old behaviour) let latency regressions masquerade as perfect runs.
+        Callers that can tolerate absence should check :attr:`count` first.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.samples:
-            return 0.0
+            raise ConfigurationError(
+                f"quantile({q}) of an empty histogram is undefined; "
+                "check .count before querying"
+            )
         ordered = sorted(self.samples)
         if len(ordered) == 1:
             return ordered[0]
@@ -125,8 +136,22 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._histograms[name]
 
+    def all_counters(self) -> dict[str, Counter]:
+        """Read-only view of every counter, for exporters."""
+        return dict(self._counters)
+
+    def all_gauges(self) -> dict[str, Gauge]:
+        return dict(self._gauges)
+
+    def all_histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
     def snapshot(self) -> dict[str, float]:
-        """Flat {name: value} view; histograms export count/mean/p99."""
+        """Flat {name: value} view; histograms export count/mean/p99.
+
+        Empty histograms export only their count: quantiles of no samples
+        are undefined (see :meth:`Histogram.quantile`).
+        """
         out: dict[str, float] = {}
         for name, counter in self._counters.items():
             out[name] = counter.value
@@ -134,8 +159,9 @@ class MetricsRegistry:
             out[name] = gauge.value
         for name, histogram in self._histograms.items():
             out[f"{name}.count"] = float(histogram.count)
-            out[f"{name}.mean"] = histogram.mean
-            out[f"{name}.p99"] = histogram.p99()
+            if histogram.count:
+                out[f"{name}.mean"] = histogram.mean
+                out[f"{name}.p99"] = histogram.p99()
         return out
 
     def reset(self) -> None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.errors import ConfigurationError, FusionError
+from ..obs.profiling import timed
 from .sources import Observation
 
 
@@ -62,6 +63,7 @@ class TruthFusion:
 
     # -- public API -----------------------------------------------------------
 
+    @timed("fusion.fuse")
     def fuse(self, observations: list[Observation]) -> dict[tuple[str, str], FusedValue]:
         """Fuse all observations; returns {(entity, attribute): FusedValue}."""
         if not observations:

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.errors import LedgerError
+from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 from .merkle import (
     ConsistencyProof,
     InclusionProof,
@@ -80,10 +82,17 @@ class Receipt:
 class LedgerDB:
     """Append-only verifiable key-value ledger."""
 
-    def __init__(self, block_size: int = 16) -> None:
+    def __init__(
+        self,
+        block_size: int = 16,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         if block_size < 1:
             raise LedgerError("block_size must be >= 1")
         self.block_size = block_size
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self.tree = MerkleTree()
         self.entries: list[LedgerEntry] = []
         self.blocks: list[BlockHeader] = []
@@ -99,23 +108,25 @@ class LedgerDB:
         return self._append("delete", key, None, timestamp)
 
     def _append(self, operation: str, key: str, value: Any, timestamp: float) -> LedgerEntry:
-        entry = LedgerEntry(
-            index=len(self.entries),
-            timestamp=timestamp,
-            operation=operation,
-            key=key,
-            value=value,
-        )
-        self.entries.append(entry)
-        self.tree.append(entry.serialize())
-        if operation == "put":
-            self._state[key] = value
-        else:
-            self._state.pop(key, None)
-        self._unsealed += 1
-        if self._unsealed >= self.block_size:
-            self.seal_block()
-        return entry
+        with self.tracer.span("ledger.append", key=key):
+            entry = LedgerEntry(
+                index=len(self.entries),
+                timestamp=timestamp,
+                operation=operation,
+                key=key,
+                value=value,
+            )
+            self.entries.append(entry)
+            self.tree.append(entry.serialize())
+            if operation == "put":
+                self._state[key] = value
+            else:
+                self._state.pop(key, None)
+            self._unsealed += 1
+            self.metrics.counter("ledger.appends").inc()
+            if self._unsealed >= self.block_size:
+                self.seal_block()
+            return entry
 
     def seal_block(self) -> BlockHeader | None:
         """Seal pending entries into a block (no-op when nothing pending)."""
@@ -131,6 +142,7 @@ class LedgerDB:
         )
         self.blocks.append(header)
         self._unsealed = 0
+        self.metrics.counter("ledger.blocks_sealed").inc()
         return header
 
     # -- reads -----------------------------------------------------------------

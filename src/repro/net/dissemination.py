@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 
 from ..core.errors import ConfigurationError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
+from ..obs.profiling import timed
 
 
 @dataclass
@@ -57,8 +59,13 @@ class CoherencySource:
     the guarantee benchmark E1 checks.
     """
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._subs: dict[str, list[CoherencySubscription]] = defaultdict(list)
         self._last_pushed: dict[tuple[str, str], float] = {}
         self._true_value: dict[str, float] = {}
@@ -122,8 +129,13 @@ class DisseminationTree:
     and source-side work drop — the scalability point of Sec. IV-C.
     """
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._nodes: dict[str, _TreeNode] = {}
         self._root: _TreeNode | None = None
 
@@ -305,9 +317,15 @@ class PriorityScheduler:
     the baseline for experiment E2.
     """
 
-    def __init__(self, fifo: bool = False, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        fifo: bool = False,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.fifo = fifo
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._heap: list[_QueuedItem] = []
         self.deliveries: list[Delivery] = []
 
@@ -337,6 +355,7 @@ class PriorityScheduler:
     def __len__(self) -> int:
         return len(self._heap)
 
+    @timed("net.scheduler_drain")
     def drain(self, now: float, budget_bytes: int) -> list[Delivery]:
         """Transmit up to ``budget_bytes`` worth of queued items."""
         sent: list[Delivery] = []

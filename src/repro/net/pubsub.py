@@ -24,6 +24,7 @@ from typing import Any, Callable
 
 from ..core.errors import ConfigurationError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 
 _sub_ids = itertools.count(1)
 
@@ -158,11 +159,13 @@ class Broker:
         self,
         grid_cell: float = 100.0,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if grid_cell <= 0:
             raise ConfigurationError("grid_cell must be positive")
         self.grid_cell = grid_cell
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._subs: dict[int, Subscription] = {}
         self._eq_index: dict[tuple[str, Any], set[int]] = defaultdict(set)
         self._grid: dict[tuple[int, int], set[int]] = defaultdict(set)
@@ -226,21 +229,24 @@ class Broker:
 
     def publish(self, pub: Publication) -> list[Subscription]:
         """Match ``pub``, invoke callbacks, and return matched subscriptions."""
-        matched: list[Subscription] = []
-        probed = 0
-        for sub_id in self.candidates(pub):
-            sub = self._subs.get(sub_id)
-            if sub is None:
-                continue
-            probed += 1
-            if sub.matches(pub):
-                matched.append(sub)
-                if sub.callback is not None:
-                    sub.callback(pub)
-        self.metrics.counter("pubsub.publications").inc()
-        self.metrics.counter("pubsub.probes").inc(probed)
-        self.metrics.counter("pubsub.deliveries").inc(len(matched))
-        return matched
+        with self.tracer.span("broker.publish", topic=pub.topic) as span:
+            matched: list[Subscription] = []
+            probed = 0
+            for sub_id in self.candidates(pub):
+                sub = self._subs.get(sub_id)
+                if sub is None:
+                    continue
+                probed += 1
+                if sub.matches(pub):
+                    matched.append(sub)
+                    if sub.callback is not None:
+                        sub.callback(pub)
+            self.metrics.counter("pubsub.publications").inc()
+            self.metrics.counter("pubsub.probes").inc(probed)
+            self.metrics.counter("pubsub.deliveries").inc(len(matched))
+            if span is not None:
+                span.set_attribute("deliveries", len(matched))
+            return matched
 
     def publish_broadcast(self, pub: Publication) -> list[Subscription]:
         """Baseline: deliver to every subscriber and let them filter (E3)."""

@@ -20,6 +20,7 @@ from typing import Any, Callable
 from ..core.clock import EventScheduler
 from ..core.errors import ConfigurationError, NetworkError, PartitionedError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 
 _message_ids = itertools.count(1)
 
@@ -96,6 +97,7 @@ class SimulatedNetwork:
         default_link: Link | None = None,
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.scheduler = scheduler
         self.default_link = default_link if default_link is not None else Link()
@@ -104,6 +106,7 @@ class SimulatedNetwork:
         self._partitioned: set[frozenset[str]] = set()
         self._rng = random.Random(seed)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
 
     # -- topology ---------------------------------------------------------
 

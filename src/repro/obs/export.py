@@ -1,0 +1,136 @@
+"""Metrics export: Prometheus text format and JSON snapshots.
+
+The existing :class:`~repro.core.metrics.MetricsRegistry` is a purely
+in-process namespace; this module gives it an export path so benchmarks,
+``run_experiments.py``, and external scrapers can consume comparable
+metrics per run:
+
+* :func:`render_prometheus` — the Prometheus text exposition format.
+  Counters and gauges map directly; histograms are rendered as summaries
+  (``name{quantile="0.5"}`` …, plus ``_count`` and ``_sum`` series).
+* :func:`render_json` / :func:`snapshot_dict` — a structured dictionary
+  with full quantile detail, suitable for dumping next to experiment
+  tables and diffing across runs.
+* :func:`write_snapshot` — writes both formats to disk and returns paths.
+
+Metric names are sanitized to the Prometheus charset (``[a-zA-Z0-9_:]``);
+dotted names like ``kv.puts`` become ``kv_puts``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from ..core.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "snapshot_dict",
+    "write_snapshot",
+    "sanitize_metric_name",
+]
+
+QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LEAD = re.compile(r"^[^a-zA-Z_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map an internal dotted metric name onto the Prometheus charset."""
+    out = _INVALID_CHARS.sub("_", name)
+    if _INVALID_LEAD.match(out):
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_detail(histogram: Histogram) -> dict[str, float | None]:
+    detail: dict[str, float | None] = {
+        "count": float(histogram.count),
+        "sum": histogram.total,
+        "mean": histogram.mean,
+        "min": histogram.minimum,
+        "max": histogram.maximum,
+    }
+    for q in QUANTILES:
+        key = f"p{int(q * 100)}"
+        detail[key] = histogram.quantile(q) if histogram.count else None
+    return detail
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "") -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    prefix = sanitize_metric_name(prefix) + "_" if prefix else ""
+    for name, counter in sorted(registry.all_counters().items()):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counter.value)}")
+    for name, gauge in sorted(registry.all_gauges().items()):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry.all_histograms().items()):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        if histogram.count:
+            for q in QUANTILES:
+                lines.append(
+                    f'{metric}{{quantile="{q}"}} '
+                    f"{_format_value(histogram.quantile(q))}"
+                )
+        lines.append(f"{metric}_count {_format_value(float(histogram.count))}")
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_dict(registry: MetricsRegistry) -> dict:
+    """Structured snapshot: counters, gauges, and histogram summaries."""
+    return {
+        "counters": {
+            name: counter.value
+            for name, counter in sorted(registry.all_counters().items())
+        },
+        "gauges": {
+            name: gauge.value
+            for name, gauge in sorted(registry.all_gauges().items())
+        },
+        "histograms": {
+            name: _histogram_detail(histogram)
+            for name, histogram in sorted(registry.all_histograms().items())
+        },
+    }
+
+
+def render_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    return json.dumps(snapshot_dict(registry), indent=indent, sort_keys=True)
+
+
+def write_snapshot(
+    registry: MetricsRegistry,
+    directory: str | Path,
+    basename: str = "metrics",
+    prefix: str = "",
+) -> tuple[Path, Path]:
+    """Write ``<basename>.prom`` and ``<basename>.json`` under ``directory``.
+
+    Returns the two paths (Prometheus text first).  The directory is
+    created if missing, so experiment drivers can point at a per-run
+    artifact folder.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    prom_path = directory / f"{basename}.prom"
+    json_path = directory / f"{basename}.json"
+    prom_path.write_text(render_prometheus(registry, prefix=prefix))
+    json_path.write_text(render_json(registry) + "\n")
+    return prom_path, json_path

@@ -1,0 +1,107 @@
+"""Span-aware structured logging with bounded memory.
+
+A :class:`LogSink` collects :class:`LogRecord` entries — structured
+``(timestamp, level, message, fields)`` tuples, optionally annotated with
+the tracing span that was active when they were emitted — into a
+``deque(maxlen=capacity)`` so that long experiment runs cannot grow the
+log without bound.  Records can be filtered by level/span and rendered as
+JSON lines for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..core.errors import ConfigurationError
+
+LEVELS = ("debug", "info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One structured log entry."""
+
+    timestamp: float
+    level: str
+    message: str
+    span_id: int | None = None
+    span_name: str | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "ts": self.timestamp,
+            "level": self.level,
+            "msg": self.message,
+        }
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+            out["span_name"] = self.span_name
+        out.update(self.fields)
+        return out
+
+
+class LogSink:
+    """Bounded in-memory collector of structured log records."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ConfigurationError("capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque[LogRecord] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def log(
+        self,
+        level: str,
+        message: str,
+        timestamp: float = 0.0,
+        span_id: int | None = None,
+        span_name: str | None = None,
+        **fields: Any,
+    ) -> LogRecord:
+        if level not in LEVELS:
+            raise ConfigurationError(
+                f"unknown log level {level!r}; expected one of {LEVELS}"
+            )
+        record = LogRecord(
+            timestamp=timestamp,
+            level=level,
+            message=message,
+            span_id=span_id,
+            span_name=span_name,
+            fields=fields,
+        )
+        if len(self._records) == self._records.maxlen:
+            self.dropped += 1
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def records(
+        self, level: str | None = None, span_id: int | None = None
+    ) -> list[LogRecord]:
+        out = list(self._records)
+        if level is not None:
+            out = [r for r in out if r.level == level]
+        if span_id is not None:
+            out = [r for r in out if r.span_id == span_id]
+        return out
+
+    def to_json_lines(self) -> str:
+        return "\n".join(
+            json.dumps(r.to_dict(), sort_keys=True, default=str)
+            for r in self._records
+        )
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,104 @@
+"""Lightweight profiling hooks: ``@timed`` histograms for operator code.
+
+``@timed("subsystem.op")`` wraps a function or method and records its
+wall-clock duration (seconds) into a :class:`Histogram`:
+
+* on a **method** whose object carries a ``metrics`` attribute that is a
+  :class:`MetricsRegistry` (the repo-wide injection convention), samples
+  land in that registry — so a platform-owned component reports into the
+  platform's registry automatically;
+* otherwise samples land in the module-global *profile registry*
+  (:func:`profile_registry`), which benchmarks can swap out per run with
+  :func:`set_profile_registry` or temporarily with :func:`profiled`.
+
+The decorator costs two ``perf_counter`` calls plus one histogram append
+per invocation, so it belongs on operator-granularity entry points
+(``execute``, ``fuse``, ``query_visible``) rather than per-row inner loops.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+from ..core.metrics import Histogram, MetricsRegistry
+
+__all__ = ["timed", "profile_registry", "set_profile_registry", "profiled"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_registry = MetricsRegistry()
+
+
+def profile_registry() -> MetricsRegistry:
+    """The global registry receiving ``@timed`` samples from free functions."""
+    return _registry
+
+
+def set_profile_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global profile registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def profiled(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Scope the global profile registry to a fresh (or given) instance::
+
+        with profiled() as reg:
+            execute(plan)
+        print(reg.histogram("query.execute").p99())
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_profile_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_profile_registry(previous)
+
+
+def timed(name: str, registry: MetricsRegistry | None = None) -> Callable[[F], F]:
+    """Decorate a callable to record durations into ``histogram(name)``."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            target = registry
+            if target is None:
+                owner_metrics = getattr(args[0], "metrics", None) if args else None
+                target = (
+                    owner_metrics
+                    if isinstance(owner_metrics, MetricsRegistry)
+                    else _registry
+                )
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                target.histogram(name).observe(time.perf_counter() - start)
+
+        wrapper.__timed_metric__ = name  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def timing_summary(
+    registry: MetricsRegistry | None = None,
+) -> dict[str, dict[str, float]]:
+    """Compact {metric: {count, mean, p95}} view of recorded timings."""
+    registry = registry if registry is not None else _registry
+    out: dict[str, dict[str, float]] = {}
+    for name, histogram in registry.all_histograms().items():
+        if not isinstance(histogram, Histogram) or not histogram.count:
+            continue
+        out[name] = {
+            "count": float(histogram.count),
+            "mean": histogram.mean,
+            "p95": histogram.p95(),
+        }
+    return out

@@ -15,6 +15,7 @@ from typing import Callable
 from ..core.errors import ConfigurationError
 from ..core.records import DataKind, DataRecord
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 
 
 class DeviceGateway:
@@ -23,6 +24,10 @@ class DeviceGateway:
     ``group_fn`` maps a record to its aggregation group (e.g. district);
     aggregation averages every numeric payload field per group over the
     buffered window.
+
+    A gateway constructed without a tracer keeps a no-op default until
+    :meth:`MetaversePlatform.register_gateway` adopts it into the
+    platform's tracer (``tracer_injected`` records which case applies).
     """
 
     def __init__(
@@ -30,12 +35,15 @@ class DeviceGateway:
         aggregate: bool,
         group_fn: Callable[[DataRecord], str] | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if aggregate and group_fn is None:
             raise ConfigurationError("aggregation requires a group_fn")
         self.aggregate = aggregate
         self.group_fn = group_fn
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer_injected = tracer is not None
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._buffer: list[DataRecord] = []
 
     def ingest(self, record: DataRecord) -> None:
@@ -43,11 +51,16 @@ class DeviceGateway:
         self.metrics.counter("gateway.raw_records").inc()
 
     def ingest_many(self, records: list[DataRecord]) -> None:
-        for record in records:
-            self.ingest(record)
+        with self.tracer.span("gateway.ingest", batch=len(records)):
+            for record in records:
+                self.ingest(record)
 
     def flush(self) -> tuple[list[DataRecord], int]:
         """Return (records to send upstream, uplink bytes) and clear."""
+        with self.tracer.span("gateway.flush", buffered=len(self._buffer)):
+            return self._flush_buffer()
+
+    def _flush_buffer(self) -> tuple[list[DataRecord], int]:
         if not self._buffer:
             return [], 0
         if not self.aggregate:

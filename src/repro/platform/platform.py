@@ -16,6 +16,7 @@ and point reads through the buffer pool.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..core.errors import ConfigurationError, KeyNotFoundError, WriteConflictError
@@ -23,6 +24,7 @@ from ..core.metrics import MetricsRegistry
 from ..core.records import DataKind, DataRecord, Space
 from ..net.overlay import stable_hash
 from ..net.pubsub import Broker, Publication
+from ..obs.tracing import NoopTracer, Tracer
 from ..platform.gateway import DeviceGateway
 from ..storage.bufferpool import BufferPool, PageMeta
 from ..storage.kv import KVStore
@@ -56,16 +58,19 @@ class MetaversePlatform:
         physical_priority: bool = True,
         txn_cost_s: float = 1e-4,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if n_executors < 1:
             raise ConfigurationError("need at least one executor")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         # Storage tier.
-        self.kv = KVStore(metrics=self.metrics)
-        self.objects = ObjectStore(metrics=self.metrics)
-        # Cloud tier.
-        self.txn = TransactionManager()
-        self.broker = Broker(metrics=self.metrics)
+        self.kv = KVStore(metrics=self.metrics, tracer=self.tracer)
+        self.objects = ObjectStore(metrics=self.metrics, tracer=self.tracer)
+        # Cloud tier.  The transaction manager shares the platform registry
+        # and tracer (it used to grow a private registry nobody could read).
+        self.txn = TransactionManager(metrics=self.metrics, tracer=self.tracer)
+        self.broker = Broker(metrics=self.metrics, tracer=self.tracer)
         self.n_executors = n_executors
         self.executors = [ExecutorStats() for _ in range(n_executors)]
         self.txn_cost_s = txn_cost_s
@@ -74,6 +79,7 @@ class MetaversePlatform:
             capacity=buffer_pool_pages,
             loader=self._load_page,
             metrics=self.metrics,
+            tracer=self.tracer,
         )
         self.storage_reads = 0
         # Device tier (gateways registered per source population).
@@ -110,26 +116,31 @@ class MetaversePlatform:
     def register_gateway(self, name: str, gateway: DeviceGateway) -> None:
         if name in self.gateways:
             raise ConfigurationError(f"duplicate gateway {name!r}")
+        # Adopt gateways that kept their default no-op tracer so device-tier
+        # spans nest under platform spans; an explicitly injected tracer wins.
+        if not gateway.tracer_injected:
+            gateway.tracer = self.tracer
         self.gateways[name] = gateway
 
     def flush_gateways(self) -> tuple[int, int]:
         """Flush every gateway into storage; return (records, uplink bytes)."""
         total_records = 0
         total_bytes = 0
-        for gateway in self.gateways.values():
-            records, uplink = gateway.flush()
-            total_bytes += uplink
-            for record in records:
-                self.write_record(record)
-                self.broker.publish(
-                    Publication(
-                        topic=f"ingest.{record.source}",
-                        payload={**record.payload, "key": record.key},
-                        timestamp=record.timestamp,
-                        size_bytes=record.size_bytes(),
+        with self.tracer.span("platform.flush_gateways"):
+            for gateway in self.gateways.values():
+                records, uplink = gateway.flush()
+                total_bytes += uplink
+                for record in records:
+                    self.write_record(record)
+                    self.broker.publish(
+                        Publication(
+                            topic=f"ingest.{record.source}",
+                            payload={**record.payload, "key": record.key},
+                            timestamp=record.timestamp,
+                            size_bytes=record.size_bytes(),
+                        )
                     )
-                )
-                total_records += 1
+                    total_records += 1
         self.metrics.counter("platform.ingested_records").inc(total_records)
         self.metrics.counter("platform.uplink_bytes").inc(total_bytes)
         return total_records, total_bytes
@@ -163,11 +174,20 @@ class MetaversePlatform:
             return (priority, request.timestamp)
 
         outcomes = []
-        for request in sorted(requests, key=sort_key):
-            outcomes.append(self._purchase_one(request, max_retries))
+        with self.tracer.span("platform.process_purchases", n=len(requests)):
+            for request in sorted(requests, key=sort_key):
+                outcomes.append(self._purchase_one(request, max_retries))
         return outcomes
 
     def _purchase_one(
+        self, request: PurchaseRequest, max_retries: int
+    ) -> PurchaseOutcome:
+        # A sampling boundary: with sample_every=k, one purchase in k
+        # records its sub-trace (commit spans included) — see Tracer.
+        with self.tracer.sampled_span("platform.purchase"):
+            return self._purchase_attempts(request, max_retries)
+
+    def _purchase_attempts(
         self, request: PurchaseRequest, max_retries: int
     ) -> PurchaseOutcome:
         executor = self.executors[self._executor_for(request.product_id)]
@@ -197,14 +217,41 @@ class MetaversePlatform:
             return PurchaseOutcome(request, True)
         return PurchaseOutcome(request, False, "conflict retries exhausted")
 
-    def stock_of(self, product_id: str) -> int:
+    def get_stock(self, product_id: str) -> int:
+        """Current stock of ``product_id`` as seen by a fresh snapshot."""
         txn = self.txn.begin()
         return int(txn.read(product_id).get("stock", 0))
 
-    def makespan(self) -> float:
+    def compute_makespan(self) -> float:
         """Simulated completion time: the busiest executor's busy time."""
         return max(e.busy_time for e in self.executors)
 
-    def throughput(self, n_requests: int) -> float:
-        makespan = self.makespan()
+    def compute_throughput(self, n_requests: int) -> float:
+        makespan = self.compute_makespan()
         return n_requests / makespan if makespan > 0 else float("inf")
+
+    # -- deprecated aliases (pre-1.1 names; removed next release) -----------
+
+    def stock_of(self, product_id: str) -> int:
+        warnings.warn(
+            "MetaversePlatform.stock_of() is deprecated; use get_stock()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.get_stock(product_id)
+
+    def makespan(self) -> float:
+        warnings.warn(
+            "MetaversePlatform.makespan() is deprecated; use compute_makespan()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.compute_makespan()
+
+    def throughput(self, n_requests: int) -> float:
+        warnings.warn(
+            "MetaversePlatform.throughput() is deprecated; use compute_throughput()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.compute_throughput(n_requests)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..core.errors import ConfigurationError, StorageError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 
 
 @dataclass(frozen=True)
@@ -33,12 +34,14 @@ class BlockStore:
         block_size: int = 4096,
         capacity_blocks: int = 16384,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if block_size <= 0 or capacity_blocks <= 0:
             raise ConfigurationError("block_size and capacity must be positive")
         self.block_size = block_size
         self.capacity_blocks = capacity_blocks
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._blocks: dict[int, bytes] = {}
         self._allocated: set[int] = set()
         self._next_fresh = 0

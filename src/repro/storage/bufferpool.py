@@ -25,6 +25,7 @@ from typing import Callable, Hashable, Protocol
 from ..core.errors import ConfigurationError
 from ..core.metrics import MetricsRegistry
 from ..core.records import DataKind, Space
+from ..obs.tracing import NoopTracer, Tracer
 
 PageKey = Hashable
 
@@ -143,6 +144,7 @@ class BufferPool:
         loader: Callable[[PageKey], tuple[object, PageMeta]],
         policy: EvictionPolicy | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("capacity must be >= 1")
@@ -150,6 +152,7 @@ class BufferPool:
         self.loader = loader
         self.policy: EvictionPolicy = policy if policy is not None else LRUPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._frames: OrderedDict[PageKey, _Frame] = OrderedDict()
         self._tick = 0
         self.hits = 0
@@ -174,7 +177,8 @@ class BufferPool:
             return frame.value
         self.misses += 1
         self.metrics.counter("pool.misses").inc()
-        value, meta = self.loader(key)
+        with self.tracer.span("pool.load"):
+            value, meta = self.loader(key)
         if len(self._frames) >= self.capacity:
             self._evict()
         frame = _Frame(value=value, meta=meta)

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from ..core.errors import ConfigurationError, KeyNotFoundError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 from .wal import WriteAheadLog
 
 _TOMBSTONE = object()
@@ -124,6 +125,7 @@ class KVStore:
         max_runs: int = 6,
         wal: WriteAheadLog | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if memtable_budget_bytes <= 0 or max_runs < 1:
             raise ConfigurationError("invalid KVStore configuration")
@@ -131,6 +133,7 @@ class KVStore:
         self.max_runs = max_runs
         self.wal = wal if wal is not None else WriteAheadLog()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._memtable = MemTable()
         self._runs: list[SSTable] = []  # newest first
         self._seqno = 0
@@ -168,15 +171,16 @@ class KVStore:
     def get(self, key: str) -> object:
         """Return the live value for ``key`` or raise KeyNotFoundError."""
         self.metrics.counter("kv.gets").inc()
-        found = self._memtable.get(key)
-        if found is None:
-            for run in self._runs:
-                found = run.get(key)
-                if found is not None:
-                    break
-        if found is None or found.value is _TOMBSTONE:
-            raise KeyNotFoundError(key)
-        return found.value
+        with self.tracer.span("kv.get"):
+            found = self._memtable.get(key)
+            if found is None:
+                for run in self._runs:
+                    found = run.get(key)
+                    if found is not None:
+                        break
+            if found is None or found.value is _TOMBSTONE:
+                raise KeyNotFoundError(key)
+            return found.value
 
     def get_or(self, key: str, default: object = None) -> object:
         try:
@@ -220,27 +224,29 @@ class KVStore:
         """Freeze the memtable into a new run."""
         if len(self._memtable) == 0:
             return
-        self._runs.insert(0, SSTable(list(self._memtable.items())))
-        self._memtable = MemTable()
-        self.metrics.counter("kv.flushes").inc()
-        if len(self._runs) > self.max_runs:
-            self.compact()
+        with self.tracer.span("kv.flush", entries=len(self._memtable)):
+            self._runs.insert(0, SSTable(list(self._memtable.items())))
+            self._memtable = MemTable()
+            self.metrics.counter("kv.flushes").inc()
+            if len(self._runs) > self.max_runs:
+                self.compact()
 
     def compact(self) -> None:
         """Merge all runs into one, discarding shadowed versions/tombstones."""
-        best: dict[str, _Versioned] = {}
-        for run in self._runs:
-            for key, versioned in run.items():
-                current = best.get(key)
-                if current is None or versioned.seqno > current.seqno:
-                    best[key] = versioned
-        live = [
-            (key, versioned)
-            for key, versioned in sorted(best.items())
-            if versioned.value is not _TOMBSTONE
-        ]
-        self._runs = [SSTable(live)] if live else []
-        self.metrics.counter("kv.compactions").inc()
+        with self.tracer.span("kv.compact", runs=len(self._runs)):
+            best: dict[str, _Versioned] = {}
+            for run in self._runs:
+                for key, versioned in run.items():
+                    current = best.get(key)
+                    if current is None or versioned.seqno > current.seqno:
+                        best[key] = versioned
+            live = [
+                (key, versioned)
+                for key, versioned in sorted(best.items())
+                if versioned.value is not _TOMBSTONE
+            ]
+            self._runs = [SSTable(live)] if live else []
+            self.metrics.counter("kv.compactions").inc()
 
     # -- recovery ---------------------------------------------------------
 

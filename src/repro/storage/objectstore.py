@@ -16,6 +16,7 @@ from typing import Iterator
 
 from ..core.errors import KeyNotFoundError, StorageError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 
 
 @dataclass(frozen=True)
@@ -35,8 +36,13 @@ class ObjectRef:
 class ObjectStore:
     """Content-addressed blobs with versioned names."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._blobs: dict[str, bytes] = {}
         self._refcount: dict[str, int] = {}
         self._versions: dict[str, list[ObjectRef]] = {}

@@ -17,6 +17,7 @@ from typing import Any, Iterator
 
 from ..core.errors import KeyNotFoundError, TransactionAborted, WriteConflictError
 from ..core.metrics import MetricsRegistry
+from ..obs.tracing import NoopTracer, Tracer
 
 _DELETED = object()
 
@@ -30,11 +31,16 @@ class _Version:
 class MVStore:
     """Versioned key-value state shared by transactions."""
 
-    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._versions: dict[str, list[_Version]] = {}
         self._commit_counter = itertools.count(1)
         self.last_commit_ts = 0
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
 
     # -- version access -----------------------------------------------------
 
@@ -154,10 +160,22 @@ class Transaction:
 
 
 class TransactionManager:
-    """Hands out transactions and enforces first-committer-wins at commit."""
+    """Hands out transactions and enforces first-committer-wins at commit.
 
-    def __init__(self, store: MVStore | None = None) -> None:
-        self.store = store if store is not None else MVStore()
+    ``metrics``/``tracer`` follow the repo-wide injection convention; when
+    a store is constructed here they are passed through so that conflict
+    counters land in the caller's registry instead of a private one.
+    """
+
+    def __init__(
+        self,
+        store: MVStore | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.store = store if store is not None else MVStore(metrics=metrics)
+        self.metrics = metrics if metrics is not None else self.store.metrics
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self._txn_ids = itertools.count(1)
         self.aborts = 0
         self.commits = 0
@@ -169,19 +187,22 @@ class TransactionManager:
 
     def commit(self, txn: Transaction) -> int:
         """Commit ``txn``; raises :class:`WriteConflictError` on conflict."""
-        if txn.status != "active":
-            raise TransactionAborted(f"transaction {txn.txn_id} is {txn.status}")
-        for key in txn.write_set:
-            if self.store.latest_commit_of(key) > txn.snapshot_ts:
-                self.abort(txn)
-                self.store.metrics.counter("mvcc.conflicts").inc()
-                raise WriteConflictError(
-                    f"txn {txn.txn_id}: key {key!r} modified since snapshot"
+        with self.tracer.span("txn.commit"):
+            if txn.status != "active":
+                raise TransactionAborted(
+                    f"transaction {txn.txn_id} is {txn.status}"
                 )
-        commit_ts = self.store.apply_commit(txn.writes, txn.deletes)
-        txn.status = "committed"
-        self.commits += 1
-        return commit_ts
+            for key in txn.write_set:
+                if self.store.latest_commit_of(key) > txn.snapshot_ts:
+                    self.abort(txn)
+                    self.store.metrics.counter("mvcc.conflicts").inc()
+                    raise WriteConflictError(
+                        f"txn {txn.txn_id}: key {key!r} modified since snapshot"
+                    )
+            commit_ts = self.store.apply_commit(txn.writes, txn.deletes)
+            txn.status = "committed"
+            self.commits += 1
+            return commit_ts
 
     def abort(self, txn: Transaction) -> None:
         if txn.status == "active":

@@ -30,6 +30,7 @@ from ..core.errors import ConfigurationError, KeyNotFoundError
 from ..core.events import EventBus
 from ..core.metrics import MetricsRegistry
 from ..core.records import Space
+from ..obs.tracing import NoopTracer, Tracer
 from ..spatial.geometry import BBox, Point
 from ..spatial.grid import GridIndex
 from .entities import Avatar, Entity, ProximityMatch
@@ -109,6 +110,7 @@ class MetaverseWorld:
         cell_size: float = 50.0,
         bus: EventBus | None = None,
         metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if position_epsilon < 0:
             raise ConfigurationError("position_epsilon must be >= 0")
@@ -117,6 +119,7 @@ class MetaverseWorld:
         self.position_epsilon = position_epsilon
         self.bus = bus if bus is not None else EventBus()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self.now = 0.0
 
     # -- time -------------------------------------------------------------
@@ -131,6 +134,10 @@ class MetaverseWorld:
 
     def sync(self) -> int:
         """Mirror drifted entities into the virtual space (coherency filter)."""
+        with self.tracer.span("world.sync", entities=len(self.physical.entities)):
+            return self._sync_mirrors()
+
+    def _sync_mirrors(self) -> int:
         sent = 0
         for entity in self.physical.entities.values():
             mirrored = self.virtual.mirror.get(entity.entity_id)

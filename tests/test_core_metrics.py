@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import MetricsRegistry
+from repro.core import ConfigurationError, MetricsRegistry
 from repro.core.metrics import Histogram
 
 
@@ -25,11 +25,23 @@ class TestCounterGauge:
 
 
 class TestHistogram:
-    def test_empty_histogram_is_zeroes(self):
+    def test_empty_histogram_stats_are_zeroes(self):
         h = Histogram()
         assert h.count == 0
         assert h.mean == 0.0
-        assert h.p99() == 0.0
+
+    def test_empty_histogram_quantile_raises(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().p99()
+        with pytest.raises(ConfigurationError):
+            Histogram().quantile(0.5)
+
+    def test_empty_histogram_snapshot_omits_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")  # created but never observed
+        snap = reg.snapshot()
+        assert snap["h.count"] == 0.0
+        assert "h.p99" not in snap
 
     def test_mean_and_extremes(self):
         h = Histogram()

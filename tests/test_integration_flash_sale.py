@@ -68,12 +68,12 @@ class TestFlashSaleEndToEnd:
                 sold_by_product[pid] = sold_by_product.get(pid, 0) + 1
         for i in range(20):
             pid = workload.product_id(i)
-            assert sold_by_product.get(pid, 0) + platform.stock_of(pid) == 10
+            assert sold_by_product.get(pid, 0) + platform.get_stock(pid) == 10
 
     def test_no_oversell(self):
         platform, _, _, outcomes, _, workload = run_sale()
         for i in range(20):
-            assert platform.stock_of(workload.product_id(i)) >= 0
+            assert platform.get_stock(workload.product_id(i)) >= 0
 
     def test_ledger_records_every_sale(self):
         _, ledger, _, outcomes, _, _ = run_sale()

@@ -62,7 +62,7 @@ class TestNftDrop:
         platform, chain, _, outcomes, minted, workload = run_drop()
         assert sum(o.success for o in outcomes) == EDITION_SIZE
         assert len(minted) == EDITION_SIZE
-        assert platform.stock_of(workload.product_id(0)) == 0
+        assert platform.get_stock(workload.product_id(0)) == 0
         # Exactly EDITION_SIZE distinct tokens exist on-chain.
         owners = {chain.owner_of(f"edition-{i}") for i in range(EDITION_SIZE)}
         assert len(owners) == EDITION_SIZE  # early buyers, all distinct

@@ -116,7 +116,7 @@ class TestPurchases:
         platform = self.loaded_platform(stock=3)
         outcomes = platform.process_purchases([self.request()])
         assert outcomes[0].success
-        assert platform.stock_of("product-00000") == 2
+        assert platform.get_stock("product-00000") == 2
 
     def test_sold_out_rejected(self):
         platform = self.loaded_platform(stock=1)
@@ -185,7 +185,7 @@ class TestPurchases:
                 for i in range(400)
             ]
             platform.process_purchases(requests)
-            return platform.throughput(400)
+            return platform.compute_throughput(400)
 
         assert run(8) > 2 * run(1)
 
