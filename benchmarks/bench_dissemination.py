@@ -139,21 +139,23 @@ def test_e1_tree_cuts_filtering_work(benchmark):
     assert out["saving"] > 1.5
 
 
-def report(file=sys.stdout):
+def report(file=sys.stdout, smoke=False):
+    n_updates = 1000 if smoke else N_UPDATES
+    n_subscribers = 20 if smoke else N_SUBSCRIBERS
     print("== E1: coherency-bounded dissemination "
-          f"({N_UPDATES} updates x {N_SUBSCRIBERS} subscribers) ==", file=file)
+          f"({n_updates} updates x {n_subscribers} subscribers) ==", file=file)
     print(f"{'epsilon':>8} {'messages':>10} {'suppressed':>11} {'max_diverg':>11}",
           file=file)
-    for row in run_coherency_sweep():
+    for row in run_coherency_sweep(n_updates=n_updates, n_subscribers=n_subscribers):
         print(f"{row['epsilon']:>8.1f} {row['messages']:>10,} "
               f"{row['suppressed_pct']:>10.1f}% {row['max_divergence']:>11.3f}",
               file=file)
-    tree = run_tree_vs_flat()
+    tree = run_tree_vs_flat(n_updates=500 if smoke else 2000)
     print(f"\n-- E1 ablation: repeater tree vs flat source "
           f"({tree['flat_checks']:,} vs {tree['tree_checks']:,} checks, "
           f"{tree['saving']:.1f}x less work) --", file=file)
     print("\n== E2: priority vs FIFO under 2x overload ==", file=file)
-    out = run_priority_comparison()
+    out = run_priority_comparison(ticks=50 if smoke else 200)
     for name, stats in out.items():
         print(f"{name:>9}: critical p99 latency {stats['critical_p99']:>7.1f} s, "
               f"bulk mean {stats['bulk_mean']:>7.1f} s", file=file)

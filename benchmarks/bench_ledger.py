@@ -16,9 +16,9 @@ from repro.net import Link, SimulatedNetwork
 LEDGER_SIZES = [2**8, 2**12, 2**16]
 
 
-def run_proof_sweep():
+def run_proof_sweep(sizes=LEDGER_SIZES):
     rows = []
-    for n in LEDGER_SIZES:
+    for n in sizes:
         tree = MerkleTree()
         for i in range(n):
             tree.append(f"txn-{i}".encode())
@@ -134,15 +134,16 @@ def test_e8_ledger_append_throughput(benchmark):
     benchmark(append)
 
 
-def report(file=sys.stdout):
+def report(file=sys.stdout, smoke=False):
+    sizes = LEDGER_SIZES[:2] if smoke else LEDGER_SIZES
     print("== E8a: Merkle inclusion proof size ==", file=file)
     print(f"{'entries':>8} {'hashes':>7} {'bytes':>7}", file=file)
-    for row in run_proof_sweep():
+    for row in run_proof_sweep(sizes=sizes):
         print(f"{row['entries']:>8,} {row['proof_hashes']:>7} "
               f"{row['proof_bytes']:>7}", file=file)
     print("\n-- E8 ablation: sealing granularity --", file=file)
     print(f"{'block size':>11} {'appends/s':>11} {'blocks':>7}", file=file)
-    for row in run_block_size_ablation():
+    for row in run_block_size_ablation(n_entries=500 if smoke else 2000):
         print(f"{row['block_size']:>11} {row['appends_per_s']:>11,.0f} "
               f"{row['blocks']:>7}", file=file)
     print("\n== E8b: consensus message counts (20 ms links) ==", file=file)

@@ -114,17 +114,19 @@ def test_e6_range_queries_all_correct(benchmark):
     assert grid_ans == rtree_ans
 
 
-def report(file=sys.stdout):
-    print("== E6: spatio-temporal index update/query rates (5k objects) ==",
-          file=file)
-    rates = run_update_sweep()
+def report(file=sys.stdout, smoke=False):
+    n_objects = 1000 if smoke else 5000
+    n_queries = 100 if smoke else 500
+    print(f"== E6: spatio-temporal index update/query rates "
+          f"({n_objects // 1000}k objects) ==", file=file)
+    rates = run_update_sweep(n_updates=n_objects)
     print(f"{'index':>7} {'updates/s':>12}", file=file)
     for name, rate in rates.items():
         print(f"{name:>7} {rate:>12,.0f}", file=file)
     print(f"\n{'index':>7} {'range queries/s':>16}", file=file)
     for name in ("grid", "rtree"):
-        seconds = time_range_queries(name)
-        print(f"{name:>7} {500 / seconds:>16,.0f}", file=file)
+        seconds = time_range_queries(name, n_objects=n_objects, n_queries=n_queries)
+        print(f"{name:>7} {n_queries / seconds:>16,.0f}", file=file)
 
 
 if __name__ == "__main__":

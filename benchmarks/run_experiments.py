@@ -1,20 +1,29 @@
-"""Regenerate every experiment table (E1-E22) in one run.
+"""Regenerate every experiment table (E1-E23) in one run.
 
 Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
-                                             [--artifacts-dir DIR]
+                                             [--artifacts-dir DIR] [--smoke]
 
 Each bench module exposes ``report()``; this driver runs them in experiment
 order and prints the tables recorded in EXPERIMENTS.md.  Per-experiment
 runtimes are recorded in a driver-level :class:`MetricsRegistry` and dumped
 as a snapshot artifact (Prometheus text + JSON) at the end of the run.
+
+``--smoke`` runs every experiment on a reduced workload (modules whose
+``report()`` accepts a ``smoke`` flag shrink their inputs; the rest run as
+is) with all acceptance assertions still live — the CI smoke tier.  An
+experiment that raises no longer aborts the run: the driver reports every
+failure at the end and exits nonzero, so CI sees one red run instead of
+whichever module happened to break first.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import inspect
 import sys
 import time
+import traceback
 
 sys.path.insert(0, "src")
 
@@ -42,6 +51,7 @@ MODULES = [
     ("E19/E20", "bench_selftune"),
     ("E21", "bench_decentralized"),
     ("E22", "bench_obs_overhead"),
+    ("E23", "bench_resilience"),
 ]
 
 
@@ -51,9 +61,12 @@ def main() -> None:
                         help="experiment ids to run (e.g. E4 E8)")
     parser.add_argument("--artifacts-dir", default="benchmarks/artifacts",
                         help="where to write the metrics snapshot artifact")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced workloads, same assertions (CI tier)")
     args = parser.parse_args()
     sys.path.insert(0, "benchmarks")
     metrics = MetricsRegistry()
+    failures: list[str] = []
     for experiment, module_name in MODULES:
         if args.only and not any(
             wanted in experiment.split("/") for wanted in args.only
@@ -63,17 +76,34 @@ def main() -> None:
         print("=" * 72)
         print(f"# {experiment}: {module.__doc__.strip().splitlines()[0]}")
         print("=" * 72)
+        params = inspect.signature(module.report).parameters
+        kwargs = {}
+        if args.smoke and "smoke" in params:
+            kwargs["smoke"] = True
+        if "artifacts_dir" in params:
+            kwargs["artifacts_dir"] = args.artifacts_dir
         start = time.perf_counter()
-        module.report()
+        try:
+            module.report(**kwargs)
+        except Exception:
+            traceback.print_exc()
+            failures.append(experiment)
+            metrics.counter("experiments.failed").inc()
+            print(f"[{experiment} FAILED]\n")
+            continue
         elapsed = time.perf_counter() - start
         metrics.histogram("experiments.runtime_s").observe(elapsed)
         metrics.gauge(f"experiments.{module_name}.runtime_s").set(elapsed)
         metrics.counter("experiments.regenerated").inc()
         print(f"[{experiment} regenerated in {elapsed:.1f}s]\n")
+    basename = "experiments_smoke" if args.smoke else "experiments"
     prom_path, json_path = write_snapshot(
-        metrics, args.artifacts_dir, basename="experiments", prefix="repro"
+        metrics, args.artifacts_dir, basename=basename, prefix="repro"
     )
     print(f"[metrics snapshot: {prom_path} and {json_path}]")
+    if failures:
+        print(f"[{len(failures)} experiment(s) failed: {', '.join(failures)}]")
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ Run:  python examples/location_game.py
 
 from repro.net import P2PPubSub, Publication, Subscription
 from repro.query import ContinuousQueryEngine, GridStrategy, MovingKnnQuery, MovingObject
-from repro.spatial import Point, Velocity
+from repro.spatial import Point
 from repro.workloads import GameConfig, LocationBasedGame
 from repro.world import HistoryRecorder, MetaverseWorld
 

@@ -9,7 +9,6 @@ notifying a congestion dashboard.
 Run:  python examples/smart_city.py
 """
 
-from repro.core import DataRecord
 from repro.net import AttributePredicate, Subscription
 from repro.platform import DeviceGateway, MetaversePlatform
 from repro.privacy import DpQueryEngine, PrivacyAccountant

@@ -28,24 +28,34 @@ from .obs.profiling import timed
 from .obs.tracing import NoopTracer, Span, Tracer
 from .platform.gateway import DeviceGateway
 from .platform.platform import MetaversePlatform
+from .resilience.degrade import DegradationController
+from .resilience.faults import FaultInjector, FaultPlan, FaultRule
+from .resilience.policies import CircuitBreaker, RetryPolicy, Timeout
 from .world.twin import MetaverseWorld
 
 __version__ = "1.1.0"
 
 __all__ = [
+    "CircuitBreaker",
     "DataKind",
     "DataRecord",
+    "DegradationController",
     "DeviceGateway",
     "EventScheduler",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "LedgerDB",
     "LogSink",
     "MetaversePlatform",
     "MetaverseWorld",
     "MetricsRegistry",
     "NoopTracer",
+    "RetryPolicy",
     "SimulationClock",
     "Space",
     "Span",
+    "Timeout",
     "Tracer",
     "render_json",
     "render_prometheus",

@@ -82,3 +82,24 @@ class EnclaveError(ReproError):
 
 class FusionError(ReproError):
     """Data fusion could not reconcile the supplied observations."""
+
+
+class ResilienceError(ReproError):
+    """A fault-injection or recovery-policy operation failed."""
+
+
+class FaultInjectedError(ResilienceError):
+    """A deterministic injected fault fired at an instrumented site.
+
+    Raised by components consulting a
+    :class:`~repro.resilience.faults.FaultInjector` when a ``crash`` fault
+    fires; retry policies treat it as transient by default.
+    """
+
+
+class CircuitOpenError(ResilienceError):
+    """A call was rejected because its circuit breaker is open."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation exceeded its timeout budget."""

@@ -20,11 +20,14 @@ import itertools
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, FaultInjectedError
 from ..core.metrics import MetricsRegistry
 from ..obs.tracing import NoopTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultInjector
 
 _sub_ids = itertools.count(1)
 
@@ -160,12 +163,14 @@ class Broker:
         grid_cell: float = 100.0,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         if grid_cell <= 0:
             raise ConfigurationError("grid_cell must be positive")
         self.grid_cell = grid_cell
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
+        self.faults = faults
         self._subs: dict[int, Subscription] = {}
         self._eq_index: dict[tuple[str, Any], set[int]] = defaultdict(set)
         self._grid: dict[tuple[int, int], set[int]] = defaultdict(set)
@@ -228,7 +233,22 @@ class Broker:
         return out
 
     def publish(self, pub: Publication) -> list[Subscription]:
-        """Match ``pub``, invoke callbacks, and return matched subscriptions."""
+        """Match ``pub``, invoke callbacks, and return matched subscriptions.
+
+        With a fault injector attached, an injected ``crash`` raises
+        :class:`FaultInjectedError` before any callback fires (all-or-
+        nothing delivery per publication) and an injected ``drop`` loses
+        the publication silently, counted in ``pubsub.dropped``.
+        """
+        if self.faults is not None:
+            decision = self.faults.decide(
+                "broker.publish", target=pub.topic, kinds=("crash", "drop")
+            )
+            if decision.kind == "crash":
+                raise FaultInjectedError("injected crash at broker.publish")
+            if decision.kind == "drop":
+                self.metrics.counter("pubsub.dropped").inc()
+                return []
         with self.tracer.span("broker.publish", topic=pub.topic) as span:
             matched: list[Subscription] = []
             probed = 0

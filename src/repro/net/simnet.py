@@ -15,19 +15,27 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..core.clock import EventScheduler
 from ..core.errors import ConfigurationError, NetworkError, PartitionedError
 from ..core.metrics import MetricsRegistry
 from ..obs.tracing import NoopTracer, Tracer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultInjector
+
 _message_ids = itertools.count(1)
 
 
 @dataclass
 class Message:
-    """A message in flight between two nodes."""
+    """A message in flight between two nodes.
+
+    ``corrupted`` marks a payload damaged in flight (an injected
+    ``corrupt`` fault); receivers reject it at delivery, modelling a
+    checksum failure, unless the node opts in via ``accept_corrupt``.
+    """
 
     src: str
     dst: str
@@ -35,6 +43,7 @@ class Message:
     payload: Any
     size_bytes: int = 256
     sent_at: float = 0.0
+    corrupted: bool = False
     message_id: int = field(default_factory=lambda: next(_message_ids))
 
 
@@ -66,12 +75,16 @@ class Node:
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self.received: list[Message] = []
         self.keep_received = False
+        self.accept_corrupt = False
 
     def on(self, topic: str, handler: Callable[[Message], None]) -> None:
         """Register ``handler`` for messages with ``topic``."""
         self._handlers[topic] = handler
 
     def deliver(self, message: Message) -> None:
+        if message.corrupted and not self.accept_corrupt:
+            self.network.metrics.counter("net.messages_rejected_corrupt").inc()
+            return
         if self.keep_received:
             self.received.append(message)
         handler = self._handlers.get(message.topic)
@@ -98,6 +111,7 @@ class SimulatedNetwork:
         seed: int = 0,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.scheduler = scheduler
         self.default_link = default_link if default_link is not None else Link()
@@ -107,6 +121,7 @@ class SimulatedNetwork:
         self._rng = random.Random(seed)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
+        self.faults = faults
 
     # -- topology ---------------------------------------------------------
 
@@ -165,6 +180,30 @@ class SimulatedNetwork:
         if self.is_partitioned(src, dst):
             self.metrics.counter("net.partitioned_sends").inc()
             raise PartitionedError(f"{src} -> {dst} is partitioned")
+        extra_delay = 0.0
+        corrupted = False
+        if self.faults is not None:
+            decision = self.faults.decide(
+                "net.link",
+                target=f"{src}->{dst}",
+                kinds=("partition", "drop", "delay", "corrupt"),
+            )
+            if decision.kind == "partition":
+                self.metrics.counter("net.partitioned_sends").inc()
+                raise PartitionedError(
+                    f"{src} -> {dst}: injected transient partition"
+                )
+            if decision.kind == "drop":
+                self.metrics.counter("net.messages_sent").inc()
+                self.metrics.counter("net.messages_dropped").inc()
+                return Message(
+                    src=src, dst=dst, topic=topic, payload=payload,
+                    size_bytes=size_bytes, sent_at=self.scheduler.clock.now,
+                )
+            if decision.kind == "delay":
+                extra_delay = decision.delay_s
+            elif decision.kind == "corrupt":
+                corrupted = True
         message = Message(
             src=src,
             dst=dst,
@@ -172,6 +211,7 @@ class SimulatedNetwork:
             payload=payload,
             size_bytes=size_bytes,
             sent_at=self.scheduler.clock.now,
+            corrupted=corrupted,
         )
         link = self.link_for(src, dst)
         self.metrics.counter("net.messages_sent").inc()
@@ -179,7 +219,7 @@ class SimulatedNetwork:
         if link.loss_rate > 0 and self._rng.random() < link.loss_rate:
             self.metrics.counter("net.messages_dropped").inc()
             return message
-        delay = link.transfer_delay(size_bytes)
+        delay = link.transfer_delay(size_bytes) + extra_delay
         self.scheduler.schedule(delay, lambda: self._deliver(message))
         return message
 

@@ -10,12 +10,15 @@ reading, cutting device-to-cloud uplink bytes by roughly the window size
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..core.errors import ConfigurationError
 from ..core.records import DataKind, DataRecord
 from ..core.metrics import MetricsRegistry
 from ..obs.tracing import NoopTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultInjector
 
 
 class DeviceGateway:
@@ -36,6 +39,7 @@ class DeviceGateway:
         group_fn: Callable[[DataRecord], str] | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         if aggregate and group_fn is None:
             raise ConfigurationError("aggregation requires a group_fn")
@@ -44,9 +48,15 @@ class DeviceGateway:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer_injected = tracer is not None
         self.tracer = tracer if tracer is not None else NoopTracer()
+        self.faults = faults
         self._buffer: list[DataRecord] = []
 
     def ingest(self, record: DataRecord) -> None:
+        """Buffer one sensor record (an injected ``drop`` models dropout)."""
+        if self.faults is not None:
+            if self.faults.decide("gateway.ingest", kinds=("drop",)).faulted:
+                self.metrics.counter("gateway.dropped_records").inc()
+                return
         self._buffer.append(record)
         self.metrics.counter("gateway.raw_records").inc()
 

@@ -17,15 +17,24 @@ and point reads through the buffer pool.
 from __future__ import annotations
 
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 
-from ..core.errors import ConfigurationError, KeyNotFoundError, WriteConflictError
+from ..core.errors import (
+    ConfigurationError,
+    FaultInjectedError,
+    KeyNotFoundError,
+    WriteConflictError,
+)
 from ..core.metrics import MetricsRegistry
 from ..core.records import DataKind, DataRecord, Space
 from ..net.overlay import stable_hash
-from ..net.pubsub import Broker, Publication
+from ..net.pubsub import Broker, Publication, Subscription
 from ..obs.tracing import NoopTracer, Tracer
 from ..platform.gateway import DeviceGateway
+from ..resilience.degrade import DegradationController
+from ..resilience.faults import FaultInjector
+from ..resilience.policies import CircuitBreaker, RetryPolicy
 from ..storage.bufferpool import BufferPool, PageMeta
 from ..storage.kv import KVStore
 from ..storage.objectstore import ObjectStore
@@ -59,18 +68,48 @@ class MetaversePlatform:
         txn_cost_s: float = 1e-4,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        degradation: DegradationController | None = None,
     ) -> None:
         if n_executors < 1:
             raise ConfigurationError("need at least one executor")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
+        # Resilience.  A platform built with a fault injector survives by
+        # default: storage and broker calls retry with backoff, a breaker
+        # sheds publishes while the broker is failing, and reads fall back
+        # to the last value served (see read()).  All defaults share the
+        # injector's simulated clock so recovery timing is deterministic.
+        self.faults = faults
+        if faults is not None:
+            # Adopt an injector that kept its defaults, so fault counters
+            # and fault spans land in the platform's registry and trace.
+            if not faults.metrics_injected:
+                faults.metrics = self.metrics
+            if not faults.tracer_injected:
+                faults.tracer = self.tracer
+        if retry is None and faults is not None:
+            retry = RetryPolicy(
+                max_attempts=4, base_delay_s=0.002, seed=faults.plan.seed,
+                clock=faults.clock, metrics=self.metrics, tracer=self.tracer,
+            )
+        self.retry = retry
+        if breaker is None and faults is not None:
+            breaker = CircuitBreaker(
+                failure_threshold=8, cooldown_s=0.25, clock=faults.clock,
+                name="broker", metrics=self.metrics, tracer=self.tracer,
+            )
+        self.breaker = breaker
+        self.degradation = degradation
         # Storage tier.
-        self.kv = KVStore(metrics=self.metrics, tracer=self.tracer)
+        self.kv = KVStore(metrics=self.metrics, tracer=self.tracer, faults=faults)
         self.objects = ObjectStore(metrics=self.metrics, tracer=self.tracer)
         # Cloud tier.  The transaction manager shares the platform registry
         # and tracer (it used to grow a private registry nobody could read).
         self.txn = TransactionManager(metrics=self.metrics, tracer=self.tracer)
-        self.broker = Broker(metrics=self.metrics, tracer=self.tracer)
+        self.broker = Broker(metrics=self.metrics, tracer=self.tracer, faults=faults)
         self.n_executors = n_executors
         self.executors = [ExecutorStats() for _ in range(n_executors)]
         self.txn_cost_s = txn_cost_s
@@ -82,6 +121,9 @@ class MetaversePlatform:
             tracer=self.tracer,
         )
         self.storage_reads = 0
+        # Bounded last-known-value cache backing stale-read fallback.
+        self._stale: OrderedDict[str, object] = OrderedDict()
+        self._stale_capacity = 4 * buffer_pool_pages
         # Device tier (gateways registered per source population).
         self.gateways: dict[str, DeviceGateway] = {}
 
@@ -95,21 +137,48 @@ class MetaversePlatform:
             value = None
         return value, PageMeta(space=Space.PHYSICAL, kind=DataKind.STRUCTURED)
 
-    def read(self, key: str):
-        """Point read through the buffer pool."""
-        return self.pool.get(key)
+    def _with_retry(self, fn):
+        if self.retry is None:
+            return fn()
+        return self.retry.call(fn)
+
+    def read(self, key: str, allow_stale: bool = True):
+        """Point read through the buffer pool.
+
+        Graceful degradation: when the storage tier keeps failing past the
+        retry budget (injected faults), the last value this platform served
+        or wrote for ``key`` is returned instead — stale but available, the
+        paper's availability-over-freshness stance for hot reads.  Counted
+        in ``platform.stale_reads``; pass ``allow_stale=False`` to surface
+        the failure instead.
+        """
+        try:
+            value = self._with_retry(lambda: self.pool.get(key))
+        except FaultInjectedError:
+            if allow_stale and key in self._stale:
+                self.metrics.counter("platform.stale_reads").inc()
+                self.tracer.log("warn", "stale read served", key=key)
+                return self._stale[key]
+            raise
+        self._remember(key, value)
+        return value
+
+    def _remember(self, key: str, value: object) -> None:
+        self._stale[key] = value
+        self._stale.move_to_end(key)
+        while len(self._stale) > self._stale_capacity:
+            self._stale.popitem(last=False)
 
     def write_record(self, record: DataRecord) -> None:
         """Persist a record to the KV tier and invalidate its cached page."""
-        self.kv.put(
-            record.key,
-            {
-                "payload": record.payload,
-                "space": record.space.value,
-                "timestamp": record.timestamp,
-            },
-        )
+        value = {
+            "payload": record.payload,
+            "space": record.space.value,
+            "timestamp": record.timestamp,
+        }
+        self._with_retry(lambda: self.kv.put(record.key, value))
         self.pool.invalidate(record.key)
+        self._remember(record.key, value)
 
     # -- device tier ------------------------------------------------------------
 
@@ -120,6 +189,10 @@ class MetaversePlatform:
         # spans nest under platform spans; an explicitly injected tracer wins.
         if not gateway.tracer_injected:
             gateway.tracer = self.tracer
+        # Same adoption for the fault injector: the platform's chaos plan
+        # reaches the device tier unless the gateway brought its own.
+        if gateway.faults is None:
+            gateway.faults = self.faults
         self.gateways[name] = gateway
 
     def flush_gateways(self) -> tuple[int, int]:
@@ -132,7 +205,7 @@ class MetaversePlatform:
                 total_bytes += uplink
                 for record in records:
                     self.write_record(record)
-                    self.broker.publish(
+                    self.publish(
                         Publication(
                             topic=f"ingest.{record.source}",
                             payload={**record.payload, "key": record.key},
@@ -144,6 +217,37 @@ class MetaversePlatform:
         self.metrics.counter("platform.ingested_records").inc(total_records)
         self.metrics.counter("platform.uplink_bytes").inc(total_bytes)
         return total_records, total_bytes
+
+    # -- pub/sub --------------------------------------------------------------
+
+    def publish(self, publication: Publication) -> list[Subscription]:
+        """Publish through the broker with the platform's recovery policies.
+
+        Transient broker faults are retried; while the circuit breaker is
+        open, publications are shed (``platform.publish_shed``) instead of
+        hammering a failing broker; a publish that stays failing past the
+        retry budget is dropped and counted (``platform.publish_failed``)
+        rather than aborting the caller's pipeline — events are lossy by
+        contract, unlike storage writes.  Outcomes feed the degradation
+        controller when one is attached.
+        """
+        if self.breaker is not None and not self.breaker.allow():
+            self.metrics.counter("platform.publish_shed").inc()
+            return []
+        try:
+            matched = self._with_retry(lambda: self.broker.publish(publication))
+        except FaultInjectedError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            if self.degradation is not None:
+                self.degradation.observe(False)
+            self.metrics.counter("platform.publish_failed").inc()
+            return []
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self.degradation is not None:
+            self.degradation.observe(True)
+        return matched
 
     # -- marketplace transactions --------------------------------------------------
 

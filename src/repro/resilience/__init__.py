@@ -1,0 +1,44 @@
+"""Resilience: deterministic fault injection and the policies that survive it.
+
+``repro.resilience`` makes failure a first-class, reproducible input to the
+platform (the paper's Sec. IV keeps-serving requirement).  Two halves:
+
+* **Injection** — :class:`FaultPlan` + :class:`FaultInjector` attach seeded
+  crash/delay/drop/corrupt/partition faults to the instrumented hot paths
+  (network links, KV/WAL IO, broker publish, gateway ingest).
+* **Recovery** — :class:`RetryPolicy` (exponential backoff, deterministic
+  jitter), :class:`CircuitBreaker` (closed/open/half-open with simulated
+  cooldown), :class:`Timeout`/:class:`Deadline` guards, and
+  :class:`DegradationController` (stale reads / LOD downgrade instead of
+  unavailability).
+
+Both halves run off the shared :class:`~repro.core.clock.SimulationClock`
+and report through :mod:`repro.obs`, so every injected fault and every
+recovery decision is visible in the same metrics/trace artifacts as the
+requests they affect (experiment E23).
+"""
+
+from .degrade import DegradationController
+from .faults import (
+    DEFAULT_SITE_KINDS,
+    FAULT_KINDS,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+)
+from .policies import CircuitBreaker, Deadline, RetryPolicy, Timeout
+
+__all__ = [
+    "DEFAULT_SITE_KINDS",
+    "FAULT_KINDS",
+    "CircuitBreaker",
+    "Deadline",
+    "DegradationController",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "Timeout",
+]

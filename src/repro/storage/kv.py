@@ -16,12 +16,15 @@ from __future__ import annotations
 import json
 from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from ..core.errors import ConfigurationError, KeyNotFoundError
+from ..core.errors import ConfigurationError, FaultInjectedError, KeyNotFoundError
 from ..core.metrics import MetricsRegistry
 from ..obs.tracing import NoopTracer, Tracer
 from .wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultInjector
 
 _TOMBSTONE = object()
 
@@ -117,6 +120,11 @@ class KVStore:
         Compact (merge all runs) once the run count exceeds this.
     wal:
         Optional external WAL; a fresh one is created when omitted.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; consulted
+        at the ``kv.get`` / ``kv.put`` sites (an injected ``crash`` raises
+        :class:`FaultInjectedError` before any state changes).  A WAL
+        created internally shares the injector (site ``wal.append``).
     """
 
     def __init__(
@@ -126,22 +134,33 @@ class KVStore:
         wal: WriteAheadLog | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         if memtable_budget_bytes <= 0 or max_runs < 1:
             raise ConfigurationError("invalid KVStore configuration")
         self.memtable_budget_bytes = memtable_budget_bytes
         self.max_runs = max_runs
-        self.wal = wal if wal is not None else WriteAheadLog()
+        self.wal = wal if wal is not None else WriteAheadLog(faults=faults)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
+        self.faults = faults
         self._memtable = MemTable()
         self._runs: list[SSTable] = []  # newest first
         self._seqno = 0
+
+    def _maybe_fault(self, site: str, key: str) -> None:
+        if self.faults is not None:
+            decision = self.faults.decide(site, target=key, kinds=("crash", "delay"))
+            if decision.kind == "crash":
+                raise FaultInjectedError(f"injected crash at {site}")
+            if decision.kind == "delay":
+                self.faults.clock.advance(decision.delay_s)
 
     # -- mutations ----------------------------------------------------------
 
     def put(self, key: str, value: object) -> None:
         """Insert or overwrite ``key``. Value must be JSON-serializable."""
+        self._maybe_fault("kv.put", key)
         self._log("put", key, value)
         self._apply_put(key, value)
 
@@ -170,6 +189,7 @@ class KVStore:
 
     def get(self, key: str) -> object:
         """Return the live value for ``key`` or raise KeyNotFoundError."""
+        self._maybe_fault("kv.get", key)
         self.metrics.counter("kv.gets").inc()
         with self.tracer.span("kv.get"):
             found = self._memtable.get(key)

@@ -12,9 +12,12 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
-from ..core.errors import StorageError
+from ..core.errors import FaultInjectedError, StorageError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.faults import FaultInjector
 
 _HEADER = struct.Struct("<IIQ")  # crc32, length, lsn
 
@@ -35,9 +38,10 @@ class WriteAheadLog:
     first bad entry.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, faults: "FaultInjector | None" = None) -> None:
         self._buf = bytearray()
         self._next_lsn = 1
+        self.faults = faults
 
     @property
     def next_lsn(self) -> int:
@@ -47,14 +51,30 @@ class WriteAheadLog:
         return len(self._buf)
 
     def append(self, payload: bytes) -> int:
-        """Append ``payload``; return its log sequence number."""
+        """Append ``payload``; return its log sequence number.
+
+        With a fault injector attached, an injected ``crash`` fails the
+        append before any byte is written (the caller never applied the
+        mutation either — WAL-before-apply keeps this atomic), and an
+        injected ``corrupt`` tears the write: the entry lands with a
+        flipped payload byte, which :meth:`replay` detects and truncates
+        at, exactly like a real torn sector.
+        """
         if not isinstance(payload, (bytes, bytearray)):
             raise StorageError("WAL payload must be bytes")
+        corrupt = False
+        if self.faults is not None:
+            decision = self.faults.decide("wal.append", kinds=("crash", "corrupt"))
+            if decision.kind == "crash":
+                raise FaultInjectedError("injected crash at wal.append")
+            corrupt = decision.kind == "corrupt"
         lsn = self._next_lsn
         self._next_lsn += 1
         crc = zlib.crc32(payload)
         self._buf += _HEADER.pack(crc, len(payload), lsn)
         self._buf += payload
+        if corrupt:
+            self._buf[-1] ^= 0xFF
         return lsn
 
     def replay(self) -> Iterator[WalEntry]:

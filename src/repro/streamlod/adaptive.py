@@ -42,6 +42,16 @@ class AdaptiveStreamer:
         self._assets: dict[str, _AssetState] = {}
         self.frames: list[FrameReport] = []
 
+    def set_frame_budget(self, frame_budget_bytes: int) -> None:
+        """Re-bound the per-frame byte budget (graceful degradation hook).
+
+        A :class:`~repro.resilience.degrade.DegradationController` calls
+        this to cut fidelity when links degrade and restore it after.
+        """
+        if frame_budget_bytes <= 0:
+            raise ConfigurationError("frame budget must be positive")
+        self.frame_budget_bytes = frame_budget_bytes
+
     def add_asset(self, asset: VoxelAsset) -> None:
         if asset.name in self._assets:
             raise ConfigurationError(f"duplicate asset {asset.name!r}")

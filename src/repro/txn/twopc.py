@@ -17,6 +17,7 @@ from typing import Any
 
 from ..core.errors import TransactionAborted
 from ..net.simnet import Message, SimulatedNetwork
+from ..resilience.policies import Timeout
 
 _txn_ids = itertools.count(1)
 
@@ -107,6 +108,7 @@ class Coordinator:
         self.name = name
         self.network = network
         self.node = network.add_node(name)
+        self.timeout = Timeout(timeout_s)
         self.timeout_s = timeout_s
         self._votes: dict[int, dict[str, bool]] = {}
         self._acks: dict[int, set[str]] = {}
@@ -151,13 +153,17 @@ class Coordinator:
                 unreachable.append(participant)
             except Exception:
                 unreachable.append(participant)
-        deadline = scheduler.clock.now + self.timeout_s
+        guard = self.timeout.guard(scheduler.clock, label="2pc.prepare")
         while (
             len(self._votes[txn.txn_id]) < len(participants) - len(unreachable)
-            and scheduler.clock.now < deadline
+            and not guard.expired
             and scheduler.next_event_time is not None
         ):
-            scheduler.run_until(min(deadline, scheduler.next_event_time))
+            scheduler.run_until(min(guard.at, scheduler.next_event_time))
+        if guard.expired and len(self._votes[txn.txn_id]) < len(participants) - len(
+            unreachable
+        ):
+            self.network.metrics.counter("twopc.prepare_timeouts").inc()
         prepare_latency = scheduler.clock.now - start
 
         votes = self._votes[txn.txn_id]
@@ -174,13 +180,15 @@ class Coordinator:
                 self.node.send(participant, decision_topic, {"txn_id": txn.txn_id})
             except Exception:
                 pass
-        deadline = scheduler.clock.now + self.timeout_s
+        guard = self.timeout.guard(scheduler.clock, label="2pc.decision")
         while (
             len(self._acks[txn.txn_id]) < len(participants)
-            and scheduler.clock.now < deadline
+            and not guard.expired
             and scheduler.next_event_time is not None
         ):
-            scheduler.run_until(min(deadline, scheduler.next_event_time))
+            scheduler.run_until(min(guard.at, scheduler.next_event_time))
+        if guard.expired and len(self._acks[txn.txn_id]) < len(participants):
+            self.network.metrics.counter("twopc.decision_timeouts").inc()
 
         reason = ""
         if not all_yes:

@@ -19,8 +19,6 @@ one interface so experiment E15 can compare them on the same query mixes:
 
 from __future__ import annotations
 
-from typing import Iterator
-
 from ..core.errors import ConfigurationError
 from ..core.records import DataKind, DataRecord, Space
 from ..storage.kv import KVStore

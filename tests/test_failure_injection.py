@@ -4,8 +4,6 @@ Property-style adversarial tests over the durability and agreement
 invariants the platform promises.
 """
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,6 +13,8 @@ from repro.ledger import Auditor, LedgerDB, PbftQuorum
 from repro.net import Link, SimulatedNetwork
 from repro.storage import KVStore, WriteAheadLog
 from repro.txn import Coordinator, DistributedTxn, Participant
+
+pytestmark = pytest.mark.chaos
 
 
 class TestWalCrashRecovery:

@@ -10,7 +10,6 @@ from repro.query import (
     MovingKnnQuery,
     MovingObject,
 )
-from repro.spatial import Point
 from repro.workloads import GameConfig, LocationBasedGame
 from repro.world import HistoryRecorder, MetaverseWorld
 

@@ -1,0 +1,364 @@
+"""Unit tests for the resilience subsystem: fault plans, retry policies,
+circuit breakers, timeouts, and graceful degradation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    MetricsRegistry,
+    SimulationClock,
+)
+from repro.resilience import (
+    CircuitBreaker,
+    DegradationController,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    Timeout,
+)
+from repro.streamlod import AdaptiveStreamer
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="kv.get", kind="explode", rate=0.1)
+
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="kv.get", kind="crash", rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="kv.get", kind="crash", rate=-0.1)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(site="kv.get", kind="crash", rate=0.5, start=2.0, end=1.0)
+
+    def test_wildcard_site_matching(self):
+        rule = FaultRule(site="kv.*", kind="crash", rate=1.0)
+        assert rule.matches_site("kv.get")
+        assert rule.matches_site("kv.put")
+        assert not rule.matches_site("wal.append")
+        assert FaultRule(site="*", kind="crash", rate=1.0).matches_site("anything")
+
+    def test_target_and_window_narrowing(self):
+        rule = FaultRule(
+            site="net.link", kind="drop", rate=1.0, target="a->b", start=1.0, end=2.0
+        )
+        assert rule.applies("net.link", "a->b", now=1.5)
+        assert not rule.applies("net.link", "b->a", now=1.5)
+        assert not rule.applies("net.link", "a->b", now=0.5)
+        assert not rule.applies("net.link", "a->b", now=2.5)
+
+
+class TestFaultInjector:
+    def test_rate_zero_never_faults(self):
+        inj = FaultInjector(FaultPlan.uniform(0.0, seed=3))
+        assert not any(inj.decide("kv.get").faulted for _ in range(200))
+        assert inj.injected == 0
+
+    def test_rate_one_always_faults(self):
+        inj = FaultInjector(FaultPlan.uniform(1.0, seed=3))
+        assert all(inj.decide("kv.get").faulted for _ in range(50))
+        assert inj.injected == 50
+
+    def test_unlisted_site_is_clean(self):
+        inj = FaultInjector(FaultPlan.uniform(1.0, sites=["kv.get"], seed=3))
+        assert not inj.decide("broker.publish").faulted
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), rate=st.floats(0.05, 0.95))
+    def test_same_seed_same_fault_sequence(self, seed, rate):
+        """The fault sequence is a pure function of (plan, call order)."""
+        plan = FaultPlan.uniform(rate, seed=seed)
+        inj_a, inj_b = FaultInjector(plan), FaultInjector(plan)
+        seq_a = [inj_a.decide("kv.get", target=str(i)).kind for i in range(120)]
+        seq_b = [inj_b.decide("kv.get", target=str(i)).kind for i in range(120)]
+        assert seq_a == seq_b
+        assert inj_a.injected == inj_b.injected
+
+    def test_kinds_filter_prevents_ignored_faults(self):
+        """A rule of a kind the call site cannot act on never fires (and is
+        never counted), so metrics reflect only faults that took effect."""
+        plan = FaultPlan(rules=[FaultRule(site="kv.get", kind="corrupt", rate=1.0)])
+        metrics = MetricsRegistry()
+        inj = FaultInjector(plan, metrics=metrics)
+        assert not inj.decide("kv.get", kinds=("crash", "delay")).faulted
+        assert inj.injected == 0
+
+    def test_time_window_gates_faults(self):
+        clock = SimulationClock()
+        plan = FaultPlan(
+            rules=[FaultRule(site="kv.get", kind="crash", rate=1.0, start=5.0, end=10.0)]
+        )
+        inj = FaultInjector(plan, clock=clock)
+        assert not inj.decide("kv.get").faulted  # t=0, before window
+        clock.advance(7.0)
+        assert inj.decide("kv.get").faulted  # t=7, inside
+        clock.advance(5.0)
+        assert not inj.decide("kv.get").faulted  # t=12, after
+
+    def test_maybe_crash_raises(self):
+        inj = FaultInjector(FaultPlan.uniform(1.0, sites=["kv.put"], seed=0))
+        with pytest.raises(FaultInjectedError):
+            inj.maybe_crash("kv.put")
+
+    def test_metrics_record_site_and_kind(self):
+        metrics = MetricsRegistry()
+        inj = FaultInjector(FaultPlan.uniform(1.0, sites=["wal.append"]), metrics=metrics)
+        for _ in range(3):
+            inj.decide("wal.append")
+        assert metrics.counter("faults.injected").value == 3
+        assert metrics.counter("faults.injected.corrupt").value == 3
+        assert metrics.counter("faults.site.wal.append").value == 3
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_jitter_is_deterministic_under_fixed_seed(self, seed):
+        """Two policies with the same seed plan identical backoff schedules."""
+        mk = lambda: RetryPolicy(max_attempts=6, jitter=0.5, seed=seed)  # noqa: E731
+        assert mk().planned_delays() == mk().planned_delays()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), attempt=st.integers(0, 8))
+    def test_delay_bounds(self, seed, attempt):
+        """Each delay stays within [(1 - jitter) * raw, raw] and below cap."""
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=0.01, multiplier=2.0,
+            max_delay_s=0.5, jitter=0.5, seed=seed,
+        )
+        raw = min(0.5, 0.01 * 2.0**attempt)
+        delay = policy.compute_delay(attempt)
+        assert (1.0 - 0.5) * raw <= delay <= raw
+
+    def test_recovers_after_transient_failures(self):
+        clock = SimulationClock()
+        metrics = MetricsRegistry()
+        policy = RetryPolicy(max_attempts=4, clock=clock, metrics=metrics, seed=1)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise FaultInjectedError("transient")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert calls["n"] == 3
+        assert metrics.counter("resilience.retries").value == 2
+        assert metrics.counter("resilience.retry.recovered").value == 1
+        assert clock.now > 0.0  # backoff advanced simulated time
+
+    def test_exhaustion_reraises_last_error(self):
+        metrics = MetricsRegistry()
+        policy = RetryPolicy(max_attempts=3, metrics=metrics, seed=1)
+        with pytest.raises(FaultInjectedError):
+            policy.call(lambda: (_ for _ in ()).throw(FaultInjectedError("always")))
+        assert metrics.counter("resilience.retry.exhausted").value == 1
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        policy = RetryPolicy(max_attempts=5, seed=1)
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            policy.call(boom)
+        assert calls["n"] == 1
+
+
+class TestCircuitBreaker:
+    def mk(self, **kw):
+        clock = SimulationClock()
+        defaults = dict(failure_threshold=3, cooldown_s=10.0, half_open_successes=2)
+        defaults.update(kw)
+        return CircuitBreaker(clock=clock, **defaults), clock
+
+    def test_closed_until_threshold(self):
+        breaker, _ = self.mk()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker, _ = self.mk()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_rejects_until_cooldown(self):
+        breaker, clock = self.mk()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_probes_reclose(self):
+        breaker, clock = self.mk()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.mk()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        clock.advance(5.0)  # half the new cooldown: still open
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_call_records_outcomes(self):
+        breaker, _ = self.mk(failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        assert breaker.state == CircuitBreaker.OPEN
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        threshold=st.integers(1, 6),
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=40),
+    )
+    def test_never_opens_without_a_failure_streak(self, threshold, outcomes):
+        """Property: the breaker opens iff some run of `threshold` consecutive
+        failures occurs while closed."""
+        breaker, _ = self.mk(failure_threshold=threshold)
+        streak = 0
+        expect_open = False
+        for ok in outcomes:
+            if breaker.state == CircuitBreaker.OPEN:
+                break
+            if ok:
+                breaker.record_success()
+                streak = 0
+            else:
+                breaker.record_failure()
+                streak += 1
+                if streak >= threshold:
+                    expect_open = True
+                    break
+        assert (breaker.state == CircuitBreaker.OPEN) == expect_open
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_s=0.0)
+
+
+class TestTimeout:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            Timeout(0.0)
+
+    def test_deadline_tracks_clock(self):
+        clock = SimulationClock()
+        guard = Timeout(2.0).guard(clock, label="unit")
+        assert guard.remaining == pytest.approx(2.0)
+        assert not guard.expired
+        guard.check()  # no raise
+        clock.advance(2.5)
+        assert guard.expired
+        assert guard.remaining == 0.0
+        with pytest.raises(DeadlineExceededError):
+            guard.check()
+
+
+class TestDegradationController:
+    def mk(self, **kw):
+        defaults = dict(window=10, trip_rate=0.3, recover_rate=0.05,
+                        downgrade_factor=0.5, max_steps=2)
+        defaults.update(kw)
+        return DegradationController(**defaults)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.mk(window=0)
+        with pytest.raises(ConfigurationError):
+            self.mk(recover_rate=0.5)  # >= trip_rate
+        with pytest.raises(ConfigurationError):
+            self.mk(downgrade_factor=1.0)
+
+    def test_trips_after_full_window_of_failures(self):
+        ctrl = self.mk()
+        streamer = AdaptiveStreamer(frame_budget_bytes=1000)
+        ctrl.attach(streamer)
+        for _ in range(9):
+            ctrl.observe(False)
+        assert ctrl.level == 0  # window not yet full
+        ctrl.observe(False)
+        assert ctrl.level == 1
+        assert streamer.frame_budget_bytes == 500
+
+    def test_burst_cannot_cascade_to_floor(self):
+        """One step clears the window, so a single burst only moves one level."""
+        ctrl = self.mk()
+        streamer = AdaptiveStreamer(frame_budget_bytes=1000)
+        ctrl.attach(streamer)
+        for _ in range(15):
+            ctrl.observe(False)
+        assert ctrl.level == 1  # the 5 post-trip failures don't fill a window
+
+    def test_recovery_restores_baseline(self):
+        ctrl = self.mk()
+        streamer = AdaptiveStreamer(frame_budget_bytes=1000)
+        ctrl.attach(streamer)
+        for _ in range(10):
+            ctrl.observe(False)
+        assert ctrl.degraded
+        for _ in range(10):
+            ctrl.observe(True)
+        assert ctrl.level == 0
+        assert streamer.frame_budget_bytes == 1000
+
+    def test_level_capped_at_max_steps(self):
+        ctrl = self.mk(max_steps=2)
+        for _ in range(50):
+            ctrl.observe(False)
+        assert ctrl.level == 2
+
+    def test_budget_never_below_one(self):
+        ctrl = self.mk(downgrade_factor=0.1, max_steps=3)
+        streamer = AdaptiveStreamer(frame_budget_bytes=5)
+        ctrl.attach(streamer)
+        for _ in range(40):
+            ctrl.observe(False)
+        assert streamer.frame_budget_bytes >= 1

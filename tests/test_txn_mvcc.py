@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import KeyNotFoundError, TransactionAborted, WriteConflictError
-from repro.txn import MVStore, TransactionManager
+from repro.txn import TransactionManager
 
 
 class TestBasicTransactions:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ConfigurationError, KeyNotFoundError, Space
+from repro.core import ConfigurationError, KeyNotFoundError
 from repro.spatial import BBox, Point, Velocity
 from repro.world import Avatar, Entity, MetaverseWorld
 
