@@ -1,0 +1,191 @@
+"""E24: flash-sale scale-out across platform shards (repro.cluster).
+
+Claim: the data deluge demands *horizontally* scalable storage and
+compute — a single node's executor pool is the ceiling the paper's
+Section IV architecture exists to break.  Shape: the same flash-sale
+request stream processed by a :class:`PlatformCluster` at 1/2/4/8 shards
+scales near-linearly (simulated makespan shrinks as product keys spread
+over more executor pools) while deciding every purchase *identically* to
+the single-node platform — sharding changes where work runs, never who
+gets the last unit.  The cross-shard transaction share is what eventually
+dominates (every basket spanning shards pays 2PC message rounds), which
+the basket sweep at the end makes visible.
+
+Artifact: ``e24_cluster.{prom,json}``.  All recorded gauges derive from
+*simulated* time and seeded streams, so the artifact is byte-stable across
+runs — the determinism regression tier diffs it.
+"""
+
+import sys
+
+from repro.cluster import PlatformCluster
+from repro.core import MetricsRegistry, Space
+from repro.obs import write_snapshot
+from repro.platform import MetaversePlatform
+from repro.workloads import FlashSaleConfig, MarketplaceWorkload
+from repro.workloads.marketplace import PurchaseRequest
+
+SHARD_COUNTS = [1, 2, 4, 8]
+N_REQUESTS = 3000
+SMOKE_REQUESTS = 400
+N_PRODUCTS = 96
+SCALEOUT_FACTOR_AT_4 = 2.0  # acceptance: >= 2x throughput at 4 shards
+
+
+def make_requests(n, seed=3, skew=0.2):
+    workload = MarketplaceWorkload(
+        FlashSaleConfig(
+            n_products=N_PRODUCTS, initial_stock=10_000, zipf_skew=skew,
+            burst_rate=500.0, burst_start=0.0, burst_end=n / 500.0 + 1,
+        ),
+        seed=seed,
+    )
+    return workload, workload.requests_between(0.0, n / 500.0 + 1)[:n]
+
+
+def outcome_signature(outcomes):
+    """Order-sensitive purchase decisions, comparable across topologies."""
+    return [
+        (o.request.shopper_id, o.request.product_id, o.success, o.reason)
+        for o in outcomes
+    ]
+
+
+def run_shard_sweep(n=N_REQUESTS):
+    """The same stream at every shard count, plus the single-node baseline."""
+    workload, requests = make_requests(n)
+    baseline = MetaversePlatform(n_executors=4)
+    baseline.load_catalog(workload.catalog_records())
+    baseline_sig = outcome_signature(baseline.process_purchases(requests))
+
+    rows = []
+    for n_shards in SHARD_COUNTS:
+        workload, requests = make_requests(n)
+        cluster = PlatformCluster(n_shards=n_shards, n_executors_per_shard=4)
+        cluster.load_catalog(workload.catalog_records())
+        outcomes = cluster.process_purchases(requests)
+        rows.append(
+            {
+                "shards": n_shards,
+                "throughput": cluster.compute_throughput(len(requests)),
+                "makespan_s": cluster.compute_makespan(),
+                "successes": sum(o.success for o in outcomes),
+                "identical": outcome_signature(outcomes) == baseline_sig,
+            }
+        )
+    return rows
+
+
+def run_basket_mix(n_shards=4, n_baskets=300):
+    """Cross-shard transaction share: the scaling tax the paper warns about.
+
+    Two-product baskets against a 4-shard cluster; the distributed share
+    pays 2PC rounds (simulated network latency), the local share commits
+    in one MVCC transaction.
+    """
+    workload, _ = make_requests(200)
+    cluster = PlatformCluster(n_shards=n_shards, n_executors_per_shard=4)
+    cluster.load_catalog(workload.catalog_records())
+    for i in range(n_baskets):
+        a = workload.product_id(i % N_PRODUCTS)
+        b = workload.product_id((i * 7 + 1) % N_PRODUCTS)
+        if a == b:
+            continue
+        cluster.process_basket(
+            [
+                PurchaseRequest(f"b{i}", a, Space.VIRTUAL, float(i)),
+                PurchaseRequest(f"b{i}", b, Space.VIRTUAL, float(i)),
+            ]
+        )
+    counters = cluster.metrics.all_counters()
+
+    def value(name):
+        counter = counters.get(name)
+        return counter.value if counter else 0.0
+
+    distributed = value("cluster.basket.distributed")
+    local = value("cluster.basket.local")
+    latency = cluster.metrics.histogram("cluster.twopc.latency_s")
+    return {
+        "local": local,
+        "distributed": distributed,
+        "cross_shard_share": distributed / max(1.0, local + distributed),
+        "twopc_committed": value("cluster.twopc.committed"),
+        "twopc_mean_latency_s": latency.mean if latency.count else 0.0,
+    }
+
+
+def check_scaleout_bounds(rows):
+    """The acceptance bounds this experiment asserts.
+
+    * throughput is monotone non-decreasing in shard count;
+    * 4 shards deliver >= SCALEOUT_FACTOR_AT_4 x the 1-shard throughput;
+    * every shard count decides every purchase identically to one node.
+    """
+    by_shards = {row["shards"]: row for row in rows}
+    for prev, nxt in zip(rows, rows[1:]):
+        assert nxt["throughput"] >= prev["throughput"], (
+            f"throughput regressed {prev['shards']} -> {nxt['shards']} shards"
+        )
+    gain = by_shards[4]["throughput"] / by_shards[1]["throughput"]
+    assert gain >= SCALEOUT_FACTOR_AT_4, (
+        f"4-shard gain {gain:.2f}x below {SCALEOUT_FACTOR_AT_4}x bound"
+    )
+    assert all(row["identical"] for row in rows), (
+        "sharding changed purchase outcomes vs single node"
+    )
+
+
+def test_e24_scaleout_monotone_and_exact(benchmark):
+    rows = benchmark.pedantic(run_shard_sweep, rounds=1, iterations=1)
+    check_scaleout_bounds(rows)
+
+
+def test_e24_cross_shard_baskets_pay_2pc(benchmark):
+    out = benchmark.pedantic(run_basket_mix, rounds=1, iterations=1)
+    assert out["distributed"] > 0 and out["local"] > 0
+    assert out["twopc_committed"] > 0
+    assert out["twopc_mean_latency_s"] > 0.0  # message rounds cost sim time
+
+
+def report(file=sys.stdout, smoke=False, artifacts_dir="benchmarks/artifacts"):
+    n = SMOKE_REQUESTS if smoke else N_REQUESTS
+    rows = run_shard_sweep(n)
+    print("== E24: flash-sale throughput vs shard count ==", file=file)
+    print(f"{'shards':>8} {'throughput':>14} {'makespan':>11} {'identical':>10}",
+          file=file)
+    for row in rows:
+        print(f"{row['shards']:>8} {row['throughput']:>12,.0f}/s "
+              f"{row['makespan_s']:>9.4f}s {str(row['identical']):>10}", file=file)
+    check_scaleout_bounds(rows)
+    gain = rows[2]["throughput"] / rows[0]["throughput"]
+    print(f"\n4-shard gain: {gain:.2f}x (bound {SCALEOUT_FACTOR_AT_4:.0f}x); "
+          "outcomes identical at every shard count", file=file)
+
+    baskets = run_basket_mix(n_baskets=60 if smoke else 300)
+    print("\n-- cross-shard basket mix (the scaling tax) --", file=file)
+    print(f"local {baskets['local']:.0f}, distributed {baskets['distributed']:.0f} "
+          f"(share {baskets['cross_shard_share']:.0%}); "
+          f"2PC mean latency {baskets['twopc_mean_latency_s'] * 1e3:.2f} ms "
+          "(simulated)", file=file)
+
+    metrics = MetricsRegistry()
+    metrics.gauge("e24.n_requests").set(float(n))
+    for row in rows:
+        for key in ("throughput", "makespan_s", "successes"):
+            metrics.gauge(f"e24.shards_{row['shards']}.{key}").set(
+                float(row[key])
+            )
+        metrics.gauge(f"e24.shards_{row['shards']}.identical").set(
+            float(row["identical"])
+        )
+    for key, value in baskets.items():
+        metrics.gauge(f"e24.baskets.{key}").set(float(value))
+    prom_path, json_path = write_snapshot(
+        metrics, artifacts_dir, basename="e24_cluster", prefix="repro"
+    )
+    print(f"[E24 artifact: {prom_path} and {json_path}]", file=file)
+
+
+if __name__ == "__main__":
+    report(smoke="--smoke" in sys.argv[1:])

@@ -52,6 +52,7 @@ MODULES = [
     ("E21", "bench_decentralized"),
     ("E22", "bench_obs_overhead"),
     ("E23", "bench_resilience"),
+    ("E24", "bench_cluster_scaleout"),
 ]
 
 

@@ -18,6 +18,8 @@ Subsystem packages (``repro.spatial``, ``repro.query``, ``repro.obs``,
 ...) remain importable directly for everything else.
 """
 
+from .cluster.cluster import PlatformCluster
+from .cluster.router import ShardRouter
 from .core.clock import EventScheduler, SimulationClock
 from .core.metrics import MetricsRegistry
 from .core.records import DataKind, DataRecord, Space
@@ -51,7 +53,9 @@ __all__ = [
     "MetaverseWorld",
     "MetricsRegistry",
     "NoopTracer",
+    "PlatformCluster",
     "RetryPolicy",
+    "ShardRouter",
     "SimulationClock",
     "Space",
     "Span",

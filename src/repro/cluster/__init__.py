@@ -1,0 +1,28 @@
+"""Horizontal scale-out: sharded platform cluster (paper Sec. IV).
+
+``repro.cluster`` turns N single-node :class:`~repro.platform.platform.
+MetaversePlatform` instances into one horizontally scaled system:
+
+* :class:`ShardRouter` — consistent-hash (vnode) key → shard mapping;
+* :class:`PlatformCluster` — the facade: batched per-tick ingest,
+  scatter-gather queries with per-shard deadlines, routed purchases,
+  cross-shard 2PC baskets, live rebalancing;
+* :class:`CrossShardCoordinator` / :class:`ShardParticipant` — the 2PC
+  bridge binding the protocol driver in :mod:`repro.txn.twopc` to
+  shard-local MVCC state.
+
+Experiment E24 (``bench_cluster_scaleout.py``) measures the scaling claim.
+"""
+
+from .cluster import BasketOutcome, GatherResult, PlatformCluster
+from .coordinator import CrossShardCoordinator, ShardParticipant
+from .router import ShardRouter
+
+__all__ = [
+    "BasketOutcome",
+    "CrossShardCoordinator",
+    "GatherResult",
+    "PlatformCluster",
+    "ShardParticipant",
+    "ShardRouter",
+]

@@ -1,0 +1,480 @@
+"""Horizontal scale-out: N platform shards behind one facade (paper Sec. IV).
+
+The paper's answer to the data deluge is disaggregated, horizontally
+scalable storage and compute; the ROADMAP north-star is "heavy traffic
+from millions of users".  A single :class:`MetaversePlatform` node tops
+out at its executor pool — :class:`PlatformCluster` scales past it by
+partitioning entity and product keys across N full platform shards with a
+:class:`~repro.cluster.router.ShardRouter` (consistent-hash ring, vnodes)
+and coordinating the cross-shard paths:
+
+* **batched ingest** — observations buffer in the router grouped by owning
+  shard and flush per simulated-clock tick, so each shard sees one batch
+  per tick instead of a per-record stream;
+* **scatter-gather queries** — prefix/range, spatial, and continuous
+  queries fan out to every shard under a per-shard
+  :class:`~repro.resilience.policies.Deadline`; a shard that faults or
+  blows its deadline is skipped and the gather is marked partial rather
+  than failing the caller;
+* **purchases** — single-product requests route to the owning shard (the
+  global stream is pre-sorted with the same space-aware key a single node
+  uses, so sharded and single-node runs decide every purchase the same
+  way); multi-product baskets spanning shards run through the existing
+  2PC coordinator (:mod:`repro.cluster.coordinator`);
+* **rebalancing** — shards join and leave live: every key whose ring
+  owner changed migrates (KV entities and catalog products both), with
+  no entity lost or duplicated.
+
+Chaos coverage: sites ``cluster.ingest`` (drop) and ``cluster.query``
+(crash/delay) are instrumented, and the shared fault injector reaches
+every shard's storage/broker/gateway sites, so the nightly chaos tier
+exercises the cluster path end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.clock import SimulationClock
+from ..core.errors import ConfigurationError
+from ..core.metrics import MetricsRegistry
+from ..core.records import DataRecord
+from ..obs.tracing import NoopTracer, Tracer
+from ..platform.platform import (
+    MetaversePlatform,
+    PurchaseOutcome,
+    purchase_sort_key,
+)
+from ..resilience.faults import FaultInjector
+from ..resilience.policies import Timeout
+from ..spatial.geometry import BBox
+from ..txn.twopc import TxnOutcome
+from ..workloads.marketplace import PurchaseRequest
+from .coordinator import CrossShardCoordinator
+from .router import ShardRouter
+
+
+@dataclass
+class GatherResult:
+    """Outcome of one scatter-gather fan-out across the shard set."""
+
+    items: list
+    failed_shards: tuple[str, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_shards)
+
+
+@dataclass
+class BasketOutcome:
+    """Outcome of an all-or-nothing multi-product basket."""
+
+    committed: bool
+    reason: str = ""
+    shards: tuple[str, ...] = ()
+    txn: TxnOutcome | None = None
+
+
+@dataclass
+class _ContinuousQuery:
+    query_id: str
+    prefix: str
+    results: GatherResult | None = field(default=None)
+
+
+class PlatformCluster:
+    """N :class:`MetaversePlatform` shards behind a single facade.
+
+    All shards share the cluster's metrics registry, tracer, and (when
+    present) fault injector, so cluster-wide counters aggregate naturally
+    and per-shard gauges (``cluster.shard.<name>.*``) sit beside them.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        n_executors_per_shard: int = 4,
+        vnodes: int = 64,
+        query_deadline_s: float = 0.25,
+        twopc_timeout_s: float = 5.0,
+        buffer_pool_pages: int = 256,
+        physical_priority: bool = True,
+        txn_cost_s: float = 1e-4,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
+        self.faults = faults
+        if faults is not None:
+            # Route the injector's counters/spans into the cluster registry
+            # before any shard adopts it (platform adoption would otherwise
+            # rebind them shard by shard).
+            faults.metrics = self.metrics
+            faults.metrics_injected = True
+            faults.tracer = self.tracer
+            faults.tracer_injected = True
+        self.clock = faults.clock if faults is not None else SimulationClock()
+        self.n_executors_per_shard = n_executors_per_shard
+        self.buffer_pool_pages = buffer_pool_pages
+        self.physical_priority = physical_priority
+        self.txn_cost_s = txn_cost_s
+        self.query_deadline = Timeout(query_deadline_s)
+        self.router = ShardRouter(vnodes=vnodes, metrics=self.metrics)
+        self.shards: dict[str, MetaversePlatform] = {}
+        for i in range(n_shards):
+            name = f"shard-{i}"
+            self.router.add_shard(name)
+            self.shards[name] = self._make_shard()
+        self.coordinator = CrossShardCoordinator(
+            self.shards,
+            clock=self.clock,
+            timeout_s=twopc_timeout_s,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self._pending: dict[str, list[DataRecord]] = {}
+        self._continuous: dict[str, _ContinuousQuery] = {}
+
+    def _make_shard(self) -> MetaversePlatform:
+        return MetaversePlatform(
+            n_executors=self.n_executors_per_shard,
+            buffer_pool_pages=self.buffer_pool_pages,
+            physical_priority=self.physical_priority,
+            txn_cost_s=self.txn_cost_s,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            faults=self.faults,
+        )
+
+    def shard_of(self, key: str) -> MetaversePlatform:
+        """The shard platform currently owning ``key``."""
+        return self.shards[self.router.owner_of(key)]
+
+    # -- batched ingest -----------------------------------------------------
+
+    def ingest(self, record: DataRecord) -> None:
+        """Buffer one observation, grouped under its owning shard."""
+        if self.faults is not None:
+            if self.faults.decide("cluster.ingest", kinds=("drop",)).faulted:
+                self.metrics.counter("cluster.dropped_records").inc()
+                return
+        owner = self.router.owner_of(record.key)
+        self._pending.setdefault(owner, []).append(record)
+        self.metrics.counter("cluster.buffered_records").inc()
+
+    def ingest_many(self, records: list[DataRecord]) -> None:
+        with self.tracer.span("cluster.ingest", batch=len(records)):
+            for record in records:
+                self.ingest(record)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(batch) for batch in self._pending.values())
+
+    def flush(self) -> int:
+        """Write every buffered batch to its shard; return records written."""
+        total = 0
+        with self.tracer.span("cluster.flush", pending=self.pending_count):
+            for name in self.router.shards:
+                batch = self._pending.pop(name, None)
+                if not batch:
+                    continue
+                self.metrics.histogram("cluster.router.batch_size").observe(
+                    len(batch)
+                )
+                shard = self.shards[name]
+                for record in batch:
+                    shard.write_record(record)
+                total += len(batch)
+        self.metrics.counter("cluster.ingested_records").inc(total)
+        self._refresh_shard_gauges()
+        return total
+
+    def tick(self, dt: float) -> dict[str, GatherResult]:
+        """One simulated-clock tick: advance time, flush batches, refresh
+        every registered continuous query.  Returns the fresh results."""
+        self.clock.advance(dt)
+        self.flush()
+        results: dict[str, GatherResult] = {}
+        for query in self._continuous.values():
+            query.results = self.scan_prefix(query.prefix)
+            self.metrics.counter("cluster.continuous.evaluations").inc()
+            results[query.query_id] = query.results
+        return results
+
+    # -- reads and scatter-gather queries -----------------------------------
+
+    def read(self, key: str, allow_stale: bool = True):
+        """Point read, routed to the owning shard."""
+        return self.shard_of(key).read(key, allow_stale=allow_stale)
+
+    def write_record(self, record: DataRecord) -> None:
+        """Unbatched write-through (catalog audits, tests)."""
+        self.shard_of(record.key).write_record(record)
+
+    def gather(self, fn) -> GatherResult:
+        """Scatter ``fn(shard)`` to every shard under per-shard deadlines.
+
+        A shard that raises an injected crash (site ``cluster.query``) or
+        exceeds its deadline — injected delays advance the simulated clock
+        — is skipped and reported in ``failed_shards``; the result is then
+        *partial*, the availability-over-completeness stance the paper
+        takes for interactive queries.
+        """
+        items: list = []
+        failed: list[str] = []
+        with self.tracer.span("cluster.gather", shards=len(self.shards)):
+            for name in self.router.shards:
+                guard = self.query_deadline.guard(self.clock, label=name)
+                if self.faults is not None:
+                    decision = self.faults.decide(
+                        "cluster.query", target=name, kinds=("crash", "delay")
+                    )
+                    if decision.kind == "crash":
+                        self.metrics.counter("cluster.query.shard_failed").inc()
+                        failed.append(name)
+                        continue
+                    if decision.kind == "delay":
+                        self.clock.advance(decision.delay_s)
+                if guard.expired:
+                    self.metrics.counter("cluster.query.deadline_missed").inc()
+                    failed.append(name)
+                    continue
+                items.extend(fn(self.shards[name]))
+        self.metrics.histogram("cluster.query.fanout_results").observe(len(items))
+        return GatherResult(items=items, failed_shards=tuple(failed))
+
+    def scan_prefix(self, prefix: str) -> GatherResult:
+        """Range query: every (key, value) with ``key`` under ``prefix``."""
+        hi = prefix + "￿"
+        result = self.gather(lambda shard: list(shard.kv.scan(prefix, hi)))
+        result.items.sort(key=lambda kv: kv[0])
+        return result
+
+    def spatial_range(self, region: BBox) -> GatherResult:
+        """Entities whose payload position (``x``/``y``) lies in ``region``."""
+
+        def in_region(shard: MetaversePlatform):
+            out = []
+            for key, value in shard.kv.scan("", "￿"):
+                payload = value.get("payload", {}) if isinstance(value, dict) else {}
+                x, y = payload.get("x"), payload.get("y")
+                if (
+                    isinstance(x, (int, float))
+                    and isinstance(y, (int, float))
+                    and region.x_min <= x <= region.x_max
+                    and region.y_min <= y <= region.y_max
+                ):
+                    out.append((key, value))
+            return out
+
+        result = self.gather(in_region)
+        result.items.sort(key=lambda kv: kv[0])
+        return result
+
+    def register_continuous(self, query_id: str, prefix: str) -> None:
+        """Register a standing prefix query, re-evaluated every tick."""
+        if query_id in self._continuous:
+            raise ConfigurationError(f"duplicate continuous query {query_id!r}")
+        self._continuous[query_id] = _ContinuousQuery(query_id, prefix)
+
+    def continuous_results(self, query_id: str) -> GatherResult | None:
+        return self._continuous[query_id].results
+
+    # -- marketplace --------------------------------------------------------
+
+    def load_catalog(self, records: list[DataRecord]) -> None:
+        by_shard: dict[str, list[DataRecord]] = {}
+        for record in records:
+            by_shard.setdefault(self.router.owner_of(record.key), []).append(record)
+        for name, batch in by_shard.items():
+            self.shards[name].load_catalog(batch)
+
+    def process_purchases(
+        self, requests: list[PurchaseRequest], max_retries: int = 2
+    ) -> list[PurchaseOutcome]:
+        """Route each purchase to the shard owning its product.
+
+        The global stream is sorted with the exact key a single node uses;
+        each shard then processes the order-preserved subsequence, so every
+        per-product decision (who gets the last unit) is identical to the
+        single-node run — asserted by experiment E24.
+        """
+        ordered = sorted(
+            requests, key=lambda r: purchase_sort_key(r, self.physical_priority)
+        )
+        by_shard: dict[str, list[PurchaseRequest]] = {}
+        for request in ordered:
+            owner = self.router.owner_of(request.product_id)
+            by_shard.setdefault(owner, []).append(request)
+        outcome_streams: dict[str, list[PurchaseOutcome]] = {}
+        with self.tracer.span("cluster.process_purchases", n=len(requests)):
+            for name, batch in by_shard.items():
+                outcome_streams[name] = self.shards[name].process_purchases(
+                    batch, max_retries=max_retries
+                )
+        # Re-interleave shard outcomes back into global order: each shard
+        # returns its subsequence in the same sort order, so a positional
+        # merge is exact.
+        cursor = {name: 0 for name in outcome_streams}
+        merged: list[PurchaseOutcome] = []
+        for request in ordered:
+            name = self.router.owner_of(request.product_id)
+            merged.append(outcome_streams[name][cursor[name]])
+            cursor[name] += 1
+        self.metrics.counter("cluster.purchases_routed").inc(len(requests))
+        self._refresh_purchase_gauges()
+        return merged
+
+    def process_basket(self, requests: list[PurchaseRequest]) -> BasketOutcome:
+        """All-or-nothing basket; cross-shard baskets go through 2PC."""
+        if not requests:
+            raise ConfigurationError("empty basket")
+        quantities: dict[str, dict[str, int]] = {}
+        for request in requests:
+            owner = self.router.owner_of(request.product_id)
+            shard_quantities = quantities.setdefault(owner, {})
+            shard_quantities[request.product_id] = (
+                shard_quantities.get(request.product_id, 0) + request.quantity
+            )
+        shards = tuple(sorted(quantities))
+        if len(shards) == 1:
+            committed, reason = self._local_basket(shards[0], quantities[shards[0]])
+            self.metrics.counter("cluster.basket.local").inc()
+            return BasketOutcome(committed, reason, shards)
+        outcome = self.coordinator.execute(quantities)
+        self.metrics.counter("cluster.basket.distributed").inc()
+        return BasketOutcome(outcome.committed, outcome.reason, shards, outcome)
+
+    def _local_basket(
+        self, shard_name: str, quantities: dict[str, int]
+    ) -> tuple[bool, str]:
+        """Single-shard basket: one MVCC transaction, no network rounds."""
+        shard = self.shards[shard_name]
+        txn = shard.txn.begin()
+        for product_id, quantity in quantities.items():
+            product = txn.read_or(product_id)
+            if product is None:
+                shard.txn.abort(txn)
+                return False, f"no such product {product_id!r}"
+            stock = product.get("stock", 0)
+            if stock < quantity:
+                shard.txn.abort(txn)
+                return False, f"sold out: {product_id}"
+            updated = dict(product)
+            updated["stock"] = stock - quantity
+            txn.write(product_id, updated)
+        shard.txn.commit(txn)
+        return True, ""
+
+    def get_stock(self, product_id: str) -> int:
+        return self.shard_of(product_id).get_stock(product_id)
+
+    # -- rebalancing --------------------------------------------------------
+
+    def add_shard(self, name: str) -> int:
+        """Join a fresh shard and migrate the keys it now owns.
+
+        Returns the number of keys (entities + products) that moved.
+        """
+        if name in self.shards:
+            raise ConfigurationError(f"duplicate shard {name!r}")
+        self.flush()  # buffered records route under the old ring otherwise
+        shard = self._make_shard()
+        self.router.add_shard(name)
+        self.shards[name] = shard
+        self.coordinator.attach_shard(name, shard)
+        return self._rebalance()
+
+    def remove_shard(self, name: str) -> int:
+        """Drain and drop a shard; its keys migrate to their new owners."""
+        if name not in self.shards:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        if len(self.shards) == 1:
+            raise ConfigurationError("cannot remove the last shard")
+        self.flush()
+        self.router.remove_shard(name)
+        departing = self.shards.pop(name)
+        self.coordinator.detach_shard(name)
+        moved = self._drain(departing)
+        self.metrics.counter("cluster.rebalance.moved_keys").inc(moved)
+        self._refresh_shard_gauges()
+        return moved
+
+    def _rebalance(self) -> int:
+        """Move every key whose ring owner changed; nothing else moves."""
+        moved = 0
+        with self.tracer.span("cluster.rebalance"):
+            for name in list(self.shards):
+                shard = self.shards[name]
+                for key in shard.entity_keys():
+                    target = self.router.owner_of(key)
+                    if target != name:
+                        self.shards[target].import_entity(
+                            key, shard.export_entity(key)
+                        )
+                        shard.drop_entity(key)
+                        moved += 1
+                for product_id, value in shard.catalog_snapshot().items():
+                    target = self.router.owner_of(product_id)
+                    if target != name:
+                        self.shards[target].import_product(product_id, value)
+                        shard.drop_product(product_id)
+                        moved += 1
+        self.metrics.counter("cluster.rebalance.moved_keys").inc(moved)
+        self._refresh_shard_gauges()
+        return moved
+
+    def _drain(self, departing: MetaversePlatform) -> int:
+        moved = 0
+        with self.tracer.span("cluster.rebalance", draining=True):
+            for key in departing.entity_keys():
+                self.shards[self.router.owner_of(key)].import_entity(
+                    key, departing.export_entity(key)
+                )
+                moved += 1
+            for product_id, value in departing.catalog_snapshot().items():
+                self.shards[self.router.owner_of(product_id)].import_product(
+                    product_id, value
+                )
+                moved += 1
+        return moved
+
+    # -- introspection ------------------------------------------------------
+
+    def entity_locations(self) -> dict[str, list[str]]:
+        """Which shard(s) hold each entity key — exactly one, invariantly."""
+        locations: dict[str, list[str]] = {}
+        for name, shard in self.shards.items():
+            for key in shard.entity_keys():
+                locations.setdefault(key, []).append(name)
+        return locations
+
+    def compute_makespan(self) -> float:
+        """Simulated completion time: shards run in parallel, so the
+        cluster finishes when its busiest shard does."""
+        return max(shard.compute_makespan() for shard in self.shards.values())
+
+    def compute_throughput(self, n_requests: int) -> float:
+        makespan = self.compute_makespan()
+        return n_requests / makespan if makespan > 0 else float("inf")
+
+    def _refresh_shard_gauges(self) -> None:
+        for name, shard in self.shards.items():
+            self.metrics.gauge(f"cluster.shard.{name}.entities").set(
+                float(len(shard.entity_keys()))
+            )
+
+    def _refresh_purchase_gauges(self) -> None:
+        for name, shard in self.shards.items():
+            self.metrics.gauge(f"cluster.shard.{name}.purchases").set(
+                float(sum(e.processed for e in shard.executors))
+            )
+            self.metrics.gauge(f"cluster.shard.{name}.busy_s").set(
+                shard.compute_makespan()
+            )

@@ -1,0 +1,102 @@
+"""Consistent-hash routing of entities onto platform shards (paper Sec. IV).
+
+The paper's scale-out argument — "database sharding, workload
+partitioning" — needs a stable key → shard mapping that (a) spreads load
+evenly and (b) moves as few keys as possible when the shard set changes.
+:class:`ShardRouter` provides both by reusing the :class:`ChordRing` from
+the P2P overlay (the same ring :class:`~repro.storage.sharded.ShardedKVCluster`
+shards over), with each shard joining under ``vnodes`` virtual points so
+ownership arcs stay balanced even for small clusters.
+
+Properties the test tier holds the router to (``tests/test_cluster_ring.py``):
+
+* **balance** — over random key sets, the most loaded shard stays within a
+  small constant factor of the ideal ``keys / shards``;
+* **minimal movement** — when a shard joins, the only keys that change
+  owner are those the new shard now owns; when a shard leaves, the only
+  keys that change owner are those the departed shard used to own.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from ..core.metrics import MetricsRegistry
+from ..net.overlay import ChordRing
+
+#: Separator between a shard name and its virtual-node index on the ring.
+_VNODE_SEP = "#"
+
+
+class ShardRouter:
+    """Maps entity/region keys onto named shards via a vnode hash ring."""
+
+    def __init__(
+        self,
+        shard_names: list[str] | None = None,
+        vnodes: int = 64,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if vnodes < 1:
+            raise ConfigurationError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ring = ChordRing()
+        self._shards: list[str] = []
+        for name in shard_names or []:
+            self.add_shard(name)
+
+    # -- membership ---------------------------------------------------------
+
+    def add_shard(self, name: str) -> None:
+        if _VNODE_SEP in name:
+            raise ConfigurationError(
+                f"shard name {name!r} may not contain {_VNODE_SEP!r}"
+            )
+        if name in self._shards:
+            raise ConfigurationError(f"duplicate shard {name!r}")
+        for i in range(self.vnodes):
+            self.ring.join(f"{name}{_VNODE_SEP}{i}")
+        self._shards.append(name)
+        self.metrics.gauge("cluster.router.shards").set(len(self._shards))
+
+    def remove_shard(self, name: str) -> None:
+        if name not in self._shards:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        for i in range(self.vnodes):
+            self.ring.leave(f"{name}{_VNODE_SEP}{i}")
+        self._shards.remove(name)
+        self.metrics.gauge("cluster.router.shards").set(len(self._shards))
+
+    @property
+    def shards(self) -> list[str]:
+        """Shard names in registration order."""
+        return list(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    # -- routing ------------------------------------------------------------
+
+    def owner_of(self, key: str) -> str:
+        """The shard owning ``key`` (the vnode arc it hashes into)."""
+        if not self._shards:
+            raise ConfigurationError("router has no shards")
+        self.metrics.counter("cluster.router.lookups").inc()
+        return self.ring.owner_of(key).split(_VNODE_SEP, 1)[0]
+
+    def group_by_shard(self, keys: list[str]) -> dict[str, list[str]]:
+        """Partition ``keys`` by owning shard (input order preserved)."""
+        out: dict[str, list[str]] = {}
+        for key in keys:
+            out.setdefault(self.owner_of(key), []).append(key)
+        return out
+
+    def load_of(self, keys: list[str]) -> dict[str, int]:
+        """Keys per shard for balance introspection (all shards listed)."""
+        counts = {name: 0 for name in self._shards}
+        for key in keys:
+            counts[self.owner_of(key)] += 1
+        return counts

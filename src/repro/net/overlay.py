@@ -90,6 +90,32 @@ class ChordRing:
     def owner_of(self, key: str) -> str:
         return self._peers[self.successor(stable_hash(key, self.bits))]
 
+    def successors(self, key: str, n: int) -> list[str]:
+        """The ``n`` distinct peers reached by walking clockwise from the
+        owner of ``key`` — the replica-placement walk shared by
+        :class:`~repro.storage.sharded.ShardedKVCluster` and the cluster
+        router's vnode rings.  Raises when the ring holds fewer than ``n``
+        distinct peers.
+        """
+        if n < 1:
+            raise ConfigurationError("need n >= 1 successors")
+        distinct = set(self._peers.values())
+        if n > len(distinct):
+            raise ConfigurationError(
+                f"ring has {len(distinct)} distinct peers, need {n}"
+            )
+        start = bisect.bisect_left(
+            self._ids, self.successor(stable_hash(key, self.bits))
+        )
+        owners: list[str] = []
+        idx = start
+        while len(owners) < n:
+            candidate = self._peers[self._ids[idx % len(self._ids)]]
+            if candidate not in owners:
+                owners.append(candidate)
+            idx += 1
+        return owners
+
     def _fingers(self, peer_id: int) -> list[int]:
         """Finger table of ``peer_id``: successor(peer_id + 2^k) for each k."""
         return [self.successor(peer_id + (1 << k)) for k in range(self.bits)]

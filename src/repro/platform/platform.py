@@ -57,6 +57,19 @@ class ExecutorStats:
     busy_time: float = 0.0
 
 
+def purchase_sort_key(request: PurchaseRequest, physical_priority: bool):
+    """Space-aware processing order: (priority, arrival time).
+
+    With ``physical_priority`` on, physical-space shoppers win ties on the
+    last unit — the paper's example policy.  Shared with
+    :class:`~repro.cluster.cluster.PlatformCluster`, which must order the
+    global request stream identically before splitting it across shards so
+    that sharded and single-node runs decide every purchase the same way.
+    """
+    priority = 0 if (physical_priority and request.space is Space.PHYSICAL) else 1
+    return (priority, request.timestamp)
+
+
 class MetaversePlatform:
     """The end-to-end platform facade."""
 
@@ -271,15 +284,12 @@ class MetaversePlatform:
         transaction decrementing the product's stock; conflicts retry up to
         ``max_retries`` times.
         """
-        def sort_key(request: PurchaseRequest):
-            priority = 0 if (
-                self.physical_priority and request.space is Space.PHYSICAL
-            ) else 1
-            return (priority, request.timestamp)
-
         outcomes = []
         with self.tracer.span("platform.process_purchases", n=len(requests)):
-            for request in sorted(requests, key=sort_key):
+            for request in sorted(
+                requests,
+                key=lambda r: purchase_sort_key(r, self.physical_priority),
+            ):
                 outcomes.append(self._purchase_one(request, max_retries))
         return outcomes
 
@@ -320,6 +330,49 @@ class MetaversePlatform:
             self.metrics.counter("platform.purchases").inc()
             return PurchaseOutcome(request, True)
         return PurchaseOutcome(request, False, "conflict retries exhausted")
+
+    # -- cluster support ----------------------------------------------------
+    #
+    # The scale-out layer (repro.cluster) treats each platform as one shard
+    # and needs a public surface for key migration: raw KV values move as
+    # is (they are already the stored wrapper dicts), catalog products move
+    # as committed MVCC state.  All storage touches go through the shard's
+    # own retry policy so migration survives transient injected faults.
+
+    def entity_keys(self) -> list[str]:
+        """Keys of every entity this shard holds in the KV tier."""
+        return self.kv.keys()
+
+    def export_entity(self, key: str):
+        """The stored KV value for ``key`` (retried past transient faults)."""
+        return self._with_retry(lambda: self.kv.get(key))
+
+    def import_entity(self, key: str, value: object) -> None:
+        """Adopt a migrated KV value, keeping caches coherent."""
+        self._with_retry(lambda: self.kv.put(key, value))
+        self.pool.invalidate(key)
+        self._remember(key, value)
+
+    def drop_entity(self, key: str) -> None:
+        """Forget an entity handed off to another shard."""
+        self.kv.delete(key)
+        self.pool.invalidate(key)
+        self._stale.pop(key, None)
+
+    def catalog_snapshot(self) -> dict[str, dict]:
+        """Committed product state, keyed by product id."""
+        store = self.txn.store
+        return {key: dict(value) for key, value in store.scan_at(store.last_commit_ts)}
+
+    def import_product(self, product_id: str, value: dict) -> None:
+        txn = self.txn.begin()
+        txn.write(product_id, dict(value))
+        self.txn.commit(txn)
+
+    def drop_product(self, product_id: str) -> None:
+        txn = self.txn.begin()
+        txn.delete(product_id)
+        self.txn.commit(txn)
 
     def get_stock(self, product_id: str) -> int:
         """Current stock of ``product_id`` as seen by a fresh snapshot."""

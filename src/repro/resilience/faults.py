@@ -20,6 +20,8 @@ site                      component
 ``wal.append``            :class:`~repro.storage.wal.WriteAheadLog`
 ``broker.publish``        :class:`~repro.net.pubsub.Broker`
 ``gateway.ingest``        :class:`~repro.platform.gateway.DeviceGateway`
+``cluster.ingest``        :class:`~repro.cluster.cluster.PlatformCluster`
+``cluster.query``         :class:`~repro.cluster.cluster.PlatformCluster`
 ========================  =========================================
 
 Fault kinds: ``crash`` (the site raises
@@ -53,6 +55,8 @@ DEFAULT_SITE_KINDS: dict[str, str] = {
     "wal.append": "corrupt",
     "broker.publish": "crash",
     "gateway.ingest": "drop",
+    "cluster.ingest": "drop",
+    "cluster.query": "crash",
 }
 
 

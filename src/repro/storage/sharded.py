@@ -83,16 +83,7 @@ class ShardedKVCluster:
 
     def replicas_of(self, key: str) -> list[str]:
         """The ``n_replicas`` distinct owners: successor walk on the ring."""
-        owners: list[str] = []
-        peers = self.ring.peers
-        start = peers.index(self.ring.owner_of(key))
-        idx = start
-        while len(owners) < self.n_replicas:
-            candidate = peers[idx % len(peers)]
-            if candidate not in owners:
-                owners.append(candidate)
-            idx += 1
-        return owners
+        return self.ring.successors(key, self.n_replicas)
 
     # -- operations ----------------------------------------------------------------
 

@@ -52,7 +52,7 @@ class Participant:
         self.network = network
         self.node = network.add_node(name)
         self.data: dict[str, Any] = {}
-        self._staged: dict[int, dict[str, Any]] = {}
+        self._staged: dict[int, Any] = {}  # txn_id -> staged resource
         self.fail_prepares = False
         self.crashed = False
         self.node.on("2pc.prepare", self._on_prepare)
@@ -67,8 +67,7 @@ class Participant:
         if self.fail_prepares:
             vote = False
         else:
-            self._staged[txn_id] = writes
-            vote = True
+            vote = self._stage(txn_id, writes)
         self.node.send(
             message.src,
             "2pc.vote",
@@ -81,15 +80,37 @@ class Participant:
         txn_id = message.payload["txn_id"]
         staged = self._staged.pop(txn_id, None)
         if staged is not None:
-            self.data.update(staged)
+            self._apply(txn_id, staged)
         self.node.send(message.src, "2pc.ack", {"txn_id": txn_id})
 
     def _on_abort(self, message: Message) -> None:
         if self.crashed:
             return
         txn_id = message.payload["txn_id"]
-        self._staged.pop(txn_id, None)
+        staged = self._staged.pop(txn_id, None)
+        if staged is not None:
+            self._release(txn_id, staged)
         self.node.send(message.src, "2pc.ack", {"txn_id": txn_id})
+
+    # -- resource-manager hooks (overridden by richer participants) --------
+
+    def _stage(self, txn_id: int, writes: dict[str, Any]) -> bool:
+        """Validate and stage a write set; the return value is the vote.
+
+        The base participant is a plain dict store and always votes yes;
+        subclasses (e.g. the cluster's shard participant) override the
+        stage/apply/release trio to bind phase 1 and phase 2 to a real
+        resource manager while inheriting the protocol driver unchanged.
+        """
+        self._staged[txn_id] = writes
+        return True
+
+    def _apply(self, txn_id: int, staged: Any) -> None:
+        """Make a staged write set durable (phase-2 commit)."""
+        self.data.update(staged)
+
+    def _release(self, txn_id: int, staged: Any) -> None:
+        """Undo a staged write set (phase-2 abort)."""
 
     @property
     def staged_count(self) -> int:

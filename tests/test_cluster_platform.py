@@ -1,0 +1,252 @@
+"""Functional tests for the sharded platform facade (repro.cluster).
+
+Covers the four cross-shard paths one by one — batched ingest, scatter-
+gather queries (including deadline misses and injected shard crashes),
+order-identical purchase routing, and 2PC baskets — plus the metrics the
+facade threads through ``repro.obs``.
+"""
+
+import pytest
+
+from repro.cluster import PlatformCluster
+from repro.core import ConfigurationError, DataKind, DataRecord, Space
+from repro.platform import MetaversePlatform
+from repro.resilience import FaultInjector, FaultPlan, FaultRule
+from repro.spatial.geometry import BBox
+from repro.workloads import FlashSaleConfig, MarketplaceWorkload
+from repro.workloads.marketplace import PurchaseRequest
+
+pytestmark = pytest.mark.cluster
+
+
+def record(key, payload, timestamp=0.0):
+    return DataRecord(
+        key=key, payload=payload, space=Space.VIRTUAL,
+        timestamp=timestamp, kind=DataKind.STRUCTURED, source="test",
+    )
+
+
+def make_workload(seed=1):
+    config = FlashSaleConfig(
+        n_products=20, n_shoppers=100, initial_stock=10,
+        burst_rate=200.0, burst_start=0.0, burst_end=5.0, zipf_skew=1.0,
+    )
+    return MarketplaceWorkload(config, seed=seed)
+
+
+class TestBatchedIngest:
+    def test_ingest_buffers_until_flush(self):
+        cluster = PlatformCluster(n_shards=3)
+        for i in range(30):
+            cluster.ingest(record(f"e/{i}", {"v": i}))
+        assert cluster.pending_count == 30
+        assert cluster.read("e/0") is None  # not on any shard until the flush
+        assert cluster.flush() == 30
+        assert cluster.pending_count == 0
+        assert cluster.read("e/7")["payload"] == {"v": 7}
+        assert cluster.metrics.counter("cluster.ingested_records").value == 30
+        batches = cluster.metrics.histogram("cluster.router.batch_size")
+        assert batches.count == 3 and batches.total == 30  # one batch per shard
+
+    def test_tick_advances_clock_and_flushes(self):
+        cluster = PlatformCluster(n_shards=2)
+        cluster.ingest_many([record(f"e/{i}", {"v": i}) for i in range(10)])
+        t0 = cluster.clock.now
+        cluster.tick(0.5)
+        assert cluster.clock.now == pytest.approx(t0 + 0.5)
+        assert cluster.pending_count == 0
+
+    def test_injected_ingest_drop_is_counted_not_raised(self):
+        plan = FaultPlan(
+            rules=[FaultRule(site="cluster.ingest", kind="drop", rate=0.5)], seed=3
+        )
+        cluster = PlatformCluster(n_shards=2, faults=FaultInjector(plan))
+        for i in range(100):
+            cluster.ingest(record(f"e/{i}", {"v": i}))
+        dropped = cluster.metrics.counter("cluster.dropped_records").value
+        assert dropped + cluster.pending_count == 100
+        assert 25 <= dropped <= 75  # ~50%, deterministic for seed 3
+
+
+class TestScatterGather:
+    def seeded(self, n_shards=4):
+        cluster = PlatformCluster(n_shards=n_shards)
+        for i in range(40):
+            cluster.ingest(record(f"avatar/{i:02d}", {"x": float(i), "y": 0.0}))
+        for i in range(10):
+            cluster.ingest(record(f"asset/{i}", {"blob": i}))
+        cluster.flush()
+        return cluster
+
+    def test_scan_prefix_is_complete_and_sorted(self):
+        result = self.seeded().scan_prefix("avatar/")
+        assert not result.partial
+        assert [key for key, _ in result.items] == [
+            f"avatar/{i:02d}" for i in range(40)
+        ]
+
+    def test_spatial_range_filters_by_position(self):
+        result = self.seeded().spatial_range(BBox(10.0, -1.0, 19.0, 1.0))
+        assert [key for key, _ in result.items] == [
+            f"avatar/{i}" for i in range(10, 20)
+        ]
+
+    def test_continuous_query_refreshes_each_tick(self):
+        cluster = self.seeded()
+        cluster.register_continuous("q1", "asset/")
+        with pytest.raises(ConfigurationError):
+            cluster.register_continuous("q1", "asset/")
+        assert cluster.continuous_results("q1") is None
+        results = cluster.tick(1.0)
+        assert len(results["q1"].items) == 10
+        cluster.ingest(record("asset/new", {"blob": 99}))
+        results = cluster.tick(1.0)
+        assert len(results["q1"].items) == 11
+        assert cluster.metrics.counter("cluster.continuous.evaluations").value == 2
+
+    def test_injected_crash_yields_partial_result(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="cluster.query", kind="crash", rate=1.0,
+                      target="shard-1"),
+        ])
+        cluster = PlatformCluster(n_shards=4, faults=FaultInjector(plan))
+        for i in range(40):
+            cluster.ingest(record(f"e/{i:02d}", {"v": i}))
+        cluster.flush()
+        result = cluster.scan_prefix("e/")
+        assert result.partial and result.failed_shards == ("shard-1",)
+        survivors = {
+            key for key, _ in result.items
+        }
+        expected = {
+            f"e/{i:02d}" for i in range(40)
+            if cluster.router.owner_of(f"e/{i:02d}") != "shard-1"
+        }
+        assert survivors == expected  # healthy shards still answer in full
+        assert cluster.metrics.counter("cluster.query.shard_failed").value == 1
+
+    def test_injected_delay_past_deadline_skips_the_shard(self):
+        plan = FaultPlan(rules=[
+            FaultRule(site="cluster.query", kind="delay", rate=1.0, delay_s=0.5),
+        ])
+        cluster = PlatformCluster(
+            n_shards=3, query_deadline_s=0.1, faults=FaultInjector(plan)
+        )
+        for i in range(12):
+            cluster.ingest(record(f"e/{i}", {"v": i}))
+        cluster.flush()
+        result = cluster.scan_prefix("e/")
+        assert result.partial and result.items == []
+        assert set(result.failed_shards) == {"shard-0", "shard-1", "shard-2"}
+        missed = cluster.metrics.counter("cluster.query.deadline_missed").value
+        assert missed == 3
+
+
+class TestPurchaseRouting:
+    def test_outcomes_identical_to_single_node(self):
+        workload = make_workload()
+        requests = workload.requests_between(0.0, 5.0)
+
+        single = MetaversePlatform(n_executors=4)
+        single.load_catalog(workload.catalog_records())
+        expected = [
+            (o.request.shopper_id, o.request.product_id, o.success, o.reason)
+            for o in single.process_purchases(requests)
+        ]
+
+        cluster = PlatformCluster(n_shards=4)
+        cluster.load_catalog(workload.catalog_records())
+        actual = [
+            (o.request.shopper_id, o.request.product_id, o.success, o.reason)
+            for o in cluster.process_purchases(requests)
+        ]
+        assert actual == expected
+        assert cluster.metrics.counter(
+            "cluster.purchases_routed"
+        ).value == len(requests)
+
+    def test_stock_is_conserved_across_shards(self):
+        workload = make_workload()
+        cluster = PlatformCluster(n_shards=4)
+        cluster.load_catalog(workload.catalog_records())
+        outcomes = cluster.process_purchases(workload.requests_between(0.0, 5.0))
+        sold = {}
+        for outcome in outcomes:
+            if outcome.success:
+                pid = outcome.request.product_id
+                sold[pid] = sold.get(pid, 0) + 1
+        for i in range(20):
+            pid = workload.product_id(i)
+            assert sold.get(pid, 0) + cluster.get_stock(pid) == 10
+            assert cluster.get_stock(pid) >= 0
+
+    def test_throughput_metrics_and_gauges(self):
+        workload = make_workload()
+        cluster = PlatformCluster(n_shards=4)
+        cluster.load_catalog(workload.catalog_records())
+        cluster.process_purchases(workload.requests_between(0.0, 5.0))
+        assert cluster.compute_makespan() > 0.0
+        assert cluster.compute_throughput(100) == pytest.approx(
+            100 / cluster.compute_makespan()
+        )
+        for name in cluster.shards:
+            assert cluster.metrics.gauge(
+                f"cluster.shard.{name}.busy_s"
+            ).value >= 0.0
+
+
+class TestBaskets:
+    def seeded(self):
+        workload = make_workload()
+        cluster = PlatformCluster(n_shards=4)
+        cluster.load_catalog(workload.catalog_records())
+        pids = [workload.product_id(i) for i in range(20)]
+        owners = {pid: cluster.router.owner_of(pid) for pid in pids}
+        cross = next(
+            (a, b) for a in pids for b in pids if owners[a] != owners[b]
+        )
+        local = next(
+            (a, b) for a in pids for b in pids
+            if a != b and owners[a] == owners[b]
+        )
+        return cluster, cross, local
+
+    def basket(self, pids, quantity=1):
+        return [
+            PurchaseRequest("buyer", pid, Space.VIRTUAL, 0.0, quantity=quantity)
+            for pid in pids
+        ]
+
+    def test_cross_shard_basket_commits_atomically(self):
+        cluster, cross, _ = self.seeded()
+        outcome = cluster.process_basket(self.basket(cross, quantity=2))
+        assert outcome.committed and len(outcome.shards) == 2
+        assert all(cluster.get_stock(pid) == 8 for pid in cross)
+        assert cluster.metrics.counter("cluster.basket.distributed").value == 1
+        assert cluster.metrics.counter("cluster.twopc.committed").value == 1
+
+    def test_cross_shard_basket_aborts_leave_no_trace(self):
+        cluster, cross, _ = self.seeded()
+        outcome = cluster.process_basket(self.basket(cross, quantity=11))
+        assert not outcome.committed
+        assert all(cluster.get_stock(pid) == 10 for pid in cross)  # untouched
+        assert cluster.metrics.counter("cluster.twopc.aborted").value == 1
+
+    def test_local_basket_skips_2pc(self):
+        cluster, _, local = self.seeded()
+        outcome = cluster.process_basket(self.basket(local))
+        assert outcome.committed and len(outcome.shards) == 1
+        assert all(cluster.get_stock(pid) == 9 for pid in local)
+        assert cluster.metrics.counter("cluster.basket.local").value == 1
+        assert cluster.metrics.counter("cluster.twopc.committed").value == 0
+
+    def test_local_basket_rejects_oversell_and_unknowns(self):
+        cluster, _, local = self.seeded()
+        sold_out = cluster.process_basket(self.basket(local, quantity=11))
+        assert not sold_out.committed and "sold out" in sold_out.reason
+        missing = cluster.process_basket(
+            self.basket([cluster.router.shards[0] + "/ghost"])
+        )
+        assert not missing.committed and "no such product" in missing.reason
+        with pytest.raises(ConfigurationError):
+            cluster.process_basket([])

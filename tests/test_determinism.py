@@ -1,0 +1,92 @@
+"""Determinism regression: the experiment suite reproduces itself.
+
+Everything the benchmarks *claim* derives from seeded streams and the
+simulated clock, so two ``run_experiments.py --smoke`` runs with the same
+seeds must emit byte-identical JSON metrics artifacts — the only
+legitimate differences are wall-clock measurements (runtime gauges,
+elapsed/throughput readings), which this test strips before comparing.
+A diff in anything else means a benchmark picked up hidden state
+(dict-order, RNG leakage, real time) and its recorded tables can no
+longer be trusted to reproduce.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.slow, pytest.mark.cluster]
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Name fragments that mark a metric as wall-clock-derived (legitimately
+#: different between runs).  Everything else must match exactly.
+WALL_CLOCK_TOKENS = ("runtime", "elapsed", "throughput_rps", "slowdown", "wall")
+
+
+def run_smoke(artifacts_dir: Path) -> None:
+    result = subprocess.run(
+        [sys.executable, "benchmarks/run_experiments.py", "--smoke",
+         "--artifacts-dir", str(artifacts_dir)],
+        cwd=REPO_ROOT, capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"smoke run failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+
+
+def strip_wall_clock(snapshot: dict) -> dict:
+    """Drop wall-clock-derived metrics; keep every simulated/seeded one."""
+
+    def keep(name: str) -> bool:
+        return not any(token in name for token in WALL_CLOCK_TOKENS)
+
+    return {
+        section: {
+            name: value for name, value in metrics.items() if keep(name)
+        }
+        for section, metrics in snapshot.items()
+    }
+
+
+def canonical_bytes(path: Path) -> bytes:
+    snapshot = strip_wall_clock(json.loads(path.read_text()))
+    return json.dumps(snapshot, sort_keys=True).encode()
+
+
+def test_smoke_artifacts_are_byte_identical_across_runs(tmp_path):
+    dir_a, dir_b = tmp_path / "run_a", tmp_path / "run_b"
+    run_smoke(dir_a)
+    run_smoke(dir_b)
+
+    names_a = sorted(p.name for p in dir_a.glob("*.json"))
+    names_b = sorted(p.name for p in dir_b.glob("*.json"))
+    assert names_a == names_b and names_a, "runs emitted different artifacts"
+
+    diverged = [
+        name for name in names_a
+        if canonical_bytes(dir_a / name) != canonical_bytes(dir_b / name)
+    ]
+    assert diverged == [], (
+        f"nondeterministic artifacts (after wall-clock strip): {diverged}"
+    )
+
+
+def test_strip_keeps_simulated_metrics_and_drops_wall_clock():
+    snapshot = {
+        "gauges": {
+            "e24.shards_4.throughput": 78125.0,     # simulated — must survive
+            "e23.clean.throughput_rps": 52326.8,    # wall-clock — stripped
+            "experiments.bench_sync.runtime_s": 0.9,
+            "e24.baskets.local": 94.0,
+        },
+        "counters": {"experiments.regenerated": 23.0},
+    }
+    stripped = strip_wall_clock(snapshot)
+    assert "e24.shards_4.throughput" in stripped["gauges"]
+    assert "e24.baskets.local" in stripped["gauges"]
+    assert "e23.clean.throughput_rps" not in stripped["gauges"]
+    assert "experiments.bench_sync.runtime_s" not in stripped["gauges"]
+    assert stripped["counters"] == {"experiments.regenerated": 23.0}
