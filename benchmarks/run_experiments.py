@@ -53,6 +53,7 @@ MODULES = [
     ("E22", "bench_obs_overhead"),
     ("E23", "bench_resilience"),
     ("E24", "bench_cluster_scaleout"),
+    ("E25", "bench_cluster_failover"),
 ]
 
 

@@ -9,20 +9,30 @@ MetaversePlatform` instances into one horizontally scaled system:
   cross-shard 2PC baskets, live rebalancing;
 * :class:`CrossShardCoordinator` / :class:`ShardParticipant` — the 2PC
   bridge binding the protocol driver in :mod:`repro.txn.twopc` to
-  shard-local MVCC state.
+  shard-local MVCC state;
+* :class:`FailoverManager` / :class:`FailureDetector` /
+  :class:`ShardReplicator` — shard crash survival: heartbeat-driven
+  phi-accrual detection, ring-successor log replication with hinted
+  handoff, replica promotion with WAL replay, and Merkle anti-entropy
+  (enable with ``PlatformCluster(n_replicas=2)``).
 
-Experiment E24 (``bench_cluster_scaleout.py``) measures the scaling claim.
+Experiment E24 (``bench_cluster_scaleout.py``) measures the scaling
+claim; E25 (``bench_cluster_failover.py``) the crash-survival claim.
 """
 
 from .cluster import BasketOutcome, GatherResult, PlatformCluster
 from .coordinator import CrossShardCoordinator, ShardParticipant
+from .failover import FailoverManager, FailureDetector, ShardReplicator
 from .router import ShardRouter
 
 __all__ = [
     "BasketOutcome",
     "CrossShardCoordinator",
+    "FailoverManager",
+    "FailureDetector",
     "GatherResult",
     "PlatformCluster",
     "ShardParticipant",
+    "ShardReplicator",
     "ShardRouter",
 ]

@@ -44,6 +44,7 @@ from ..platform.platform import (
     MetaversePlatform,
     PurchaseOutcome,
     purchase_sort_key,
+    stored_record_value,
 )
 from ..resilience.faults import FaultInjector
 from ..resilience.policies import Timeout
@@ -51,7 +52,12 @@ from ..spatial.geometry import BBox
 from ..txn.twopc import TxnOutcome
 from ..workloads.marketplace import PurchaseRequest
 from .coordinator import CrossShardCoordinator
+from .failover import RECOVERING, FailoverManager
 from .router import ShardRouter
+
+#: Per-shard breaker-state gauge encoding (matches the platform-level
+#: ``resilience.breaker.<name>.state`` gauge: closed/half-open/open).
+_BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 
 @dataclass
@@ -104,9 +110,16 @@ class PlatformCluster:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         faults: FaultInjector | None = None,
+        n_replicas: int = 1,
+        heartbeat_interval_s: float = 0.05,
+        phi_threshold: float = 8.0,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("need at least one shard")
+        if not 1 <= n_replicas <= n_shards:
+            raise ConfigurationError(
+                f"n_replicas must be in [1, n_shards], got {n_replicas}"
+            )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
         self.faults = faults
@@ -139,6 +152,20 @@ class PlatformCluster:
         )
         self._pending: dict[str, list[DataRecord]] = {}
         self._continuous: dict[str, _ContinuousQuery] = {}
+        # Failover is opt-in: with n_replicas == 1 (the default) nothing is
+        # replicated, no heartbeats flow, and every path below behaves
+        # exactly as before.
+        self.failover: FailoverManager | None = None
+        if n_replicas >= 2:
+            self.failover = FailoverManager(
+                self,
+                n_replicas=n_replicas,
+                heartbeat_interval_s=heartbeat_interval_s,
+                phi_threshold=phi_threshold,
+                tracer=self.tracer,
+            )
+            for name, shard in self.shards.items():
+                self._hook_purchase_log(name, shard)
 
     def _make_shard(self) -> MetaversePlatform:
         return MetaversePlatform(
@@ -154,6 +181,32 @@ class PlatformCluster:
     def shard_of(self, key: str) -> MetaversePlatform:
         """The shard platform currently owning ``key``."""
         return self.shards[self.router.owner_of(key)]
+
+    def _hook_purchase_log(self, name: str, shard: MetaversePlatform) -> None:
+        """Route the shard's committed stock levels into the failover log."""
+        shard.purchase_log = (
+            lambda product_id, stock, owner=name: self.failover.log_stock(
+                owner, product_id, stock
+            )
+        )
+
+    def _is_down(self, name: str) -> bool:
+        return self.failover is not None and self.failover.is_down(name)
+
+    def install_shard(self, name: str, platform: MetaversePlatform) -> None:
+        """Swap in a promoted replica under an existing shard name.
+
+        Called by the failover manager: the router ring is untouched (the
+        name — and therefore key ownership — survives the crash), the 2PC
+        participant re-binds to the new platform, and the stock-level
+        replication hook is re-armed.
+        """
+        if name not in self.shards:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        self.shards[name] = platform
+        self.coordinator.attach_shard(name, platform)
+        if self.failover is not None:
+            self._hook_purchase_log(name, platform)
 
     # -- batched ingest -----------------------------------------------------
 
@@ -181,6 +234,10 @@ class PlatformCluster:
         total = 0
         with self.tracer.span("cluster.flush", pending=self.pending_count):
             for name in self.router.shards:
+                if self._is_down(name):
+                    # Crashed and not yet failed over: keep the batch
+                    # buffered — it flushes to the promoted replica.
+                    continue
                 batch = self._pending.pop(name, None)
                 if not batch:
                     continue
@@ -190,6 +247,10 @@ class PlatformCluster:
                 shard = self.shards[name]
                 for record in batch:
                     shard.write_record(record)
+                    if self.failover is not None:
+                        self.failover.log_entity(
+                            name, record.key, stored_record_value(record)
+                        )
                 total += len(batch)
         self.metrics.counter("cluster.ingested_records").inc(total)
         self._refresh_shard_gauges()
@@ -200,6 +261,8 @@ class PlatformCluster:
         every registered continuous query.  Returns the fresh results."""
         self.clock.advance(dt)
         self.flush()
+        if self.failover is not None:
+            self.failover.tick()
         results: dict[str, GatherResult] = {}
         for query in self._continuous.values():
             query.results = self.scan_prefix(query.prefix)
@@ -210,12 +273,47 @@ class PlatformCluster:
     # -- reads and scatter-gather queries -----------------------------------
 
     def read(self, key: str, allow_stale: bool = True):
-        """Point read, routed to the owning shard."""
-        return self.shard_of(key).read(key, allow_stale=allow_stale)
+        """Point read, routed to the owning shard.
+
+        While the owner is crashed (and not yet failed over), the read is
+        answered from its replicated op log — stale by at most the
+        replication lag, but available.  While the owner is a freshly
+        promoted replica (recovering), the read additionally read-repairs:
+        a value that disagrees with the replicated log is overwritten in
+        place, so hot keys reconverge ahead of the anti-entropy sweep.
+        """
+        owner = self.router.owner_of(key)
+        if self.failover is not None:
+            if self.failover.is_down(owner):
+                self.metrics.counter("cluster.failover.replica_reads").inc()
+                return self.failover.replica_value(owner, key)
+            if self.failover.state(owner) == RECOVERING:
+                return self._read_repair(owner, key, allow_stale)
+        return self.shards[owner].read(key, allow_stale=allow_stale)
+
+    def _read_repair(self, owner: str, key: str, allow_stale: bool):
+        expected = self.failover.replica_value(owner, key)
+        value = self.shards[owner].read(key, allow_stale=allow_stale)
+        if expected is not None and value != expected:
+            self.shards[owner].import_entity(key, expected)
+            self.metrics.counter("cluster.failover.read_repairs").inc()
+            return expected
+        return value
 
     def write_record(self, record: DataRecord) -> None:
         """Unbatched write-through (catalog audits, tests)."""
-        self.shard_of(record.key).write_record(record)
+        owner = self.router.owner_of(record.key)
+        if self._is_down(owner):
+            # The owner is crashed: defer like batched ingest does rather
+            # than write into dead state; the flush after promotion lands it.
+            self._pending.setdefault(owner, []).append(record)
+            self.metrics.counter("cluster.failover.deferred_writes").inc()
+            return
+        self.shards[owner].write_record(record)
+        if self.failover is not None:
+            self.failover.log_entity(
+                owner, record.key, stored_record_value(record)
+            )
 
     def gather(self, fn) -> GatherResult:
         """Scatter ``fn(shard)`` to every shard under per-shard deadlines.
@@ -230,6 +328,10 @@ class PlatformCluster:
         failed: list[str] = []
         with self.tracer.span("cluster.gather", shards=len(self.shards)):
             for name in self.router.shards:
+                if self._is_down(name):
+                    self.metrics.counter("cluster.query.shard_down").inc()
+                    failed.append(name)
+                    continue
                 guard = self.query_deadline.guard(self.clock, label=name)
                 if self.faults is not None:
                     decision = self.faults.decide(
@@ -294,6 +396,11 @@ class PlatformCluster:
             by_shard.setdefault(self.router.owner_of(record.key), []).append(record)
         for name, batch in by_shard.items():
             self.shards[name].load_catalog(batch)
+            if self.failover is not None:
+                for record in batch:
+                    self.failover.log_product(
+                        name, record.key, dict(record.payload)
+                    )
 
     def process_purchases(
         self, requests: list[PurchaseRequest], max_retries: int = 2
@@ -315,6 +422,18 @@ class PlatformCluster:
         outcome_streams: dict[str, list[PurchaseOutcome]] = {}
         with self.tracer.span("cluster.process_purchases", n=len(requests)):
             for name, batch in by_shard.items():
+                if self._is_down(name):
+                    # Fail fast, never queue: a purchase against a crashed
+                    # shard is rejected (and retriable by the shopper) —
+                    # queuing it would risk double-execution at promotion.
+                    outcome_streams[name] = [
+                        PurchaseOutcome(request, False, "shard down")
+                        for request in batch
+                    ]
+                    self.metrics.counter(
+                        "cluster.failover.rejected_purchases"
+                    ).inc(len(batch))
+                    continue
                 outcome_streams[name] = self.shards[name].process_purchases(
                     batch, max_retries=max_retries
                 )
@@ -343,6 +462,10 @@ class PlatformCluster:
                 shard_quantities.get(request.product_id, 0) + request.quantity
             )
         shards = tuple(sorted(quantities))
+        for name in shards:
+            if self._is_down(name):
+                self.metrics.counter("cluster.failover.rejected_baskets").inc()
+                return BasketOutcome(False, f"shard down: {name}", shards)
         if len(shards) == 1:
             committed, reason = self._local_basket(shards[0], quantities[shards[0]])
             self.metrics.counter("cluster.basket.local").inc()
@@ -357,6 +480,7 @@ class PlatformCluster:
         """Single-shard basket: one MVCC transaction, no network rounds."""
         shard = self.shards[shard_name]
         txn = shard.txn.begin()
+        new_stocks: dict[str, int] = {}
         for product_id, quantity in quantities.items():
             product = txn.read_or(product_id)
             if product is None:
@@ -369,11 +493,44 @@ class PlatformCluster:
             updated = dict(product)
             updated["stock"] = stock - quantity
             txn.write(product_id, updated)
+            new_stocks[product_id] = updated["stock"]
         shard.txn.commit(txn)
+        if self.failover is not None:
+            for product_id, stock in new_stocks.items():
+                self.failover.log_stock(shard_name, product_id, stock)
         return True, ""
 
     def get_stock(self, product_id: str) -> int:
-        return self.shard_of(product_id).get_stock(product_id)
+        owner = self.router.owner_of(product_id)
+        if self._is_down(owner):
+            stock = self.failover.replica_stock(owner, product_id)
+            if stock is None:
+                raise ConfigurationError(
+                    f"product {product_id!r} unknown to replicas of {owner!r}"
+                )
+            self.metrics.counter("cluster.failover.replica_reads").inc()
+            return stock
+        return self.shards[owner].get_stock(product_id)
+
+    # -- failover -----------------------------------------------------------
+
+    def kill_shard(self, name: str, torn_tail_bytes: int = 0) -> None:
+        """Crash a shard abruptly (chaos entry point; needs failover on).
+
+        The shard stops serving and heartbeating at once; its 2PC
+        participant goes silent, so an in-flight basket aborts on the
+        prepare round instead of blocking.  Detection, promotion, and
+        recovery then play out over subsequent :meth:`tick` calls.
+        """
+        if self.failover is None:
+            raise ConfigurationError("kill_shard requires n_replicas >= 2")
+        if name not in self.shards:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        self.failover.kill(name, torn_tail_bytes=torn_tail_bytes)
+        participant = self.coordinator.participants.get(name)
+        if participant is not None:
+            participant.crashed = True
+        self._refresh_shard_gauges()
 
     # -- rebalancing --------------------------------------------------------
 
@@ -389,7 +546,11 @@ class PlatformCluster:
         self.router.add_shard(name)
         self.shards[name] = shard
         self.coordinator.attach_shard(name, shard)
-        return self._rebalance()
+        moved = self._rebalance()
+        if self.failover is not None:
+            self._hook_purchase_log(name, shard)
+            self.failover.resync()
+        return moved
 
     def remove_shard(self, name: str) -> int:
         """Drain and drop a shard; its keys migrate to their new owners."""
@@ -397,11 +558,18 @@ class PlatformCluster:
             raise ConfigurationError(f"unknown shard {name!r}")
         if len(self.shards) == 1:
             raise ConfigurationError("cannot remove the last shard")
+        if self.failover is not None and self.failover.state(name) != "up":
+            raise ConfigurationError(
+                f"shard {name!r} is {self.failover.state(name)}; "
+                "wait for failover to finish before removing it"
+            )
         self.flush()
         self.router.remove_shard(name)
         departing = self.shards.pop(name)
         self.coordinator.detach_shard(name)
         moved = self._drain(departing)
+        if self.failover is not None:
+            self.failover.resync()
         self.metrics.counter("cluster.rebalance.moved_keys").inc(moved)
         self._refresh_shard_gauges()
         return moved
@@ -469,6 +637,23 @@ class PlatformCluster:
             self.metrics.gauge(f"cluster.shard.{name}.entities").set(
                 float(len(shard.entity_keys()))
             )
+            # Per-shard resilience state, labeled by shard name: the
+            # circuit-breaker position (0/1/2 = closed/half-open/open,
+            # previously visible only at platform level) and the failure
+            # detector's view (suspicion level + liveness).
+            breaker = shard.breaker
+            self.metrics.gauge(f"cluster.shard.{name}.breaker_state").set(
+                _BREAKER_STATE_CODES.get(breaker.state, 0.0)
+                if breaker is not None
+                else 0.0
+            )
+            if self.failover is not None:
+                self.metrics.gauge(f"cluster.shard.{name}.alive").set(
+                    0.0 if self.failover.is_down(name) else 1.0
+                )
+                self.metrics.gauge(f"cluster.shard.{name}.phi").set(
+                    self.failover.phi(name)
+                )
 
     def _refresh_purchase_gauges(self) -> None:
         for name, shard in self.shards.items():

@@ -60,6 +60,7 @@ class ShardParticipant(Participant):
         txn, quantities = staged
         try:
             self.shard.txn.commit(txn)
+            self._log_stocks(quantities)
             return
         except WriteConflictError:
             pass
@@ -74,6 +75,14 @@ class ShardParticipant(Participant):
             product["stock"] = product.get("stock", 0) - quantity
             txn.write(product_id, product)
             self.shard.txn.commit(txn)
+        self._log_stocks(quantities)
+
+    def _log_stocks(self, quantities: dict) -> None:
+        """Replicate post-commit stock levels (failover write path)."""
+        if self.shard.purchase_log is None:
+            return
+        for product_id in quantities:
+            self.shard.purchase_log(product_id, self.shard.get_stock(product_id))
 
     def _release(self, txn_id: int, staged) -> None:
         txn, _ = staged
@@ -103,6 +112,14 @@ class CrossShardCoordinator:
             self.attach_shard(name, shard)
 
     def attach_shard(self, name: str, shard: MetaversePlatform) -> None:
+        """(Re-)bind ``name`` to a participant over ``shard``.
+
+        Re-attaching after a failover promotion replaces the crashed
+        participant's network endpoint, so a promoted replica answers 2PC
+        rounds under the same name.
+        """
+        if name in self.participants:
+            self.network.remove_node(name)
         self.participants[name] = ShardParticipant(self.network, name, shard)
 
     def detach_shard(self, name: str) -> None:

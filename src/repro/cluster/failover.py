@@ -1,0 +1,558 @@
+"""Shard failover: detection, replication, promotion, anti-entropy (Sec. IV).
+
+The paper's platform must keep serving the physical–virtual data flow as
+nodes fail; the cluster's availability-over-completeness stance already
+covers a slow shard (partial gathers), but a *dead* shard was a single
+point of failure.  This module closes that gap with the classic
+replicated-state-machine toolkit, each piece reusing an existing
+substrate:
+
+* :class:`FailureDetector` — phi-accrual-style suspicion over heartbeats
+  carried by a :class:`~repro.net.simnet.SimulatedNetwork` on the cluster
+  clock, so injected ``net.link`` partition/drop rules starve heartbeats
+  and drive detection exactly as a real partition would;
+* :class:`ShardReplicator` — every shard-state mutation is logged to a
+  per-shard :class:`~repro.storage.wal.WriteAheadLog` and copied,
+  LSN-for-LSN (:meth:`WriteAheadLog.append_at`), to the R-1 ring-successor
+  shards (the ``replicas_of`` walk :mod:`repro.storage.sharded` uses),
+  with hinted handoff while a holder is down;
+* **promotion** — when the detector suspects a shard, the
+  :class:`FailoverManager` replays the LSN-union of the surviving log
+  copies (tolerant of torn tails from ``corrupt_tail`` and of holes from
+  dropped replication messages) into a fresh platform and installs it
+  under the dead shard's name — the ring never changes, so routing is
+  untouched;
+* **anti-entropy** — after promotion, copies reconverge by comparing
+  RFC-6962 Merkle roots (:mod:`repro.ledger.merkle`) over ``(lsn,
+  payload)`` leaves and rebuilding any copy whose root disagrees; reads
+  against a recovering shard additionally read-repair through
+  :meth:`PlatformCluster.read`.
+
+Replayed operations are *absolute post-states* (entity values, product
+records, stock levels after a committed purchase), never the requests
+themselves — replay is therefore idempotent and a promoted replica can
+never re-execute a purchase, which is what keeps the flash sale
+exactly-once across a mid-sale kill (experiment E25).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..core.clock import EventScheduler
+from ..core.errors import ConfigurationError, NetworkError, PartitionedError
+from ..core.metrics import MetricsRegistry
+from ..ledger.merkle import MerkleTree
+from ..net.simnet import SimulatedNetwork
+from ..obs.tracing import NoopTracer, Tracer
+from ..resilience.faults import FaultInjector
+from ..storage.wal import WalEntry, WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..platform.platform import MetaversePlatform
+    from .cluster import PlatformCluster
+    from .router import ShardRouter
+
+#: Failover lifecycle of a shard (``FailoverManager.state``).
+UP = "up"                  # serving; heartbeats flowing
+DOWN = "down"              # crashed, not yet detected; replicas answer reads
+RECOVERING = "recovering"  # promoted replica serving; anti-entropy running
+
+
+class FailureDetector:
+    """Phi-accrual-style failure detection over heartbeat arrivals.
+
+    Classic phi-accrual (Hayashibara et al.) reports suspicion as a
+    continuous ``phi = -log10 P(no heartbeat for this long)``; with
+    exponentially distributed inter-arrival times of mean ``m`` that is
+    ``elapsed / (m * ln 10)``.  Crossing ``phi_threshold`` declares the
+    shard suspect.  A shard with no arrivals yet is seeded with a
+    synthetic arrival at :meth:`watch` time, so a shard that dies (or is
+    partitioned) before its first heartbeat still accrues suspicion
+    instead of staying invisible forever.
+    """
+
+    def __init__(
+        self,
+        heartbeat_interval_s: float = 0.05,
+        phi_threshold: float = 8.0,
+        window: int = 32,
+    ) -> None:
+        if heartbeat_interval_s <= 0:
+            raise ConfigurationError("heartbeat_interval_s must be positive")
+        if phi_threshold <= 0:
+            raise ConfigurationError("phi_threshold must be positive")
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.phi_threshold = phi_threshold
+        self.window = window
+        self._last: dict[str, float] = {}
+        self._intervals: dict[str, deque[float]] = {}
+
+    def watch(self, shard: str, now: float) -> None:
+        """Begin monitoring ``shard`` (idempotent)."""
+        self._last.setdefault(shard, now)
+        self._intervals.setdefault(shard, deque(maxlen=self.window))
+
+    def forget(self, shard: str) -> None:
+        self._last.pop(shard, None)
+        self._intervals.pop(shard, None)
+
+    def heartbeat(self, shard: str, now: float) -> None:
+        """Record one heartbeat arrival."""
+        self.watch(shard, now)
+        last = self._last[shard]
+        if now > last:
+            self._intervals[shard].append(now - last)
+        self._last[shard] = now
+
+    def mean_interval(self, shard: str) -> float:
+        intervals = self._intervals.get(shard)
+        if intervals:
+            return max(sum(intervals) / len(intervals), 1e-9)
+        return self.heartbeat_interval_s
+
+    def phi(self, shard: str, now: float) -> float:
+        """Current suspicion level; 0.0 for an unwatched shard."""
+        last = self._last.get(shard)
+        if last is None:
+            return 0.0
+        elapsed = max(0.0, now - last)
+        return elapsed / (self.mean_interval(shard) * math.log(10.0))
+
+    def suspected(self, shard: str, now: float) -> bool:
+        return self.phi(shard, now) >= self.phi_threshold
+
+    def reset(self, shard: str, now: float) -> None:
+        """Restart monitoring after a recovery (history discarded)."""
+        self._last[shard] = now
+        self._intervals[shard] = deque(maxlen=self.window)
+
+
+def _merkle_root(entries: list[WalEntry]) -> bytes:
+    tree = MerkleTree()
+    for entry in entries:
+        tree.append(f"{entry.lsn}:".encode("utf-8") + entry.payload)
+    return tree.root()
+
+
+class ShardReplicator:
+    """Per-shard replicated operation logs with hinted handoff.
+
+    For each shard (the *owner*) there is one log copy per replica holder
+    — the owner itself plus its R-1 distinct ring successors
+    (:meth:`ShardRouter.replica_holders`).  The owner's copy assigns LSNs;
+    holder copies adopt them verbatim, so a copy that missed a replication
+    message (injected ``cluster.replicate`` drop) carries a visible LSN
+    hole rather than silently renumbering, and the union across copies is
+    well defined.  Ops destined for a *down* holder are buffered as hints
+    and delivered when the holder returns.
+    """
+
+    def __init__(
+        self,
+        router: "ShardRouter",
+        n_replicas: int,
+        metrics: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ConfigurationError("n_replicas must be >= 1")
+        self.router = router
+        self.n_replicas = n_replicas
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults = faults
+        # owner -> holder -> that holder's copy of the owner's op log.
+        self._logs: dict[str, dict[str, WriteAheadLog]] = {}
+        # holder -> ops buffered while the holder was down.
+        self._hints: dict[str, list[tuple[str, int, bytes]]] = {}
+        self._down: set[str] = set()
+
+    def holders(self, owner: str) -> list[str]:
+        """Replica holders of ``owner``'s log, owner first."""
+        n = min(self.n_replicas, len(self.router))
+        names = self.router.replica_holders(owner, n)
+        if owner in names:
+            names.remove(owner)
+        return [owner, *names][:n]
+
+    def _copies(self, owner: str) -> dict[str, WriteAheadLog]:
+        copies = self._logs.get(owner)
+        if copies is None:
+            copies = {holder: WriteAheadLog() for holder in self.holders(owner)}
+            self._logs[owner] = copies
+        return copies
+
+    def reset(self) -> None:
+        """Drop all logs and hints (membership-change resync)."""
+        self._logs.clear()
+        self._hints.clear()
+
+    # -- the write path -----------------------------------------------------
+
+    def log_op(self, owner: str, op: dict) -> int:
+        """Log one absolute-state op for ``owner`` and replicate it."""
+        payload = json.dumps(op, sort_keys=True).encode("utf-8")
+        copies = self._copies(owner)
+        lsn = copies[owner].append(payload)
+        for holder, copy in copies.items():
+            if holder == owner:
+                continue
+            if holder in self._down:
+                self._hints.setdefault(holder, []).append((owner, lsn, payload))
+                self.metrics.counter("cluster.failover.hints_buffered").inc()
+                continue
+            if self.faults is not None:
+                decision = self.faults.decide(
+                    "cluster.replicate",
+                    target=f"{owner}->{holder}",
+                    kinds=("drop",),
+                )
+                if decision.faulted:
+                    self.metrics.counter(
+                        "cluster.failover.replication_dropped"
+                    ).inc()
+                    continue
+            copy.append_at(lsn, payload)
+        self.metrics.counter("cluster.failover.replicated_ops").inc()
+        return lsn
+
+    # -- holder availability ------------------------------------------------
+
+    def mark_down(self, holder: str) -> None:
+        self._down.add(holder)
+
+    def mark_up(self, holder: str) -> None:
+        """Holder is back: deliver every hint buffered for it."""
+        self._down.discard(holder)
+        for owner, lsn, payload in self._hints.pop(holder, []):
+            copy = self._logs.get(owner, {}).get(holder)
+            if copy is not None:
+                copy.append_at(lsn, payload)
+                self.metrics.counter("cluster.failover.hints_delivered").inc()
+
+    def torn_tail(self, owner: str, nbytes: int) -> None:
+        """Tear the owner's primary copy (crash mid-write)."""
+        self._copies(owner)[owner].corrupt_tail(nbytes)
+
+    # -- recovery primitives ------------------------------------------------
+
+    def union(self, owner: str) -> list[WalEntry]:
+        """LSN-union of every copy's valid prefix, sorted by LSN.
+
+        Tolerates torn tails (each copy contributes only its valid prefix)
+        and per-copy holes (another copy fills them); an LSN no copy holds
+        is genuinely lost and simply absent.
+        """
+        merged: dict[int, WalEntry] = {}
+        for copy in self._copies(owner).values():
+            for entry in copy.replay():
+                merged.setdefault(entry.lsn, entry)
+        return [merged[lsn] for lsn in sorted(merged)]
+
+    def last_valid_lsn(self, owner: str, holder: str) -> int:
+        return self._copies(owner)[holder].last_valid_lsn
+
+    def sync_owner(self, owner: str) -> bool:
+        """One anti-entropy round for ``owner``'s copies.
+
+        Compares each copy's Merkle root against the root of the LSN-union;
+        any disagreement rebuilds every copy from the union.  Returns True
+        when a repair was performed (i.e. the copies had diverged).
+        """
+        entries = self.union(owner)
+        target = _merkle_root(entries)
+        copies = self._copies(owner)
+        diverged = any(
+            _merkle_root(copy.recover_prefix()[0]) != target
+            for copy in copies.values()
+        )
+        if diverged:
+            for copy in copies.values():
+                copy.rebuild(entries)
+            self.metrics.counter("cluster.failover.antientropy_repairs").inc()
+        return diverged
+
+    # -- replica-side reads -------------------------------------------------
+
+    def latest_value(self, owner: str, key: str):
+        """Last logged entity value for ``key`` (None if absent/dropped)."""
+        for entry in reversed(self.union(owner)):
+            op = json.loads(entry.payload.decode("utf-8"))
+            if op.get("k") != key:
+                continue
+            if op["op"] == "entity":
+                return op["v"]
+            if op["op"] == "drop_entity":
+                return None
+        return None
+
+    def latest_stock(self, owner: str, product_id: str) -> int | None:
+        """Last logged stock level for ``product_id`` (None if unknown)."""
+        for entry in reversed(self.union(owner)):
+            op = json.loads(entry.payload.decode("utf-8"))
+            if op.get("k") != product_id:
+                continue
+            if op["op"] == "stock":
+                return int(op["stock"])
+            if op["op"] == "product":
+                return int(op["v"].get("stock", 0))
+            if op["op"] == "drop_product":
+                return None
+        return None
+
+
+class FailoverManager:
+    """Drives the detect → promote → reconverge loop for one cluster.
+
+    Owns the heartbeat fabric (a :class:`SimulatedNetwork` on the cluster
+    clock sharing the cluster's fault injector, so ``net.link`` rules can
+    starve heartbeats), the :class:`FailureDetector`, and the
+    :class:`ShardReplicator`.  :meth:`tick` is called once per cluster
+    tick and performs, in order: heartbeat delivery, heartbeat sends,
+    anti-entropy for already-recovering shards, then detection and
+    promotion of newly suspected ones — so a promoted replica always
+    serves for at least one full tick before its recovery completes.
+    """
+
+    def __init__(
+        self,
+        cluster: "PlatformCluster",
+        n_replicas: int = 2,
+        heartbeat_interval_s: float = 0.05,
+        phi_threshold: float = 8.0,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if n_replicas < 2:
+            raise ConfigurationError("failover needs n_replicas >= 2")
+        self.cluster = cluster
+        self.clock = cluster.clock
+        self.metrics = cluster.metrics
+        self.tracer = tracer if tracer is not None else (
+            cluster.tracer if cluster.tracer is not None else NoopTracer()
+        )
+        self.n_replicas = n_replicas
+        self.detector = FailureDetector(
+            heartbeat_interval_s=heartbeat_interval_s,
+            phi_threshold=phi_threshold,
+        )
+        self.replicator = ShardReplicator(
+            cluster.router, n_replicas,
+            metrics=self.metrics, faults=cluster.faults,
+        )
+        self.scheduler = EventScheduler(self.clock)
+        self.net = SimulatedNetwork(
+            self.scheduler, metrics=self.metrics,
+            tracer=self.tracer, faults=cluster.faults,
+        )
+        self._monitor = self.net.add_node("hb/monitor")
+        self._monitor.on("hb", self._on_heartbeat)
+        self._state: dict[str, str] = {}
+        self._downed_at: dict[str, float] = {}
+        self._last_sent: dict[str, float] = {}
+        now = self.clock.now
+        for name in cluster.router.shards:
+            self._watch(name, now)
+
+    # -- state accessors ----------------------------------------------------
+
+    def state(self, shard: str) -> str:
+        return self._state.get(shard, UP)
+
+    def is_down(self, shard: str) -> bool:
+        """True while the shard is crashed and no replica has been
+        promoted yet — the only window in which it cannot serve."""
+        return self.state(shard) == DOWN
+
+    def phi(self, shard: str) -> float:
+        return self.detector.phi(shard, self.clock.now)
+
+    # -- membership ---------------------------------------------------------
+
+    def _watch(self, name: str, now: float) -> None:
+        self._state[name] = UP
+        self.detector.watch(name, now)
+        if f"hb/{name}" not in self.net.nodes:
+            self.net.add_node(f"hb/{name}")
+
+    def resync(self) -> None:
+        """Rebuild replication state after a membership change.
+
+        Holder sets shift when shards join or leave; rather than migrate
+        log suffixes incrementally, every owner's log is re-seeded from
+        its shard's current snapshot (the same wholesale stance
+        ``_rebalance`` takes for the data itself).
+        """
+        self.replicator.reset()
+        now = self.clock.now
+        for name in list(self._state):
+            if name not in self.cluster.shards:
+                self._state.pop(name, None)
+                self._downed_at.pop(name, None)
+                self.detector.forget(name)
+        for name, shard in self.cluster.shards.items():
+            self._watch(name, now)
+            for key in shard.entity_keys():
+                self.log_entity(name, key, shard.export_entity(key))
+            for product_id, value in shard.catalog_snapshot().items():
+                self.log_product(name, product_id, value)
+
+    # -- the write-path hooks (called by PlatformCluster) --------------------
+
+    def log_entity(self, owner: str, key: str, value) -> int:
+        return self.replicator.log_op(
+            owner, {"op": "entity", "k": key, "v": value}
+        )
+
+    def log_drop_entity(self, owner: str, key: str) -> int:
+        return self.replicator.log_op(owner, {"op": "drop_entity", "k": key})
+
+    def log_product(self, owner: str, product_id: str, value: dict) -> int:
+        return self.replicator.log_op(
+            owner, {"op": "product", "k": product_id, "v": dict(value)}
+        )
+
+    def log_stock(self, owner: str, product_id: str, stock: int) -> int:
+        return self.replicator.log_op(
+            owner, {"op": "stock", "k": product_id, "stock": int(stock)}
+        )
+
+    # -- replica-side serving ----------------------------------------------
+
+    def replica_value(self, owner: str, key: str):
+        return self.replicator.latest_value(owner, key)
+
+    def replica_stock(self, owner: str, product_id: str) -> int | None:
+        return self.replicator.latest_stock(owner, product_id)
+
+    # -- crash entry point ---------------------------------------------------
+
+    def kill(self, name: str, torn_tail_bytes: int = 0) -> None:
+        """Model an abrupt shard crash (process gone, tail possibly torn).
+
+        The shard stops serving and heartbeating immediately; *detection*
+        still takes the phi-accrual delay, after which a replica is
+        promoted.  ``torn_tail_bytes`` chops the primary log copy's tail,
+        modelling a write in flight at crash time — the surviving replica
+        copies carry the suffix.
+        """
+        if self.state(name) != UP:
+            raise ConfigurationError(f"shard {name!r} is not up")
+        self._state[name] = DOWN
+        self._downed_at[name] = self.clock.now
+        self.replicator.mark_down(name)
+        if torn_tail_bytes > 0:
+            self.replicator.torn_tail(name, torn_tail_bytes)
+        self.metrics.counter("cluster.failover.kills").inc()
+        self.tracer.log("warn", "shard killed", shard=name)
+
+    # -- the per-tick loop ---------------------------------------------------
+
+    def tick(self) -> None:
+        now = self.clock.now
+        self.scheduler.run_until(now)  # deliver heartbeats in flight
+        self._send_heartbeats(now)
+        self._advance_recoveries(now)
+        self._detect(now)
+        self.metrics.gauge("cluster.failover.down_shards").set(
+            float(sum(1 for s in self._state.values() if s != UP))
+        )
+
+    def _send_heartbeats(self, now: float) -> None:
+        for name in self.cluster.router.shards:
+            if self.state(name) != UP:
+                continue
+            if now - self._last_sent.get(name, -math.inf) < (
+                self.detector.heartbeat_interval_s * 0.999
+            ):
+                continue
+            self._last_sent[name] = now
+            try:
+                self.net.send(f"hb/{name}", "hb/monitor", "hb", {"shard": name})
+            except (PartitionedError, NetworkError):
+                self.metrics.counter("cluster.failover.heartbeats_starved").inc()
+
+    def _on_heartbeat(self, message) -> None:
+        self.detector.heartbeat(message.payload["shard"], self.clock.now)
+
+    def _detect(self, now: float) -> None:
+        for name in list(self.cluster.router.shards):
+            state = self.state(name)
+            if state == RECOVERING:
+                continue
+            if not self.detector.suspected(name, now):
+                continue
+            if state == UP:
+                # A false positive (e.g. a partition starving heartbeats):
+                # failover proceeds anyway — the promoted state replays the
+                # same logged ops the live shard holds, so it converges.
+                self._downed_at.setdefault(name, now)
+                self.replicator.mark_down(name)
+            self.metrics.counter("cluster.failover.suspected").inc()
+            self._promote(name, now)
+
+    def _promote(self, name: str, now: float) -> None:
+        """Replay the freshest surviving log state into a fresh platform
+        and install it under the dead shard's name (ring unchanged)."""
+        with self.tracer.span("cluster.failover.promote", shard=name):
+            entries = self.replicator.union(name)
+            platform = self.cluster._make_shard()
+            self._replay(platform, entries)
+            # Continue the primary copy from the union so new LSNs extend
+            # (never collide with) what the replicas already hold.
+            self.replicator._copies(name)[name].rebuild(entries)
+            self.cluster.install_shard(name, platform)
+        self._state[name] = RECOVERING
+        self.replicator.mark_up(name)  # node is back: deliver its hints
+        self.metrics.counter("cluster.failover.promotions").inc()
+        self.metrics.gauge(f"cluster.shard.{name}.promoted_lsn").set(
+            float(entries[-1].lsn if entries else 0)
+        )
+        self.tracer.log(
+            "info", "replica promoted", shard=name, ops=len(entries)
+        )
+
+    @staticmethod
+    def _replay(platform: "MetaversePlatform", entries: list[WalEntry]) -> None:
+        """Apply the logged post-states to a fresh shard platform.
+
+        Products fold in memory first (stock ops are absolute levels, and
+        one MVCC commit per product beats one per op), entities import
+        directly.
+        """
+        products: dict[str, dict] = {}
+        for entry in entries:
+            op = json.loads(entry.payload.decode("utf-8"))
+            kind = op["op"]
+            if kind == "entity":
+                platform.import_entity(op["k"], op["v"])
+            elif kind == "drop_entity":
+                platform.drop_entity(op["k"])
+            elif kind == "product":
+                products[op["k"]] = dict(op["v"])
+            elif kind == "drop_product":
+                products.pop(op["k"], None)
+            elif kind == "stock":
+                products.setdefault(op["k"], {})["stock"] = int(op["stock"])
+        for product_id, value in products.items():
+            platform.import_product(product_id, value)
+
+    def _advance_recoveries(self, now: float) -> None:
+        for name in list(self._state):
+            if self._state[name] != RECOVERING:
+                continue
+            with self.tracer.span("cluster.failover.antientropy", shard=name):
+                diverged = self.replicator.sync_owner(name)
+            if diverged:
+                continue  # repaired this round; confirm convergence next tick
+            self._state[name] = UP
+            self.detector.reset(name, now)
+            self._last_sent.pop(name, None)
+            downed_at = self._downed_at.pop(name, now)
+            self.metrics.gauge("cluster.failover.recovery_time_s").set(
+                now - downed_at
+            )
+            self.metrics.counter("cluster.failover.recoveries").inc()
+            self.tracer.log("info", "shard recovered", shard=name)

@@ -41,6 +41,11 @@ class ShardRouter:
         self.vnodes = vnodes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.ring = ChordRing()
+        # A second, bare-name ring (no vnodes) fixes the replica-placement
+        # walk: each shard joins at exactly one point, so its ring
+        # successors are n-1 *other* shards — the holder set the failover
+        # layer replicates each shard's op log to.
+        self.replica_ring = ChordRing()
         self._shards: list[str] = []
         for name in shard_names or []:
             self.add_shard(name)
@@ -56,6 +61,7 @@ class ShardRouter:
             raise ConfigurationError(f"duplicate shard {name!r}")
         for i in range(self.vnodes):
             self.ring.join(f"{name}{_VNODE_SEP}{i}")
+        self.replica_ring.join(name)
         self._shards.append(name)
         self.metrics.gauge("cluster.router.shards").set(len(self._shards))
 
@@ -64,6 +70,7 @@ class ShardRouter:
             raise ConfigurationError(f"unknown shard {name!r}")
         for i in range(self.vnodes):
             self.ring.leave(f"{name}{_VNODE_SEP}{i}")
+        self.replica_ring.leave(name)
         self._shards.remove(name)
         self.metrics.gauge("cluster.router.shards").set(len(self._shards))
 
@@ -86,6 +93,14 @@ class ShardRouter:
             raise ConfigurationError("router has no shards")
         self.metrics.counter("cluster.router.lookups").inc()
         return self.ring.owner_of(key).split(_VNODE_SEP, 1)[0]
+
+    def replica_holders(self, name: str, n: int) -> list[str]:
+        """The ``n`` distinct shards holding copies of ``name``'s op log:
+        the shard itself plus its clockwise successors on the bare-name
+        ring (the ``replicas_of`` walk from :mod:`repro.storage.sharded`)."""
+        if name not in self._shards:
+            raise ConfigurationError(f"unknown shard {name!r}")
+        return self.replica_ring.successors(name, n)
 
     def group_by_shard(self, keys: list[str]) -> dict[str, list[str]]:
         """Partition ``keys`` by owning shard (input order preserved)."""

@@ -138,6 +138,14 @@ class SimulatedNetwork:
         except KeyError:
             raise NetworkError(f"unknown node {name!r}") from None
 
+    def remove_node(self, name: str) -> None:
+        """Unregister a node (crash or restart under a new endpoint).
+
+        Idempotent; messages already in flight toward it are silently
+        dropped at delivery time, as a dead endpoint would drop them.
+        """
+        self.nodes.pop(name, None)
+
     def set_link(self, src: str, dst: str, link: Link, symmetric: bool = True) -> None:
         self._links[(src, dst)] = link
         if symmetric:

@@ -57,6 +57,18 @@ class ExecutorStats:
     busy_time: float = 0.0
 
 
+def stored_record_value(record: DataRecord) -> dict:
+    """The wrapper dict a :class:`DataRecord` is stored under in the KV
+    tier.  Shared with the cluster failover layer, which must log exactly
+    what :meth:`MetaversePlatform.write_record` persists so a promoted
+    replica replays identical state."""
+    return {
+        "payload": record.payload,
+        "space": record.space.value,
+        "timestamp": record.timestamp,
+    }
+
+
 def purchase_sort_key(request: PurchaseRequest, physical_priority: bool):
     """Space-aware processing order: (priority, arrival time).
 
@@ -139,6 +151,11 @@ class MetaversePlatform:
         self._stale_capacity = 4 * buffer_pool_pages
         # Device tier (gateways registered per source population).
         self.gateways: dict[str, DeviceGateway] = {}
+        # Optional (product_id, post_commit_stock) hook fired after every
+        # committed stock change.  The cluster failover layer sets this to
+        # replicate absolute stock levels; replaying levels (not requests)
+        # is what keeps promotion exactly-once.
+        self.purchase_log = None
 
     # -- storage access -----------------------------------------------------
 
@@ -184,11 +201,7 @@ class MetaversePlatform:
 
     def write_record(self, record: DataRecord) -> None:
         """Persist a record to the KV tier and invalidate its cached page."""
-        value = {
-            "payload": record.payload,
-            "space": record.space.value,
-            "timestamp": record.timestamp,
-        }
+        value = stored_record_value(record)
         self._with_retry(lambda: self.kv.put(record.key, value))
         self.pool.invalidate(record.key)
         self._remember(record.key, value)
@@ -328,6 +341,8 @@ class MetaversePlatform:
                 continue
             executor.processed += 1
             self.metrics.counter("platform.purchases").inc()
+            if self.purchase_log is not None:
+                self.purchase_log(request.product_id, updated["stock"])
             return PurchaseOutcome(request, True)
         return PurchaseOutcome(request, False, "conflict retries exhausted")
 

@@ -22,6 +22,7 @@ site                      component
 ``gateway.ingest``        :class:`~repro.platform.gateway.DeviceGateway`
 ``cluster.ingest``        :class:`~repro.cluster.cluster.PlatformCluster`
 ``cluster.query``         :class:`~repro.cluster.cluster.PlatformCluster`
+``cluster.replicate``     :class:`~repro.cluster.failover.ShardReplicator`
 ========================  =========================================
 
 Fault kinds: ``crash`` (the site raises
@@ -57,6 +58,7 @@ DEFAULT_SITE_KINDS: dict[str, str] = {
     "gateway.ingest": "drop",
     "cluster.ingest": "drop",
     "cluster.query": "crash",
+    "cluster.replicate": "drop",
 }
 
 

@@ -125,6 +125,33 @@ class TestScatterGather:
         assert survivors == expected  # healthy shards still answer in full
         assert cluster.metrics.counter("cluster.query.shard_failed").value == 1
 
+    def test_single_slow_shard_is_named_and_timed_out(self):
+        """One shard blowing its deadline yields a *partial* gather that
+        names the slow shard; the healthy shards still answer in full and
+        the miss is recorded in metrics."""
+        plan = FaultPlan(rules=[
+            FaultRule(site="cluster.query", kind="delay", rate=1.0,
+                      delay_s=0.5, target="shard-2"),
+        ])
+        cluster = PlatformCluster(
+            n_shards=4, query_deadline_s=0.1, faults=FaultInjector(plan)
+        )
+        for i in range(40):
+            cluster.ingest(record(f"e/{i:02d}", {"v": i}))
+        cluster.flush()
+        result = cluster.scan_prefix("e/")
+        assert result.partial
+        assert result.failed_shards == ("shard-2",)
+        survivors = {key for key, _ in result.items}
+        expected = {
+            f"e/{i:02d}" for i in range(40)
+            if cluster.router.owner_of(f"e/{i:02d}") != "shard-2"
+        }
+        assert survivors == expected
+        assert cluster.metrics.counter(
+            "cluster.query.deadline_missed"
+        ).value == 1
+
     def test_injected_delay_past_deadline_skips_the_shard(self):
         plan = FaultPlan(rules=[
             FaultRule(site="cluster.query", kind="delay", rate=1.0, delay_s=0.5),

@@ -54,6 +54,86 @@ class TestCorruption:
             WriteAheadLog().corrupt_tail(-1)
 
 
+class TestTornTailRecovery:
+    """Regression: replay must stop *cleanly* at a torn tail and report
+    the last valid LSN, and appends after ``corrupt_tail`` must trim the
+    torn bytes instead of landing unreachable behind them."""
+
+    def test_replay_returns_last_valid_lsn(self):
+        wal = WriteAheadLog()
+        wal.append(b"one")
+        wal.append(b"two")
+        wal.corrupt_tail(2)
+        gen = wal.replay()
+        payloads = []
+        while True:
+            try:
+                payloads.append(next(gen).payload)
+            except StopIteration as stop:
+                assert stop.value == 1  # LSN of the last intact entry
+                break
+        assert payloads == [b"one"]
+        assert wal.last_valid_lsn == 1
+
+    def test_fully_torn_log_reports_lsn_zero(self):
+        wal = WriteAheadLog()
+        wal.append(b"only")
+        wal.corrupt_tail(len(wal))
+        assert list(wal.replay()) == []
+        assert wal.last_valid_lsn == 0
+
+    def test_append_after_torn_tail_round_trips(self):
+        wal = WriteAheadLog()
+        wal.append(b"keep")
+        wal.append(b"torn")
+        wal.corrupt_tail(2)
+        lsn = wal.append(b"after-crash")
+        assert lsn == 3  # LSNs never reused, even for the lost entry
+        entries, last_lsn = wal.recover_prefix()
+        assert [e.payload for e in entries] == [b"keep", b"after-crash"]
+        assert last_lsn == 3
+
+    def test_recover_prefix_matches_replay(self):
+        wal = WriteAheadLog()
+        for i in range(4):
+            wal.append(f"e{i}".encode())
+        wal.corrupt_tail(1)
+        entries, last_lsn = wal.recover_prefix()
+        assert entries == list(wal.replay())
+        assert last_lsn == 3
+
+
+class TestReplicationPrimitives:
+    """append_at / rebuild back the failover layer's replica copies."""
+
+    def test_append_at_adopts_external_lsns(self):
+        primary, copy = WriteAheadLog(), WriteAheadLog()
+        for payload in (b"a", b"b", b"c"):
+            copy.append_at(primary.append(payload), payload)
+        assert list(copy.replay()) == list(primary.replay())
+        assert copy.next_lsn == primary.next_lsn
+
+    def test_dropped_replication_leaves_visible_hole(self):
+        copy = WriteAheadLog()
+        copy.append_at(1, b"a")
+        copy.append_at(3, b"c")  # LSN 2 was dropped in flight
+        assert [e.lsn for e in copy.replay()] == [1, 3]
+        assert copy.last_valid_lsn == 3
+
+    def test_append_at_rejects_bad_lsn(self):
+        with pytest.raises(StorageError):
+            WriteAheadLog().append_at(0, b"x")
+
+    def test_rebuild_replaces_body_and_continues_lsns(self):
+        damaged, healthy = WriteAheadLog(), WriteAheadLog()
+        for payload in (b"a", b"b", b"c"):
+            healthy.append(payload)
+        damaged.append_at(1, b"a")  # missed LSNs 2 and 3
+        damaged.rebuild(list(healthy.replay()))
+        assert list(damaged.replay()) == list(healthy.replay())
+        assert damaged.append(b"d") == 4
+
+
 class TestTruncation:
     def test_truncate_before_drops_old_entries(self):
         wal = WriteAheadLog()
