@@ -33,6 +33,13 @@ from .platform.platform import MetaversePlatform
 from .resilience.degrade import DegradationController
 from .resilience.faults import FaultInjector, FaultPlan, FaultRule
 from .resilience.policies import CircuitBreaker, RetryPolicy, Timeout
+from .storage.engine import (
+    LocalStorageEngine,
+    RemoteStorageEngine,
+    StorageEngine,
+    StorageNode,
+    StorageTier,
+)
 from .world.twin import MetaverseWorld
 
 __version__ = "1.1.0"
@@ -48,17 +55,22 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "LedgerDB",
+    "LocalStorageEngine",
     "LogSink",
     "MetaversePlatform",
     "MetaverseWorld",
     "MetricsRegistry",
     "NoopTracer",
     "PlatformCluster",
+    "RemoteStorageEngine",
     "RetryPolicy",
     "ShardRouter",
     "SimulationClock",
     "Space",
     "Span",
+    "StorageEngine",
+    "StorageNode",
+    "StorageTier",
     "Timeout",
     "Tracer",
     "render_json",

@@ -16,8 +16,14 @@ MetaversePlatform` instances into one horizontally scaled system:
   handoff, replica promotion with WAL replay, and Merkle anti-entropy
   (enable with ``PlatformCluster(n_replicas=2)``).
 
+Disaggregated mode (``PlatformCluster(n_storage_nodes=M)``) mounts every
+compute shard on a shared :class:`~repro.storage.engine.StorageTier`
+instead: membership changes become pure ring remaps with zero entity
+migration, and a killed compute node recovers by re-mounting the tier.
+
 Experiment E24 (``bench_cluster_scaleout.py``) measures the scaling
-claim; E25 (``bench_cluster_failover.py``) the crash-survival claim.
+claim; E25 (``bench_cluster_failover.py``) the crash-survival claim;
+E26 (``bench_disaggregated_scaleout.py``) the compute/storage split.
 """
 
 from .cluster import BasketOutcome, GatherResult, PlatformCluster

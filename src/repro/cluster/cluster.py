@@ -23,7 +23,20 @@ and coordinating the cross-shard paths:
   2PC coordinator (:mod:`repro.cluster.coordinator`);
 * **rebalancing** — shards join and leave live: every key whose ring
   owner changed migrates (KV entities and catalog products both), with
-  no entity lost or duplicated.
+  no entity lost or duplicated;
+* **disaggregated mode** (``n_storage_nodes=M``) — the Fig. 7 split:
+  every compute shard mounts a shared
+  :class:`~repro.storage.engine.StorageTier` of M standalone storage
+  nodes through a :class:`~repro.storage.engine.RemoteStorageEngine`, so
+  N compute nodes scale independently of M storage nodes.  State lives in
+  the tier: shard join/leave is a pure ring remap (zero entity
+  migration — compute caches reset, nothing moves), ``kill_shard``
+  marks the compute node down and the next :meth:`tick` recovers it by
+  *re-mounting* the surviving storage nodes (no WAL replay, no data
+  movement), and reads re-route to any live compute node while the owner
+  is down.  Mutually exclusive with replica failover (``n_replicas >=
+  2``): in a disaggregated deployment the shared tier *is* the
+  availability mechanism.
 
 Chaos coverage: sites ``cluster.ingest`` (drop) and ``cluster.query``
 (crash/delay) are instrumented, and the shared fault injector reaches
@@ -36,7 +49,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.clock import SimulationClock
-from ..core.errors import ConfigurationError
+from ..core.errors import (
+    ConfigurationError,
+    FaultInjectedError,
+    KeyNotFoundError,
+)
 from ..core.metrics import MetricsRegistry
 from ..core.records import DataRecord
 from ..obs.tracing import NoopTracer, Tracer
@@ -48,6 +65,7 @@ from ..platform.platform import (
 )
 from ..resilience.faults import FaultInjector
 from ..resilience.policies import Timeout
+from ..storage.engine import StorageTier
 from ..spatial.geometry import BBox
 from ..txn.twopc import TxnOutcome
 from ..workloads.marketplace import PurchaseRequest
@@ -113,6 +131,9 @@ class PlatformCluster:
         n_replicas: int = 1,
         heartbeat_interval_s: float = 0.05,
         phi_threshold: float = 8.0,
+        n_storage_nodes: int | None = None,
+        storage_vnodes: int = 32,
+        storage_rpc_timeout_s: float = 0.05,
     ) -> None:
         if n_shards < 1:
             raise ConfigurationError("need at least one shard")
@@ -120,6 +141,15 @@ class PlatformCluster:
             raise ConfigurationError(
                 f"n_replicas must be in [1, n_shards], got {n_replicas}"
             )
+        if n_storage_nodes is not None:
+            if n_storage_nodes < 1:
+                raise ConfigurationError("need at least one storage node")
+            if n_replicas >= 2:
+                raise ConfigurationError(
+                    "disaggregated mode and replica failover are mutually "
+                    "exclusive: with a shared storage tier, availability "
+                    "comes from re-mounting it, not from WAL replicas"
+                )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
         self.faults = faults
@@ -138,11 +168,25 @@ class PlatformCluster:
         self.txn_cost_s = txn_cost_s
         self.query_deadline = Timeout(query_deadline_s)
         self.router = ShardRouter(vnodes=vnodes, metrics=self.metrics)
+        # Disaggregated mode: one shared storage tier, mounted by every
+        # compute shard.  The tier shares the cluster clock so RPC latency
+        # advances the same simulated time the rest of the system runs on.
+        self.storage: StorageTier | None = None
+        self._storage_rpc_timeout_s = storage_rpc_timeout_s
+        self._down_compute: set[str] = set()
+        if n_storage_nodes is not None:
+            self.storage = StorageTier(
+                n_nodes=n_storage_nodes,
+                vnodes=storage_vnodes,
+                clock=self.clock,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
         self.shards: dict[str, MetaversePlatform] = {}
         for i in range(n_shards):
             name = f"shard-{i}"
             self.router.add_shard(name)
-            self.shards[name] = self._make_shard()
+            self.shards[name] = self._make_shard(name)
         self.coordinator = CrossShardCoordinator(
             self.shards,
             clock=self.clock,
@@ -167,7 +211,19 @@ class PlatformCluster:
             for name, shard in self.shards.items():
                 self._hook_purchase_log(name, shard)
 
-    def _make_shard(self) -> MetaversePlatform:
+    def _make_shard(self, name: str | None = None) -> MetaversePlatform:
+        engine = None
+        if self.storage is not None:
+            # Stateless compute: the shard's engine is a fresh mount of
+            # the shared tier (a new network identity per mount, so a
+            # re-mounted shard rejoins like a restarted process would).
+            # Storage RPCs inherit the platform's own retry policy via
+            # _with_retry, so the engine itself carries none.
+            engine = self.storage.mount(
+                client=name or "shard",
+                faults=self.faults,
+                rpc_timeout_s=self._storage_rpc_timeout_s,
+            )
         return MetaversePlatform(
             n_executors=self.n_executors_per_shard,
             buffer_pool_pages=self.buffer_pool_pages,
@@ -176,6 +232,7 @@ class PlatformCluster:
             metrics=self.metrics,
             tracer=self.tracer,
             faults=self.faults,
+            engine=engine,
         )
 
     def shard_of(self, key: str) -> MetaversePlatform:
@@ -191,6 +248,8 @@ class PlatformCluster:
         )
 
     def _is_down(self, name: str) -> bool:
+        if name in self._down_compute:
+            return True
         return self.failover is not None and self.failover.is_down(name)
 
     def install_shard(self, name: str, platform: MetaversePlatform) -> None:
@@ -207,6 +266,15 @@ class PlatformCluster:
         self.coordinator.attach_shard(name, platform)
         if self.failover is not None:
             self._hook_purchase_log(name, platform)
+
+    def _remount_shard(self, name: str) -> None:
+        """Bring a crashed compute node back by mounting the tier afresh."""
+        shard = self._make_shard(name)
+        self.shards[name] = shard
+        self.coordinator.attach_shard(name, shard)
+        self.metrics.counter("cluster.disagg.remounts").inc()
+        self.tracer.log("info", "compute node re-mounted storage tier",
+                        shard=name)
 
     # -- batched ingest -----------------------------------------------------
 
@@ -260,6 +328,14 @@ class PlatformCluster:
         """One simulated-clock tick: advance time, flush batches, refresh
         every registered continuous query.  Returns the fresh results."""
         self.clock.advance(dt)
+        if self._down_compute:
+            # Disaggregated recovery: a crashed compute node holds no
+            # state, so recovery is a re-mount of the surviving storage
+            # nodes — no WAL replay, no data movement.
+            for name in sorted(self._down_compute):
+                self._remount_shard(name)
+            self._down_compute.clear()
+            self._refresh_shard_gauges()
         self.flush()
         if self.failover is not None:
             self.failover.tick()
@@ -283,6 +359,13 @@ class PlatformCluster:
         place, so hot keys reconverge ahead of the anti-entropy sweep.
         """
         owner = self.router.owner_of(key)
+        if owner in self._down_compute:
+            # Disaggregated mode: state lives in the shared tier, so any
+            # live compute node can answer — straight from the engine,
+            # bypassing the fallback's caches so nothing stale lingers.
+            fallback = self._live_shard()
+            self.metrics.counter("cluster.disagg.rerouted_reads").inc()
+            return fallback._with_retry(lambda: fallback.engine.get(key))
         if self.failover is not None:
             if self.failover.is_down(owner):
                 self.metrics.counter("cluster.failover.replica_reads").inc()
@@ -290,6 +373,13 @@ class PlatformCluster:
             if self.failover.state(owner) == RECOVERING:
                 return self._read_repair(owner, key, allow_stale)
         return self.shards[owner].read(key, allow_stale=allow_stale)
+
+    def _live_shard(self) -> MetaversePlatform:
+        """Any compute node that is up (disaggregated re-route target)."""
+        for name in self.router.shards:
+            if name not in self._down_compute:
+                return self.shards[name]
+        raise ConfigurationError("every compute node is down")
 
     def _read_repair(self, owner: str, key: str, allow_stale: bool):
         expected = self.failover.replica_value(owner, key)
@@ -318,12 +408,20 @@ class PlatformCluster:
     def gather(self, fn) -> GatherResult:
         """Scatter ``fn(shard)`` to every shard under per-shard deadlines.
 
-        A shard that raises an injected crash (site ``cluster.query``) or
+        A shard that raises an injected crash (site ``cluster.query``),
         exceeds its deadline — injected delays advance the simulated clock
-        — is skipped and reported in ``failed_shards``; the result is then
-        *partial*, the availability-over-completeness stance the paper
-        takes for interactive queries.
+        — or whose storage RPCs stay faulted past the retry budget
+        (disaggregated mode, site ``storage.rpc``) is skipped and reported
+        in ``failed_shards``; the result is then *partial*, the
+        availability-over-completeness stance the paper takes for
+        interactive queries.
         """
+        return self._gather_named(lambda name, shard: fn(shard))
+
+    def _gather_named(self, fn) -> GatherResult:
+        """:meth:`gather` with the shard name passed to ``fn`` — the
+        disaggregated scan paths need it to filter the shared keyspace
+        down to each compute node's owned slice."""
         items: list = []
         failed: list[str] = []
         with self.tracer.span("cluster.gather", shards=len(self.shards)):
@@ -347,23 +445,46 @@ class PlatformCluster:
                     self.metrics.counter("cluster.query.deadline_missed").inc()
                     failed.append(name)
                     continue
-                items.extend(fn(self.shards[name]))
+                try:
+                    items.extend(fn(name, self.shards[name]))
+                except FaultInjectedError:
+                    # Remote-engine RPCs that stayed faulted past the
+                    # shard's retry budget: partial result, not an error.
+                    self.metrics.counter("cluster.query.shard_failed").inc()
+                    failed.append(name)
         self.metrics.histogram("cluster.query.fanout_results").observe(len(items))
         return GatherResult(items=items, failed_shards=tuple(failed))
+
+    def _owned_slice(self, name: str, items: list) -> list:
+        """Restrict scan output to keys ``name`` owns on the compute ring.
+
+        On local engines each shard physically holds only its own keys and
+        this is the identity; on a shared storage tier every compute node
+        sees the whole keyspace, so scatter-gather must partition results
+        by ring ownership to keep exactly-one semantics.
+        """
+        if self.storage is None:
+            return items
+        return [
+            (key, value) for key, value in items
+            if self.router.owner_of(key) == name
+        ]
 
     def scan_prefix(self, prefix: str) -> GatherResult:
         """Range query: every (key, value) with ``key`` under ``prefix``."""
         hi = prefix + "￿"
-        result = self.gather(lambda shard: list(shard.kv.scan(prefix, hi)))
+        result = self._gather_named(
+            lambda name, shard: self._owned_slice(name, shard.scan(prefix, hi))
+        )
         result.items.sort(key=lambda kv: kv[0])
         return result
 
     def spatial_range(self, region: BBox) -> GatherResult:
         """Entities whose payload position (``x``/``y``) lies in ``region``."""
 
-        def in_region(shard: MetaversePlatform):
+        def in_region(name: str, shard: MetaversePlatform):
             out = []
-            for key, value in shard.kv.scan("", "￿"):
+            for key, value in self._owned_slice(name, shard.scan("", "￿")):
                 payload = value.get("payload", {}) if isinstance(value, dict) else {}
                 x, y = payload.get("x"), payload.get("y")
                 if (
@@ -375,7 +496,7 @@ class PlatformCluster:
                     out.append((key, value))
             return out
 
-        result = self.gather(in_region)
+        result = self._gather_named(in_region)
         result.items.sort(key=lambda kv: kv[0])
         return result
 
@@ -495,6 +616,8 @@ class PlatformCluster:
             txn.write(product_id, updated)
             new_stocks[product_id] = updated["stock"]
         shard.txn.commit(txn)
+        for product_id in new_stocks:
+            shard.persist_committed(product_id)
         if self.failover is not None:
             for product_id, stock in new_stocks.items():
                 self.failover.log_stock(shard_name, product_id, stock)
@@ -502,6 +625,17 @@ class PlatformCluster:
 
     def get_stock(self, product_id: str) -> int:
         owner = self.router.owner_of(product_id)
+        if owner in self._down_compute:
+            # Disaggregated re-route: read the committed record straight
+            # from the shared tier through any live compute node.
+            fallback = self._live_shard()
+            value = fallback._with_retry(
+                lambda: fallback.engine.get_product(product_id)
+            )
+            if value is None:
+                raise KeyNotFoundError(product_id)
+            self.metrics.counter("cluster.disagg.rerouted_reads").inc()
+            return int(value.get("stock", 0))
         if self._is_down(owner):
             stock = self.failover.replica_stock(owner, product_id)
             if stock is None:
@@ -515,18 +649,28 @@ class PlatformCluster:
     # -- failover -----------------------------------------------------------
 
     def kill_shard(self, name: str, torn_tail_bytes: int = 0) -> None:
-        """Crash a shard abruptly (chaos entry point; needs failover on).
+        """Crash a shard abruptly (chaos entry point).
 
-        The shard stops serving and heartbeating at once; its 2PC
-        participant goes silent, so an in-flight basket aborts on the
-        prepare round instead of blocking.  Detection, promotion, and
-        recovery then play out over subsequent :meth:`tick` calls.
+        With replica failover on, detection, promotion, and recovery play
+        out over subsequent :meth:`tick` calls.  In disaggregated mode the
+        compute node simply goes dark — it held no state, so the next
+        :meth:`tick` recovers it by re-mounting the storage tier (zero
+        data movement; ``torn_tail_bytes`` is meaningless and ignored
+        because there is no compute-side WAL to tear).  Either way its
+        2PC participant goes silent, so an in-flight basket aborts on the
+        prepare round instead of blocking.
         """
-        if self.failover is None:
-            raise ConfigurationError("kill_shard requires n_replicas >= 2")
+        if self.failover is None and self.storage is None:
+            raise ConfigurationError(
+                "kill_shard requires n_replicas >= 2 or a storage tier"
+            )
         if name not in self.shards:
             raise ConfigurationError(f"unknown shard {name!r}")
-        self.failover.kill(name, torn_tail_bytes=torn_tail_bytes)
+        if self.storage is not None:
+            self._down_compute.add(name)
+            self.metrics.counter("cluster.disagg.kills").inc()
+        else:
+            self.failover.kill(name, torn_tail_bytes=torn_tail_bytes)
         participant = self.coordinator.participants.get(name)
         if participant is not None:
             participant.crashed = True
@@ -537,15 +681,20 @@ class PlatformCluster:
     def add_shard(self, name: str) -> int:
         """Join a fresh shard and migrate the keys it now owns.
 
-        Returns the number of keys (entities + products) that moved.
+        Returns the number of keys (entities + products) that moved — in
+        disaggregated mode always 0: joining is a pure ring remap, the
+        new compute node reads everything it now owns from the shared
+        tier on demand.
         """
         if name in self.shards:
             raise ConfigurationError(f"duplicate shard {name!r}")
         self.flush()  # buffered records route under the old ring otherwise
-        shard = self._make_shard()
+        shard = self._make_shard(name)
         self.router.add_shard(name)
         self.shards[name] = shard
         self.coordinator.attach_shard(name, shard)
+        if self.storage is not None:
+            return self._remap_compute()
         moved = self._rebalance()
         if self.failover is not None:
             self._hook_purchase_log(name, shard)
@@ -553,7 +702,11 @@ class PlatformCluster:
         return moved
 
     def remove_shard(self, name: str) -> int:
-        """Drain and drop a shard; its keys migrate to their new owners."""
+        """Drain and drop a shard; its keys migrate to their new owners.
+
+        In disaggregated mode nothing drains — the departing compute node
+        held only caches — so the return value is always 0.
+        """
         if name not in self.shards:
             raise ConfigurationError(f"unknown shard {name!r}")
         if len(self.shards) == 1:
@@ -563,16 +716,34 @@ class PlatformCluster:
                 f"shard {name!r} is {self.failover.state(name)}; "
                 "wait for failover to finish before removing it"
             )
+        if name in self._down_compute:
+            raise ConfigurationError(
+                f"shard {name!r} is down; let the next tick re-mount it "
+                "before removing it"
+            )
         self.flush()
         self.router.remove_shard(name)
         departing = self.shards.pop(name)
         self.coordinator.detach_shard(name)
+        if self.storage is not None:
+            return self._remap_compute()
         moved = self._drain(departing)
         if self.failover is not None:
             self.failover.resync()
         self.metrics.counter("cluster.rebalance.moved_keys").inc(moved)
         self._refresh_shard_gauges()
         return moved
+
+    def _remap_compute(self) -> int:
+        """Disaggregated membership change: zero keys move; every compute
+        node drops its caches so the next access hydrates fresh state
+        from the tier under the new ownership map."""
+        for shard in self.shards.values():
+            shard.reset_caches()
+        self.metrics.counter("cluster.disagg.remaps").inc()
+        self.metrics.counter("cluster.rebalance.moved_keys").inc(0)
+        self._refresh_shard_gauges()
+        return 0
 
     def _rebalance(self) -> int:
         """Move every key whose ring owner changed; nothing else moves."""
@@ -616,7 +787,16 @@ class PlatformCluster:
     # -- introspection ------------------------------------------------------
 
     def entity_locations(self) -> dict[str, list[str]]:
-        """Which shard(s) hold each entity key — exactly one, invariantly."""
+        """Which shard(s) serve each entity key — exactly one, invariantly.
+
+        On local engines this is physical placement; on a shared storage
+        tier it is ring ownership (every entity lives in the tier and is
+        *served* by exactly one compute node).
+        """
+        if self.storage is not None:
+            return {
+                key: [self.router.owner_of(key)] for key in self.storage.keys()
+            }
         locations: dict[str, list[str]] = {}
         for name, shard in self.shards.items():
             for key in shard.entity_keys():
@@ -633,9 +813,20 @@ class PlatformCluster:
         return n_requests / makespan if makespan > 0 else float("inf")
 
     def _refresh_shard_gauges(self) -> None:
+        owned_counts: dict[str, int] | None = None
+        if self.storage is not None:
+            # One tier sweep instead of a per-shard keys() fan-out: count
+            # how many tier keys each compute node currently owns.
+            owned_counts = {name: 0 for name in self.shards}
+            for key in self.storage.keys():
+                owner = self.router.owner_of(key)
+                if owner in owned_counts:
+                    owned_counts[owner] += 1
+            self.storage.refresh_gauges()
         for name, shard in self.shards.items():
             self.metrics.gauge(f"cluster.shard.{name}.entities").set(
-                float(len(shard.entity_keys()))
+                float(owned_counts[name]) if owned_counts is not None
+                else float(len(shard.entity_keys()))
             )
             # Per-shard resilience state, labeled by shard name: the
             # circuit-breaker position (0/1/2 = closed/half-open/open,
@@ -653,6 +844,10 @@ class PlatformCluster:
                 )
                 self.metrics.gauge(f"cluster.shard.{name}.phi").set(
                     self.failover.phi(name)
+                )
+            elif self.storage is not None:
+                self.metrics.gauge(f"cluster.shard.{name}.alive").set(
+                    0.0 if name in self._down_compute else 1.0
                 )
 
     def _refresh_purchase_gauges(self) -> None:

@@ -60,6 +60,7 @@ class ShardParticipant(Participant):
         txn, quantities = staged
         try:
             self.shard.txn.commit(txn)
+            self._persist_stocks(quantities)
             self._log_stocks(quantities)
             return
         except WriteConflictError:
@@ -75,7 +76,15 @@ class ShardParticipant(Participant):
             product["stock"] = product.get("stock", 0) - quantity
             txn.write(product_id, product)
             self.shard.txn.commit(txn)
+        self._persist_stocks(quantities)
         self._log_stocks(quantities)
+
+    def _persist_stocks(self, quantities: dict) -> None:
+        """Write the committed post-basket state through to the shard's
+        storage engine (a dict write on the local default; the durability
+        step that keeps compute stateless on a remote engine)."""
+        for product_id in quantities:
+            self.shard.persist_committed(product_id)
 
     def _log_stocks(self, quantities: dict) -> None:
         """Replicate post-commit stock levels (failover write path)."""

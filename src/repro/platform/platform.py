@@ -7,7 +7,11 @@ architecture:
   doing optional on-device aggregation;
 * **cloud** — transaction executors (MVCC, partitioned by product hash),
   the pub/sub broker, and a buffer pool in front of storage;
-* **storage** — the KV store (hot structured data) plus an object store.
+* **storage** — a pluggable :class:`~repro.storage.engine.StorageEngine`:
+  in-process by default (KV store + object store, exactly the pre-split
+  tier), or a :class:`~repro.storage.engine.RemoteStorageEngine` mounted
+  on a shared :class:`~repro.storage.engine.StorageTier`, which makes the
+  compute node stateless (Sec. IV-E2's disaggregated deployment).
 
 It exposes the operations the Section-II scenarios need: sensor ingestion,
 flash-sale purchasing with space-aware priority, pub/sub subscriptions,
@@ -16,7 +20,6 @@ and point reads through the buffer pool.
 
 from __future__ import annotations
 
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -36,8 +39,7 @@ from ..resilience.degrade import DegradationController
 from ..resilience.faults import FaultInjector
 from ..resilience.policies import CircuitBreaker, RetryPolicy
 from ..storage.bufferpool import BufferPool, PageMeta
-from ..storage.kv import KVStore
-from ..storage.objectstore import ObjectStore
+from ..storage.engine import LocalStorageEngine, StorageEngine
 from ..txn.mvcc import TransactionManager
 from ..workloads.marketplace import PurchaseRequest
 
@@ -97,6 +99,7 @@ class MetaversePlatform:
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         degradation: DegradationController | None = None,
+        engine: StorageEngine | None = None,
     ) -> None:
         if n_executors < 1:
             raise ConfigurationError("need at least one executor")
@@ -128,9 +131,19 @@ class MetaversePlatform:
             )
         self.breaker = breaker
         self.degradation = degradation
-        # Storage tier.
-        self.kv = KVStore(metrics=self.metrics, tracer=self.tracer, faults=faults)
-        self.objects = ObjectStore(metrics=self.metrics, tracer=self.tracer)
+        # Storage tier: an injected engine, or the in-process default
+        # (byte-identical to the pre-split platform that newed up its own
+        # stores).  ``kv``/``objects`` stay addressable for local engines;
+        # a remote engine has no in-process stores to expose.
+        if engine is None:
+            engine = LocalStorageEngine(
+                metrics=self.metrics, tracer=self.tracer, faults=faults
+            )
+        self.engine = engine
+        self.kv = engine.kv if isinstance(engine, LocalStorageEngine) else None
+        self.objects = (
+            engine.objects if isinstance(engine, LocalStorageEngine) else None
+        )
         # Cloud tier.  The transaction manager shares the platform registry
         # and tracer (it used to grow a private registry nobody could read).
         self.txn = TransactionManager(metrics=self.metrics, tracer=self.tracer)
@@ -139,6 +152,7 @@ class MetaversePlatform:
         self.executors = [ExecutorStats() for _ in range(n_executors)]
         self.txn_cost_s = txn_cost_s
         self.physical_priority = physical_priority
+        self._buffer_pool_pages = buffer_pool_pages
         self.pool = BufferPool(
             capacity=buffer_pool_pages,
             loader=self._load_page,
@@ -156,13 +170,17 @@ class MetaversePlatform:
         # replicate absolute stock levels; replaying levels (not requests)
         # is what keeps promotion exactly-once.
         self.purchase_log = None
+        # Product records whose engine write-through failed past the retry
+        # budget; re-flushed before the next persist so the storage tier
+        # converges once the fault clears.
+        self._dirty_products: OrderedDict[str, dict | None] = OrderedDict()
 
     # -- storage access -----------------------------------------------------
 
     def _load_page(self, key) -> tuple[object, PageMeta]:
         self.storage_reads += 1
         try:
-            value = self.kv.get(str(key))
+            value = self.engine.get(str(key))
         except KeyNotFoundError:
             value = None
         return value, PageMeta(space=Space.PHYSICAL, kind=DataKind.STRUCTURED)
@@ -200,11 +218,16 @@ class MetaversePlatform:
             self._stale.popitem(last=False)
 
     def write_record(self, record: DataRecord) -> None:
-        """Persist a record to the KV tier and invalidate its cached page."""
+        """Persist a record to the storage engine, invalidating its page."""
         value = stored_record_value(record)
-        self._with_retry(lambda: self.kv.put(record.key, value))
+        self._with_retry(lambda: self.engine.put(record.key, value))
         self.pool.invalidate(record.key)
         self._remember(record.key, value)
+
+    def scan(self, lo: str, hi: str) -> list[tuple[str, object]]:
+        """Sorted range scan of the entity tier (retried past transient
+        faults).  On a remote engine this fans out across storage nodes."""
+        return self._with_retry(lambda: self.engine.scan(lo, hi))
 
     # -- device tier ------------------------------------------------------------
 
@@ -282,6 +305,89 @@ class MetaversePlatform:
             txn = self.txn.begin()
             txn.write(record.key, dict(record.payload))
             self.txn.commit(txn)
+            self._persist_product(record.key, dict(record.payload))
+
+    # -- product write-through / hydration ----------------------------------
+    #
+    # The compute-side MVCC store is a *cache* of committed catalog state;
+    # the storage engine holds the durable record.  On the default local
+    # engine the write-through is a dict assignment (free, invisible); on a
+    # remote engine it is what makes the compute node stateless — any other
+    # compute node can hydrate the same product from the shared tier.
+
+    def _persist_product(self, product_id: str, value: dict | None) -> None:
+        """Write committed product state through to the storage engine
+        (``None`` deletes).  A write that stays failing past the retry
+        budget is parked dirty and re-flushed on the next persist."""
+        self._dirty_products[product_id] = value
+        self._dirty_products.move_to_end(product_id)
+        for pid in list(self._dirty_products):
+            pending = self._dirty_products[pid]
+            try:
+                if pending is None:
+                    self._with_retry(lambda p=pid: self.engine.delete_product(p))
+                else:
+                    self._with_retry(
+                        lambda p=pid, v=pending: self.engine.put_product(p, v)
+                    )
+            except FaultInjectedError:
+                self.metrics.counter("platform.product_persist_deferred").inc()
+                return
+            del self._dirty_products[pid]
+
+    def _hydrate_product(self, product_id: str) -> dict | None:
+        """Pull a product the compute cache has never seen (or dropped)
+        from the storage engine into MVCC; ``None`` when the tier has no
+        record either (or stayed unreachable past the retry budget)."""
+        try:
+            value = self._with_retry(lambda: self.engine.get_product(product_id))
+        except FaultInjectedError:
+            return None
+        if value is None:
+            return None
+        self._install_product(product_id, value)
+        self.metrics.counter("platform.products_hydrated").inc()
+        return value
+
+    def _install_product(self, product_id: str, value: dict) -> None:
+        """Commit ``value`` into the MVCC cache without writing it back."""
+        txn = self.txn.begin()
+        txn.write(product_id, dict(value))
+        self.txn.commit(txn)
+
+    def persist_committed(self, product_id: str) -> None:
+        """Write the currently committed state of ``product_id`` through
+        to the storage engine (the 2PC apply path, where the committed
+        value is produced outside :meth:`_purchase_attempts`)."""
+        txn = self.txn.begin()
+        value = txn.read_or(product_id)
+        self._persist_product(
+            product_id, dict(value) if value is not None else None
+        )
+
+    def reset_products(self) -> None:
+        """Drop the compute-side product cache (stateless-compute remap).
+
+        After cluster membership changes in disaggregated mode, product
+        ownership moves between compute nodes without any data movement;
+        clearing the cache forces the next purchase on the new owner to
+        hydrate fresh, committed state from the shared storage tier."""
+        self.txn = TransactionManager(metrics=self.metrics, tracer=self.tracer)
+        self.metrics.counter("platform.product_cache_resets").inc()
+
+    def reset_caches(self) -> None:
+        """Drop every compute-side cache — product MVCC, buffer pool, and
+        the stale-read fallback — so all subsequent reads re-load from the
+        storage engine.  The full stateless-compute remap: what a compute
+        node does when cluster membership changes under it."""
+        self.reset_products()
+        self.pool = BufferPool(
+            capacity=self._buffer_pool_pages,
+            loader=self._load_page,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self._stale.clear()
 
     def _executor_for(self, product_id: str) -> int:
         return stable_hash(product_id) % self.n_executors
@@ -325,6 +431,10 @@ class MetaversePlatform:
                 product = txn.read(request.product_id)
             except KeyNotFoundError:
                 self.txn.abort(txn)
+                # Stateless-compute path: an empty MVCC cache is not "no
+                # such product" until the storage tier agrees.
+                if self._hydrate_product(request.product_id) is not None:
+                    continue
                 return PurchaseOutcome(request, False, "no such product")
             stock = product.get("stock", 0)
             if stock < request.quantity:
@@ -341,6 +451,7 @@ class MetaversePlatform:
                 continue
             executor.processed += 1
             self.metrics.counter("platform.purchases").inc()
+            self._persist_product(request.product_id, updated)
             if self.purchase_log is not None:
                 self.purchase_log(request.product_id, updated["stock"])
             return PurchaseOutcome(request, True)
@@ -355,22 +466,22 @@ class MetaversePlatform:
     # own retry policy so migration survives transient injected faults.
 
     def entity_keys(self) -> list[str]:
-        """Keys of every entity this shard holds in the KV tier."""
-        return self.kv.keys()
+        """Keys of every entity this shard's engine holds."""
+        return self._with_retry(lambda: self.engine.keys())
 
     def export_entity(self, key: str):
-        """The stored KV value for ``key`` (retried past transient faults)."""
-        return self._with_retry(lambda: self.kv.get(key))
+        """The stored value for ``key`` (retried past transient faults)."""
+        return self._with_retry(lambda: self.engine.get(key))
 
     def import_entity(self, key: str, value: object) -> None:
-        """Adopt a migrated KV value, keeping caches coherent."""
-        self._with_retry(lambda: self.kv.put(key, value))
+        """Adopt a migrated entity value, keeping caches coherent."""
+        self._with_retry(lambda: self.engine.put(key, value))
         self.pool.invalidate(key)
         self._remember(key, value)
 
     def drop_entity(self, key: str) -> None:
         """Forget an entity handed off to another shard."""
-        self.kv.delete(key)
+        self._with_retry(lambda: self.engine.delete(key))
         self.pool.invalidate(key)
         self._stale.pop(key, None)
 
@@ -380,19 +491,27 @@ class MetaversePlatform:
         return {key: dict(value) for key, value in store.scan_at(store.last_commit_ts)}
 
     def import_product(self, product_id: str, value: dict) -> None:
-        txn = self.txn.begin()
-        txn.write(product_id, dict(value))
-        self.txn.commit(txn)
+        self._install_product(product_id, value)
+        self._persist_product(product_id, dict(value))
 
     def drop_product(self, product_id: str) -> None:
         txn = self.txn.begin()
         txn.delete(product_id)
         self.txn.commit(txn)
+        self._persist_product(product_id, None)
 
     def get_stock(self, product_id: str) -> int:
         """Current stock of ``product_id`` as seen by a fresh snapshot."""
         txn = self.txn.begin()
-        return int(txn.read(product_id).get("stock", 0))
+        try:
+            return int(txn.read(product_id).get("stock", 0))
+        except KeyNotFoundError:
+            self.txn.abort(txn)
+            value = self._hydrate_product(product_id)
+            if value is None:
+                raise
+            txn = self.txn.begin()
+            return int(txn.read(product_id).get("stock", 0))
 
     def compute_makespan(self) -> float:
         """Simulated completion time: the busiest executor's busy time."""
@@ -401,29 +520,3 @@ class MetaversePlatform:
     def compute_throughput(self, n_requests: int) -> float:
         makespan = self.compute_makespan()
         return n_requests / makespan if makespan > 0 else float("inf")
-
-    # -- deprecated aliases (pre-1.1 names; removed next release) -----------
-
-    def stock_of(self, product_id: str) -> int:
-        warnings.warn(
-            "MetaversePlatform.stock_of() is deprecated; use get_stock()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.get_stock(product_id)
-
-    def makespan(self) -> float:
-        warnings.warn(
-            "MetaversePlatform.makespan() is deprecated; use compute_makespan()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.compute_makespan()
-
-    def throughput(self, n_requests: int) -> float:
-        warnings.warn(
-            "MetaversePlatform.throughput() is deprecated; use compute_throughput()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.compute_throughput(n_requests)

@@ -23,6 +23,7 @@ site                      component
 ``cluster.ingest``        :class:`~repro.cluster.cluster.PlatformCluster`
 ``cluster.query``         :class:`~repro.cluster.cluster.PlatformCluster`
 ``cluster.replicate``     :class:`~repro.cluster.failover.ShardReplicator`
+``storage.rpc``           :class:`~repro.storage.engine.RemoteStorageEngine`
 ========================  =========================================
 
 Fault kinds: ``crash`` (the site raises
@@ -59,6 +60,7 @@ DEFAULT_SITE_KINDS: dict[str, str] = {
     "cluster.ingest": "drop",
     "cluster.query": "crash",
     "cluster.replicate": "drop",
+    "storage.rpc": "crash",
 }
 
 

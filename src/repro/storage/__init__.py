@@ -1,4 +1,5 @@
-"""Storage tiers: WAL, LSM KV store, object store, block store, buffer pool."""
+"""Storage tiers: WAL, LSM KV store, object store, block store, buffer pool,
+and the pluggable compute/storage engine seam."""
 
 from .blockstore import BlockStore, Extent
 from .bufferpool import (
@@ -7,6 +8,13 @@ from .bufferpool import (
     LRUPolicy,
     PageMeta,
     SpaceAwarePolicy,
+)
+from .engine import (
+    LocalStorageEngine,
+    RemoteStorageEngine,
+    StorageEngine,
+    StorageNode,
+    StorageTier,
 )
 from .kv import KVStore, MemTable, SSTable
 from .objectstore import ObjectRef, ObjectStore
@@ -21,15 +29,20 @@ __all__ = [
     "KVStore",
     "LRUKPolicy",
     "LRUPolicy",
+    "LocalStorageEngine",
     "MemTable",
     "ObjectRef",
     "ObjectStore",
     "PageMeta",
     "PolyStore",
     "PolyStoreStats",
+    "RemoteStorageEngine",
     "SSTable",
     "ShardedKVCluster",
     "SpaceAwarePolicy",
+    "StorageEngine",
+    "StorageNode",
+    "StorageTier",
     "Versioned",
     "WalEntry",
     "WriteAheadLog",

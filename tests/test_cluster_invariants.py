@@ -9,7 +9,11 @@ Two families:
 * **exactly-once under chaos** — the 4-shard flash sale holds the same
   inventory-conservation bar as the single-node chaos tier
   (``tests/test_resilience_chaos.py``) with a 5% uniform fault plan live
-  across every shard's fault sites.
+  across every shard's fault sites;
+* **exactly-once, disaggregated** — the same bar on 4 compute nodes over
+  2 shared storage nodes with 5% ``storage.rpc`` faults firing on every
+  compute↔storage round trip, through a mid-sale compute kill and
+  re-mount recovery.
 """
 
 import pytest
@@ -17,6 +21,7 @@ import pytest
 from repro.cluster import PlatformCluster
 from repro.core import DataKind, DataRecord, Space
 from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.faults import FaultRule
 from repro.workloads import FlashSaleConfig, MarketplaceWorkload
 
 pytestmark = pytest.mark.cluster
@@ -169,3 +174,67 @@ class TestFlashSaleChaosOnCluster:
         cluster.add_shard("joiner")
         cluster.remove_shard("shard-1")
         assert_exactly_one_home(cluster, stored)
+
+
+@pytest.mark.disagg
+@pytest.mark.chaos
+class TestFlashSaleChaosDisaggregated:
+    """Exactly-once on 4 compute / 2 storage nodes under storage.rpc faults.
+
+    Every compute↔storage round trip consults the injector: 5% of RPCs
+    crash outright and 2% vanish (surfacing as client timeouts); the
+    platform retry budget absorbs what it can.  Mid-sale one compute node
+    is killed and recovered by re-mounting the tier — conservation must
+    hold across the crash because committed stock lives in the tier, not
+    on the dead node.
+    """
+
+    N_PRODUCTS = 20
+    INITIAL_STOCK = 10
+
+    def run_disagg_sale(self, fault_seed):
+        config = FlashSaleConfig(
+            n_products=self.N_PRODUCTS, n_shoppers=100,
+            initial_stock=self.INITIAL_STOCK,
+            burst_rate=200.0, burst_start=0.0, burst_end=5.0, zipf_skew=1.0,
+        )
+        workload = MarketplaceWorkload(config, seed=1)
+        plan = FaultPlan(
+            rules=(
+                FaultRule(site="storage.rpc", kind="crash", rate=0.05),
+                FaultRule(site="storage.rpc", kind="drop", rate=0.02),
+            ),
+            seed=fault_seed,
+        )
+        injector = FaultInjector(plan)
+        cluster = PlatformCluster(
+            n_shards=4, n_storage_nodes=2, faults=injector
+        )
+        cluster.load_catalog(workload.catalog_records())
+        requests = workload.requests_between(0.0, 5.0)
+        half = len(requests) // 2
+        outcomes = cluster.process_purchases(requests[:half])
+        cluster.kill_shard("shard-1")
+        outcomes += cluster.process_purchases(requests[half:half + half // 2])
+        cluster.tick(0.1)  # re-mounts the killed compute node
+        outcomes += cluster.process_purchases(requests[half + half // 2:])
+        return cluster, workload, outcomes, injector
+
+    @pytest.mark.parametrize("fault_seed", [7, 23, 101])
+    def test_exactly_once_with_storage_rpc_faults(self, fault_seed):
+        cluster, workload, outcomes, injector = self.run_disagg_sale(fault_seed)
+        sold_by_product = {}
+        for outcome in outcomes:
+            if outcome.success:
+                pid = outcome.request.product_id
+                sold_by_product[pid] = sold_by_product.get(pid, 0) + 1
+        for i in range(self.N_PRODUCTS):
+            pid = workload.product_id(i)
+            assert (
+                sold_by_product.get(pid, 0) + cluster.get_stock(pid)
+                == self.INITIAL_STOCK
+            )
+            assert cluster.get_stock(pid) >= 0
+        assert injector.injected > 0  # the plan actually fired
+        assert cluster.metrics.counter("cluster.disagg.remounts").value == 1.0
+        assert cluster.metrics.counter("storage.rpc.faults").value > 0

@@ -1,0 +1,383 @@
+"""The storage-engine seam: Local/Remote parity, faults, and recovery.
+
+Three families:
+
+* **parity** — :class:`LocalStorageEngine` and :class:`RemoteStorageEngine`
+  agree on the full operation mix (entities, products, objects), so a
+  platform cannot tell where its state lives except through latency;
+* **fault sites** — the ``storage.rpc`` site injects crash/delay/drop
+  (drop surfaces as a client timeout that burns simulated time) and
+  partitions sever the mount;
+* **recovery** — a retry policy absorbs transient RPC faults, a circuit
+  breaker sheds load from a persistently failing tier, and a platform on
+  a remote engine stays exactly-once through cache loss (hydration).
+"""
+
+import pytest
+
+from repro.core import DataKind, DataRecord, SimulationClock, Space
+from repro.core.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    FaultInjectedError,
+    KeyNotFoundError,
+    PartitionedError,
+)
+from repro.platform import MetaversePlatform
+from repro.resilience import CircuitBreaker, FaultInjector, FaultPlan, RetryPolicy
+from repro.resilience.faults import FaultRule
+from repro.storage import (
+    LocalStorageEngine,
+    RemoteStorageEngine,
+    StorageTier,
+)
+from repro.workloads import FlashSaleConfig, MarketplaceWorkload
+
+pytestmark = pytest.mark.disagg
+
+
+def remote_engine(n_nodes=2, **mount_kwargs):
+    tier = StorageTier(n_nodes=n_nodes)
+    return tier, tier.mount("test", **mount_kwargs)
+
+
+def faulted_engine(rules, seed=1, **mount_kwargs):
+    tier = StorageTier(n_nodes=2)
+    injector = FaultInjector(
+        FaultPlan(rules=tuple(rules), seed=seed), clock=tier.clock
+    )
+    return tier, tier.mount("test", faults=injector, **mount_kwargs)
+
+
+def exercise_full_op_mix(engine):
+    """Run every StorageEngine operation; return observable results."""
+    engine.put("b", {"v": 2})
+    engine.put("a", {"v": 1})
+    engine.put("c", 3)
+    engine.delete("c")
+    engine.put_product("p1", {"stock": 5})
+    engine.put_product("p2", {"stock": 7})
+    engine.delete_product("p2")
+    ref = engine.put_object("obj", b"payload", {"lod": "2"})
+    results = {
+        "get": engine.get("a"),
+        "scan": engine.scan("", "z"),
+        "keys": engine.keys(),
+        "product": engine.get_product("p1"),
+        "missing_product": engine.get_product("p2"),
+        "products": engine.products(),
+        "object": engine.get_object("obj"),
+        "object_version": ref.version,
+    }
+    try:
+        engine.get("c")
+    except KeyNotFoundError:
+        results["deleted_raises"] = True
+    return results
+
+
+class TestEngineParity:
+    def test_local_and_remote_agree_on_full_op_mix(self):
+        local = exercise_full_op_mix(LocalStorageEngine())
+        _, remote = remote_engine()
+        assert exercise_full_op_mix(remote) == local
+
+    def test_remote_scan_merges_sorted_across_nodes(self):
+        tier, remote = remote_engine(n_nodes=3)
+        keys = [f"k{i:02d}" for i in range(30)]
+        for key in reversed(keys):
+            remote.put(key, key)
+        assert [k for k, _ in remote.scan("", "￿")] == keys
+        # The keys genuinely spread over multiple nodes.
+        populated = [n for n in tier.nodes.values() if n.engine.keys()]
+        assert len(populated) > 1
+
+    def test_tier_routing_is_stable_and_total(self):
+        tier, _ = remote_engine()
+        for key in (f"entity/{i}" for i in range(50)):
+            assert tier.node_of(key) is tier.node_of(key)
+
+    def test_rpcs_pay_simulated_latency(self):
+        tier, remote = remote_engine()
+        before = tier.clock.now
+        remote.put("k", "v")
+        remote.get("k")
+        assert tier.clock.now > before
+        assert remote.rpcs == 2
+        assert tier.metrics.counter("storage.rpc.calls").value == 2.0
+
+    def test_per_node_op_counters(self):
+        tier, remote = remote_engine()
+        for i in range(10):
+            remote.put(f"k{i}", i)
+        assert sum(node.ops for node in tier.nodes.values()) == 10
+
+    def test_mounts_get_unique_endpoints(self):
+        tier = StorageTier(n_nodes=1)
+        first = tier.mount("shard-0")
+        second = tier.mount("shard-0")  # a re-mount after a crash
+        assert first.client != second.client
+        first.put("k", 1)
+        assert second.get("k") == 1  # same tier state behind both mounts
+
+
+class TestTierValidation:
+    def test_rejects_empty_tier(self):
+        with pytest.raises(ConfigurationError):
+            StorageTier(n_nodes=0)
+
+    def test_rejects_duplicate_node_names(self):
+        with pytest.raises(ConfigurationError):
+            StorageTier(node_names=["a", "a"])
+
+    def test_rejects_bad_rpc_timeout(self):
+        tier = StorageTier(n_nodes=1)
+        with pytest.raises(ConfigurationError):
+            tier.mount("x", rpc_timeout_s=0.0)
+
+
+class TestFaultSites:
+    def test_injected_crash_raises(self):
+        _, engine = faulted_engine(
+            [FaultRule(site="storage.rpc", kind="crash", rate=1.0)]
+        )
+        with pytest.raises(FaultInjectedError):
+            engine.put("k", 1)
+
+    def test_injected_drop_burns_the_timeout_budget(self):
+        tier, engine = faulted_engine(
+            [FaultRule(site="storage.rpc", kind="drop", rate=1.0)],
+            rpc_timeout_s=0.25,
+        )
+        before = tier.clock.now
+        with pytest.raises(FaultInjectedError, match="timed out"):
+            engine.get("k")
+        assert tier.clock.now - before == pytest.approx(0.25)
+        assert tier.metrics.counter("storage.rpc.timeouts").value == 1.0
+
+    def test_injected_delay_slows_but_succeeds(self):
+        tier, slow = faulted_engine(
+            [FaultRule(site="storage.rpc", kind="delay", rate=1.0,
+                       delay_s=0.1)]
+        )
+        slow.put("k", 1)
+        delayed = tier.clock.now
+        plain_tier, plain = remote_engine()
+        plain.put("k", 1)
+        assert delayed > plain_tier.clock.now
+        assert slow.get("k") == 1
+
+    def test_partition_severs_the_mount(self):
+        tier, engine = remote_engine()
+        engine.put("k", 1)
+        node = tier.node_of("k")
+        tier.net.partition(engine.client, node.name)
+        with pytest.raises(PartitionedError):
+            engine.get("k")
+        tier.net.heal(engine.client, node.name)
+        assert engine.get("k") == 1
+
+    def test_fault_sequence_is_deterministic(self):
+        def faulted_outcomes():
+            _, engine = faulted_engine(
+                [FaultRule(site="storage.rpc", kind="crash", rate=0.3)],
+                seed=42,
+            )
+            outcomes = []
+            for i in range(30):
+                try:
+                    engine.put(f"k{i}", i)
+                    outcomes.append(True)
+                except FaultInjectedError:
+                    outcomes.append(False)
+            return outcomes
+
+        first = faulted_outcomes()
+        assert first == faulted_outcomes()
+        assert True in first and False in first
+
+
+class TestRecoveryPolicies:
+    def test_retry_absorbs_transient_rpc_faults(self):
+        tier = StorageTier(n_nodes=2)
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(FaultRule(site="storage.rpc", kind="crash", rate=0.3),),
+                seed=5,
+            ),
+            clock=tier.clock,
+        )
+        retry = RetryPolicy(
+            max_attempts=6, base_delay_s=0.001, clock=tier.clock,
+            metrics=tier.metrics,
+        )
+        engine = tier.mount("test", faults=injector, retry=retry)
+        for i in range(40):  # at 30% faults, un-retried this would fail
+            engine.put(f"k{i}", i)
+        assert len(engine.keys()) == 40
+        assert tier.metrics.counter("resilience.retries").value > 0
+
+    def test_breaker_sheds_load_from_a_failing_tier(self):
+        tier = StorageTier(n_nodes=1)
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(FaultRule(site="storage.rpc", kind="crash", rate=1.0),),
+                seed=3,
+            ),
+            clock=tier.clock,
+        )
+        breaker = CircuitBreaker(
+            failure_threshold=3, cooldown_s=1.0, clock=tier.clock
+        )
+        engine = tier.mount("test", faults=injector, breaker=breaker)
+        for _ in range(3):
+            with pytest.raises(FaultInjectedError):
+                engine.get("k")
+        with pytest.raises(CircuitOpenError):
+            engine.get("k")  # open: shed without an RPC
+        assert breaker.state == "open"
+
+    def test_breaker_recloses_after_cooldown_and_success(self):
+        tier = StorageTier(n_nodes=1)
+        breaker = CircuitBreaker(
+            failure_threshold=1, cooldown_s=0.5, half_open_successes=1,
+            clock=tier.clock,
+        )
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(site="storage.rpc", kind="crash", rate=1.0,
+                              end=0.2),
+                ),
+                seed=3,
+            ),
+            clock=tier.clock,
+        )
+        engine = tier.mount("test", faults=injector, breaker=breaker)
+        with pytest.raises(FaultInjectedError):
+            engine.put("k", 1)
+        assert breaker.state == "open"
+        tier.clock.advance(1.0)  # past cooldown AND the fault window
+        engine.put("k", 1)  # half-open probe succeeds
+        assert breaker.state == "closed"
+
+
+class TestPlatformOnEngines:
+    def make_records(self):
+        return [
+            DataRecord(
+                key=f"e/{i}", payload={"v": i}, kind=DataKind.STRUCTURED,
+                space=Space.VIRTUAL, source="test", timestamp=float(i),
+            )
+            for i in range(12)
+        ]
+
+    def test_explicit_local_engine_is_the_default(self):
+        """Injecting LocalStorageEngine() is indistinguishable from the
+        implicit default — the refactor moved construction, not behavior."""
+        workload = MarketplaceWorkload(
+            FlashSaleConfig(n_products=10, initial_stock=5), seed=2
+        )
+        requests = workload.requests_between(0.0, 3.0)
+
+        def outcomes(platform):
+            platform.load_catalog(workload.catalog_records())
+            return [
+                (o.request.shopper_id, o.success, o.reason)
+                for o in platform.process_purchases(requests)
+            ]
+
+        default = MetaversePlatform(n_executors=2)
+        explicit = MetaversePlatform(
+            n_executors=2, engine=LocalStorageEngine()
+        )
+        assert outcomes(default) == outcomes(explicit)
+        assert default.kv is not None and explicit.kv is not None
+
+    def test_platform_reads_and_writes_through_remote_engine(self):
+        _, engine = remote_engine()
+        platform = MetaversePlatform(n_executors=2, engine=engine)
+        assert platform.kv is None  # no in-process store to expose
+        for record in self.make_records():
+            platform.write_record(record)
+        assert platform.read("e/3")["payload"] == {"v": 3}
+        assert [k for k, _ in platform.scan("e/", "e/￿")] == sorted(
+            f"e/{i}" for i in range(12)
+        )
+
+    def test_purchases_hydrate_after_cache_loss(self):
+        """Stateless compute: a platform that loses its MVCC cache
+        re-hydrates committed product state from the shared tier."""
+        tier, engine = remote_engine()
+        workload = MarketplaceWorkload(
+            FlashSaleConfig(n_products=6, initial_stock=4), seed=2
+        )
+        platform = MetaversePlatform(n_executors=2, engine=engine)
+        platform.load_catalog(workload.catalog_records())
+        requests = workload.requests_between(0.0, 2.0)
+        half = len(requests) // 2
+        sold = sum(
+            o.success for o in platform.process_purchases(requests[:half])
+        )
+        # The compute node "restarts": new platform, fresh mount, no state.
+        restarted = MetaversePlatform(
+            n_executors=2, engine=tier.mount("restart")
+        )
+        sold += sum(
+            o.success for o in restarted.process_purchases(requests[half:])
+        )
+        remaining = sum(
+            restarted.get_stock(workload.product_id(i)) for i in range(6)
+        )
+        assert sold + remaining == 6 * 4  # exactly-once across the restart
+        assert restarted.metrics.counter("platform.products_hydrated").value > 0
+
+    def test_get_stock_hydrates_unknown_products(self):
+        tier, engine = remote_engine()
+        engine.put_product("ghost", {"stock": 9})
+        platform = MetaversePlatform(n_executors=2, engine=engine)
+        assert platform.get_stock("ghost") == 9
+
+    def test_get_stock_still_raises_for_truly_missing_products(self):
+        _, engine = remote_engine()
+        platform = MetaversePlatform(n_executors=2, engine=engine)
+        with pytest.raises(KeyNotFoundError):
+            platform.get_stock("nowhere")
+
+    def test_reset_caches_forces_engine_reload(self):
+        tier, engine = remote_engine()
+        platform = MetaversePlatform(n_executors=2, engine=engine)
+        for record in self.make_records():
+            platform.write_record(record)
+        rpcs_before = engine.rpcs
+        platform.read("e/0")  # warm the pool: no new storage read needed
+        platform.read("e/0")
+        platform.reset_caches()
+        platform.read("e/0")
+        assert engine.rpcs > rpcs_before  # cache loss went back to the tier
+
+    def test_failed_write_through_is_parked_and_reflushed(self):
+        clock = SimulationClock()
+        tier = StorageTier(n_nodes=1, clock=clock)
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(site="storage.rpc", kind="crash", rate=1.0,
+                              end=0.5),
+                ),
+                seed=9,
+            ),
+            clock=clock,
+        )
+        engine = tier.mount("test", faults=injector)
+        platform = MetaversePlatform(
+            n_executors=2, engine=engine, faults=injector
+        )
+        platform.import_product("p", {"stock": 3})  # every RPC crashes: parked
+        assert platform.metrics.counter(
+            "platform.product_persist_deferred"
+        ).value > 0
+        clock.advance(1.0)  # fault window closes
+        platform.import_product("q", {"stock": 1})  # re-flushes the backlog
+        assert engine.get_product("p") == {"stock": 3}
+        assert engine.get_product("q") == {"stock": 1}
