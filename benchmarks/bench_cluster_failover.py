@@ -22,7 +22,7 @@ import sys
 
 import pytest
 
-from repro.cluster import PlatformCluster
+from repro.cluster import ClusterConfig, PlatformCluster
 from repro.cluster.failover import RECOVERING, UP
 from repro.core import MetricsRegistry
 from repro.obs import write_snapshot
@@ -57,9 +57,9 @@ def make_requests(n, seed=3, skew=0.2):
 def run_sale(n, kill):
     """One flash sale in tick-sized batches; optionally crash a shard."""
     workload, requests = make_requests(n)
-    cluster = PlatformCluster(
+    cluster = PlatformCluster(config=ClusterConfig(
         n_shards=4, n_executors_per_shard=4, n_replicas=2, phi_threshold=4.0
-    )
+    ))
     cluster.load_catalog(workload.catalog_records())
     pids = [workload.product_id(i) for i in range(N_PRODUCTS)]
     victim = cluster.router.owner_of(pids[0])

@@ -18,7 +18,7 @@ runs — the determinism regression tier diffs it.
 
 import sys
 
-from repro.cluster import PlatformCluster
+from repro.cluster import ClusterConfig, PlatformCluster
 from repro.core import MetricsRegistry, Space
 from repro.obs import write_snapshot
 from repro.platform import MetaversePlatform
@@ -61,7 +61,9 @@ def run_shard_sweep(n=N_REQUESTS):
     rows = []
     for n_shards in SHARD_COUNTS:
         workload, requests = make_requests(n)
-        cluster = PlatformCluster(n_shards=n_shards, n_executors_per_shard=4)
+        cluster = PlatformCluster(
+            config=ClusterConfig(n_shards=n_shards, n_executors_per_shard=4)
+        )
         cluster.load_catalog(workload.catalog_records())
         outcomes = cluster.process_purchases(requests)
         rows.append(
@@ -84,7 +86,9 @@ def run_basket_mix(n_shards=4, n_baskets=300):
     in one MVCC transaction.
     """
     workload, _ = make_requests(200)
-    cluster = PlatformCluster(n_shards=n_shards, n_executors_per_shard=4)
+    cluster = PlatformCluster(
+        config=ClusterConfig(n_shards=n_shards, n_executors_per_shard=4)
+    )
     cluster.load_catalog(workload.catalog_records())
     for i in range(n_baskets):
         a = workload.product_id(i % N_PRODUCTS)

@@ -4,7 +4,7 @@ Claim: the paper's Fig. 7 architecture — *stateless* compute elastically
 scaled over a shared storage/memory tier — lets compute capacity grow
 independently of where the data lives.  Shape: the same flash-sale stream
 processed at 1/2/4/8 compute nodes mounted on **2 fixed storage nodes**
-(``PlatformCluster(n_storage_nodes=2)``) scales like the share-nothing
+(``ClusterConfig(n_storage_nodes=2)``) scales like the share-nothing
 sweep of E24 while deciding every purchase identically to a single local
 node — the storage tier's size never changes, only the compute fleet.
 Because compute holds no state, elasticity is free: shard join/leave is a
@@ -19,7 +19,7 @@ artifact is byte-stable across runs — the determinism tier diffs it.
 
 import sys
 
-from repro.cluster import PlatformCluster
+from repro.cluster import ClusterConfig, PlatformCluster
 from repro.core import MetricsRegistry
 from repro.obs import write_snapshot
 from repro.platform import MetaversePlatform
@@ -35,11 +35,11 @@ KILLED_SHARD = "shard-1"
 
 
 def make_cluster(n_compute):
-    return PlatformCluster(
+    return PlatformCluster(config=ClusterConfig(
         n_shards=n_compute,
         n_executors_per_shard=4,
         n_storage_nodes=N_STORAGE_NODES,
-    )
+    ))
 
 
 def run_compute_sweep(n=N_REQUESTS):

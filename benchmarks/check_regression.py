@@ -1,0 +1,106 @@
+"""Perf-regression gate for the E27 hot-path trajectory.
+
+Usage:  python benchmarks/check_regression.py [--baseline BENCH_e27.json]
+                                              [--current PATH] [--tolerance 0.2]
+
+Re-measures the E27 hot-path suite (or loads ``--current`` if given) and
+compares it against the committed ``BENCH_e27.json`` baseline:
+
+* every ``*.speedup_wall`` ratio must stay within ``tolerance`` (default
+  20%) of the baseline — ratios are columnar-vs-per-record on the *same*
+  machine and run, so they transfer across hosts where raw ops/sec
+  numbers would not;
+* every ``*.identical`` flag must still be 1 (a fast-but-wrong hot path
+  is a regression, not an optimisation);
+* the coalesced RPC count must not exceed the baseline's (O(nodes) is a
+  property, not a measurement).
+
+Exits nonzero on the first violated bound, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def measure_current(artifacts_dir: str) -> dict:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    import bench_hotpath
+
+    payload = bench_hotpath.bench_payload(
+        *bench_hotpath.collect(smoke=False), smoke=False
+    )
+    out = Path(artifacts_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    current_path = out / "BENCH_e27_current.json"
+    current_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[current measurement: {current_path}]")
+    return payload
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+
+    for name, value in current["deterministic"].items():
+        if name.endswith(".identical") and value != 1:
+            failures.append(f"{name}: outcome identity lost ({value})")
+
+    base_rpcs = baseline["deterministic"]["storage.rpcs_coalesced"]
+    cur_rpcs = current["deterministic"]["storage.rpcs_coalesced"]
+    if cur_rpcs > base_rpcs:
+        failures.append(
+            f"storage.rpcs_coalesced: {cur_rpcs} > baseline {base_rpcs}"
+        )
+
+    for name, base in baseline["wall_clock"].items():
+        if not name.endswith("speedup_wall"):
+            continue
+        cur = current["wall_clock"].get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base * (1.0 - tolerance)
+        status = "ok" if cur >= floor else "REGRESSED"
+        print(f"{name:>40}: baseline {base:6.2f}x  current {cur:6.2f}x  "
+              f"floor {floor:6.2f}x  [{status}]")
+        if cur < floor:
+            failures.append(
+                f"{name}: {cur:.2f}x below floor {floor:.2f}x "
+                f"(baseline {base:.2f}x - {tolerance:.0%})"
+            )
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_e27.json"))
+    parser.add_argument("--current", default=None,
+                        help="existing measurement JSON; re-measures if omitted")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional speedup regression (0.2 = 20%%)")
+    parser.add_argument("--artifacts-dir", default="benchmarks/artifacts")
+    args = parser.parse_args()
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    if args.current is not None:
+        current = json.loads(Path(args.current).read_text())
+    else:
+        current = measure_current(args.artifacts_dir)
+
+    failures = check(baseline, current, args.tolerance)
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) vs {args.baseline}:")
+        for failure in failures:
+            print(f"  - {failure}")
+        sys.exit(1)
+    print("\nno perf regressions vs committed baseline")
+
+
+if __name__ == "__main__":
+    main()

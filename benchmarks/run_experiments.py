@@ -1,4 +1,4 @@
-"""Regenerate every experiment table (E1-E26) in one run.
+"""Regenerate every experiment table (E1-E27) in one run.
 
 Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
                                              [--artifacts-dir DIR] [--smoke]
@@ -55,6 +55,7 @@ MODULES = [
     ("E24", "bench_cluster_scaleout"),
     ("E25", "bench_cluster_failover"),
     ("E26", "bench_disaggregated_scaleout"),
+    ("E27", "bench_hotpath"),
 ]
 
 

@@ -15,7 +15,7 @@ benchmarks measure in bulk, small enough to read every number:
 Run:  python examples/cluster_tour.py
 """
 
-from repro.cluster import PlatformCluster
+from repro.cluster import ClusterConfig, PlatformCluster
 from repro.core import DataKind, DataRecord, Space
 from repro.workloads import FlashSaleConfig, MarketplaceWorkload
 from repro.workloads.marketplace import PurchaseRequest
@@ -63,7 +63,7 @@ def cross_shard_basket(cluster, workload):
 
 def kill_and_failover(workload):
     banner("3. kill a shard; its replica takes over (n_replicas=2)")
-    cluster = PlatformCluster(n_shards=4, n_replicas=2)
+    cluster = PlatformCluster(config=ClusterConfig(n_shards=4, n_replicas=2))
     cluster.load_catalog(workload.catalog_records())
     pid = workload.product_id(0)
     victim = cluster.router.owner_of(pid)
@@ -76,7 +76,9 @@ def kill_and_failover(workload):
 
 def disaggregated(workload):
     banner("4. disaggregated: 4 stateless compute nodes, 2 storage nodes")
-    cluster = PlatformCluster(n_shards=4, n_storage_nodes=2)
+    cluster = PlatformCluster(
+        config=ClusterConfig(n_shards=4, n_storage_nodes=2)
+    )
     cluster.load_catalog(workload.catalog_records())
     for i in range(12):
         cluster.ingest(record(f"asset/{i:02d}", {"lod": i % 3}))
@@ -106,7 +108,7 @@ def main() -> None:
     workload = MarketplaceWorkload(
         FlashSaleConfig(n_products=8, initial_stock=5), seed=7
     )
-    cluster = PlatformCluster(n_shards=4)
+    cluster = PlatformCluster(config=ClusterConfig(n_shards=4))
     cluster.load_catalog(workload.catalog_records())
     ingest_and_query(cluster)
     cross_shard_basket(cluster, workload)

@@ -18,9 +18,13 @@ Subsystem packages (``repro.spatial``, ``repro.query``, ``repro.obs``,
 ...) remain importable directly for everything else.
 """
 
+from .api.dataplane import DataPlane, GatherResult
 from .cluster.cluster import PlatformCluster
+from .cluster.config import ClusterConfig
 from .cluster.router import ShardRouter
 from .core.clock import EventScheduler, SimulationClock
+from .core.columns import RecordBatch
+from .fusion.batch import ObservationBatch
 from .core.metrics import MetricsRegistry
 from .core.records import DataKind, DataRecord, Space
 from .ledger.ledgerdb import LedgerDB
@@ -46,7 +50,9 @@ __version__ = "1.1.0"
 
 __all__ = [
     "CircuitBreaker",
+    "ClusterConfig",
     "DataKind",
+    "DataPlane",
     "DataRecord",
     "DegradationController",
     "DeviceGateway",
@@ -54,6 +60,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "GatherResult",
     "LedgerDB",
     "LocalStorageEngine",
     "LogSink",
@@ -61,7 +68,9 @@ __all__ = [
     "MetaverseWorld",
     "MetricsRegistry",
     "NoopTracer",
+    "ObservationBatch",
     "PlatformCluster",
+    "RecordBatch",
     "RemoteStorageEngine",
     "RetryPolicy",
     "ShardRouter",

@@ -1,0 +1,26 @@
+"""Unified data-plane surface (``repro.api``).
+
+Workloads and benchmarks used to be written twice: once against a single
+:class:`~repro.platform.platform.MetaversePlatform` node and once against a
+:class:`~repro.cluster.cluster.PlatformCluster`, special-casing whichever
+deployment shape they happened to target.  :class:`DataPlane` is the one
+explicit interface both implement — ingest (per-record and columnar),
+tick-driven flushing, prefix/spatial/continuous queries, and marketplace
+operations — so a workload written once against the protocol runs
+unchanged on either shape (experiment E27 exploits exactly this to compare
+the per-record and columnar hot paths on identical drivers).
+"""
+
+from .dataplane import (
+    ContinuousQuery,
+    DataPlane,
+    GatherResult,
+    deprecated_alias,
+)
+
+__all__ = [
+    "ContinuousQuery",
+    "DataPlane",
+    "GatherResult",
+    "deprecated_alias",
+]

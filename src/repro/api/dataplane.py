@@ -1,0 +1,126 @@
+"""The :class:`DataPlane` protocol: one surface for every deployment shape.
+
+The protocol is *structural* (:func:`typing.runtime_checkable`): neither
+implementation imports this module to conform, and the conformance suite
+(``tests/test_api_dataplane.py``) runs the same driver against both a
+single platform node and a sharded cluster, asserting identical observable
+results.  :class:`GatherResult` lives here because it is the protocol's
+query return type; :mod:`repro.cluster` re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from functools import wraps
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.columns import RecordBatch
+    from ..core.records import DataRecord
+    from ..platform.platform import PurchaseOutcome
+    from ..spatial.geometry import BBox
+    from ..workloads.marketplace import PurchaseRequest
+
+
+@dataclass
+class GatherResult:
+    """Outcome of one query fan-out (single node: never partial)."""
+
+    items: list
+    failed_shards: tuple[str, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_shards)
+
+
+@dataclass
+class ContinuousQuery:
+    """One standing prefix query, re-evaluated on every :meth:`tick`."""
+
+    query_id: str
+    prefix: str
+    results: GatherResult | None = field(default=None)
+
+
+def deprecated_alias(new_name: str, old_name: str | None = None):
+    """Wrap a bound method under its old name, warning on every call.
+
+    The wrapper forwards verbatim, so aliased call sites keep working
+    while the :class:`DeprecationWarning` names the replacement.  Pass
+    ``old_name`` when aliasing an existing method object (whose
+    ``__name__`` is already the new name).
+    """
+
+    def decorate(fn):
+        deprecated = old_name or fn.__name__
+
+        @wraps(fn)
+        def shim(*args, **kwargs):
+            warnings.warn(
+                f"{deprecated} is deprecated; use {new_name} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return fn(*args, **kwargs)
+
+        shim.__name__ = deprecated
+        shim.__doc__ = f"Deprecated alias for :meth:`{new_name}`."
+        return shim
+
+    return decorate
+
+
+@runtime_checkable
+class DataPlane(Protocol):
+    """What a metaverse data plane does, independent of deployment shape.
+
+    Implemented by :class:`~repro.platform.platform.MetaversePlatform`
+    (one node) and :class:`~repro.cluster.cluster.PlatformCluster`
+    (N shards).  Contract highlights the conformance suite holds both to:
+
+    * :meth:`ingest`/:meth:`ingest_many`/:meth:`ingest_batch` buffer;
+      nothing is visible to queries until :meth:`flush` (or :meth:`tick`);
+    * :meth:`flush` returns the number of records written;
+    * :meth:`scan_prefix`/:meth:`query_spatial` return a
+      :class:`GatherResult` whose items are ``(key, stored_value)``
+      pairs sorted by key;
+    * :meth:`tick` advances simulated time, flushes, and re-evaluates
+      every registered continuous query, returning fresh results;
+    * :meth:`process_purchases` decides an identically-ordered request
+      stream identically on every implementation (E24/E26/E27 assert
+      byte-identical outcomes across shapes and ingest paths).
+    """
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, record: "DataRecord") -> None: ...
+
+    def ingest_many(self, records: "list[DataRecord]") -> None: ...
+
+    def ingest_batch(self, batch: "RecordBatch") -> None: ...
+
+    def flush(self) -> int: ...
+
+    def tick(self, dt: float) -> "dict[str, GatherResult]": ...
+
+    # -- queries -----------------------------------------------------------
+
+    def scan_prefix(self, prefix: str) -> GatherResult: ...
+
+    def query_spatial(self, region: "BBox") -> GatherResult: ...
+
+    def register_continuous(self, query_id: str, prefix: str) -> None: ...
+
+    def continuous_results(self, query_id: str) -> "GatherResult | None": ...
+
+    # -- marketplace -------------------------------------------------------
+
+    def load_catalog(self, records: "list[DataRecord]") -> None: ...
+
+    def process_purchases(
+        self, requests: "list[PurchaseRequest]", max_retries: int = 2
+    ) -> "list[PurchaseOutcome]": ...
+
+    def get_stock(self, product_id: str) -> int: ...

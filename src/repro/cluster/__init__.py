@@ -14,9 +14,9 @@ MetaversePlatform` instances into one horizontally scaled system:
   :class:`ShardReplicator` — shard crash survival: heartbeat-driven
   phi-accrual detection, ring-successor log replication with hinted
   handoff, replica promotion with WAL replay, and Merkle anti-entropy
-  (enable with ``PlatformCluster(n_replicas=2)``).
+  (enable with ``ClusterConfig(n_replicas=2)``).
 
-Disaggregated mode (``PlatformCluster(n_storage_nodes=M)``) mounts every
+Disaggregated mode (``ClusterConfig(n_storage_nodes=M)``) mounts every
 compute shard on a shared :class:`~repro.storage.engine.StorageTier`
 instead: membership changes become pure ring remaps with zero entity
 migration, and a killed compute node recovers by re-mounting the tier.
@@ -27,12 +27,14 @@ E26 (``bench_disaggregated_scaleout.py``) the compute/storage split.
 """
 
 from .cluster import BasketOutcome, GatherResult, PlatformCluster
+from .config import ClusterConfig
 from .coordinator import CrossShardCoordinator, ShardParticipant
 from .failover import FailoverManager, FailureDetector, ShardReplicator
 from .router import ShardRouter
 
 __all__ = [
     "BasketOutcome",
+    "ClusterConfig",
     "CrossShardCoordinator",
     "FailoverManager",
     "FailureDetector",

@@ -46,9 +46,12 @@ exercises the cluster path end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 
+from ..api.dataplane import ContinuousQuery, GatherResult, deprecated_alias
 from ..core.clock import SimulationClock
+from ..core.columns import RecordBatch
 from ..core.errors import (
     ConfigurationError,
     FaultInjectedError,
@@ -69,6 +72,7 @@ from ..storage.engine import StorageTier
 from ..spatial.geometry import BBox
 from ..txn.twopc import TxnOutcome
 from ..workloads.marketplace import PurchaseRequest
+from .config import ClusterConfig
 from .coordinator import CrossShardCoordinator
 from .failover import RECOVERING, FailoverManager
 from .router import ShardRouter
@@ -76,18 +80,6 @@ from .router import ShardRouter
 #: Per-shard breaker-state gauge encoding (matches the platform-level
 #: ``resilience.breaker.<name>.state`` gauge: closed/half-open/open).
 _BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
-
-
-@dataclass
-class GatherResult:
-    """Outcome of one scatter-gather fan-out across the shard set."""
-
-    items: list
-    failed_shards: tuple[str, ...] = ()
-
-    @property
-    def partial(self) -> bool:
-        return bool(self.failed_shards)
 
 
 @dataclass
@@ -100,13 +92,6 @@ class BasketOutcome:
     txn: TxnOutcome | None = None
 
 
-@dataclass
-class _ContinuousQuery:
-    query_id: str
-    prefix: str
-    results: GatherResult | None = field(default=None)
-
-
 class PlatformCluster:
     """N :class:`MetaversePlatform` shards behind a single facade.
 
@@ -117,39 +102,46 @@ class PlatformCluster:
 
     def __init__(
         self,
-        n_shards: int = 4,
-        n_executors_per_shard: int = 4,
-        vnodes: int = 64,
-        query_deadline_s: float = 0.25,
-        twopc_timeout_s: float = 5.0,
-        buffer_pool_pages: int = 256,
-        physical_priority: bool = True,
-        txn_cost_s: float = 1e-4,
+        config: ClusterConfig | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         faults: FaultInjector | None = None,
-        n_replicas: int = 1,
-        heartbeat_interval_s: float = 0.05,
-        phi_threshold: float = 8.0,
-        n_storage_nodes: int | None = None,
-        storage_vnodes: int = 32,
-        storage_rpc_timeout_s: float = 0.05,
+        **legacy,
     ) -> None:
-        if n_shards < 1:
-            raise ConfigurationError("need at least one shard")
-        if not 1 <= n_replicas <= n_shards:
-            raise ConfigurationError(
-                f"n_replicas must be in [1, n_shards], got {n_replicas}"
-            )
-        if n_storage_nodes is not None:
-            if n_storage_nodes < 1:
-                raise ConfigurationError("need at least one storage node")
-            if n_replicas >= 2:
+        if legacy:
+            # Back-compat shim: the old constructor took every shape knob
+            # as a loose keyword argument.  Fold them into a ClusterConfig
+            # (unknown names fail inside the dataclass constructor).
+            if config is not None:
                 raise ConfigurationError(
-                    "disaggregated mode and replica failover are mutually "
-                    "exclusive: with a shared storage tier, availability "
-                    "comes from re-mounting it, not from WAL replicas"
+                    "pass either config= or legacy keyword arguments, not both"
                 )
+            warnings.warn(
+                "constructing PlatformCluster from loose keyword arguments "
+                "is deprecated; pass config=ClusterConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            try:
+                config = ClusterConfig(**legacy)
+            except TypeError as exc:
+                raise ConfigurationError(str(exc)) from None
+        config = (config if config is not None else ClusterConfig()).validate()
+        self.config = config
+        n_shards = config.n_shards
+        n_executors_per_shard = config.n_executors_per_shard
+        vnodes = config.vnodes
+        query_deadline_s = config.query_deadline_s
+        twopc_timeout_s = config.twopc_timeout_s
+        buffer_pool_pages = config.buffer_pool_pages
+        physical_priority = config.physical_priority
+        txn_cost_s = config.txn_cost_s
+        n_replicas = config.n_replicas
+        heartbeat_interval_s = config.heartbeat_interval_s
+        phi_threshold = config.phi_threshold
+        n_storage_nodes = config.n_storage_nodes
+        storage_vnodes = config.storage_vnodes
+        storage_rpc_timeout_s = config.storage_rpc_timeout_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
         self.faults = faults
@@ -195,7 +187,8 @@ class PlatformCluster:
             tracer=self.tracer,
         )
         self._pending: dict[str, list[DataRecord]] = {}
-        self._continuous: dict[str, _ContinuousQuery] = {}
+        self._pending_batches: dict[str, list[RecordBatch]] = {}
+        self._continuous: dict[str, ContinuousQuery] = {}
         # Failover is opt-in: with n_replicas == 1 (the default) nothing is
         # replicated, no heartbeats flow, and every path below behaves
         # exactly as before.
@@ -293,9 +286,50 @@ class PlatformCluster:
             for record in records:
                 self.ingest(record)
 
+    def ingest_batch(self, batch: RecordBatch) -> None:
+        """Buffer one columnar batch, split by owning shard.
+
+        Fault decisions stay per row (same injector RNG sequence as the
+        per-record path); surviving rows stay columnar per shard unless
+        replica failover is on, whose op log is inherently per record.
+        """
+        if self.faults is not None:
+            keep = [
+                i for i in range(len(batch))
+                if not self.faults.decide(
+                    "cluster.ingest", kinds=("drop",)
+                ).faulted
+            ]
+            dropped = len(batch) - len(keep)
+            if dropped:
+                self.metrics.counter("cluster.dropped_records").inc(dropped)
+                if not keep:
+                    return
+                batch = batch.take(keep)
+        owners: dict[str, list[int]] = {}
+        for i, key in enumerate(batch.keys):
+            owners.setdefault(self.router.owner_of(key), []).append(i)
+        if self.failover is not None:
+            records = batch.to_records()
+            for name, rows in owners.items():
+                self._pending.setdefault(name, []).extend(
+                    records[i] for i in rows
+                )
+        else:
+            for name, rows in owners.items():
+                shard_batch = (
+                    batch if len(rows) == len(batch) else batch.take(rows)
+                )
+                self._pending_batches.setdefault(name, []).append(shard_batch)
+        self.metrics.counter("cluster.buffered_records").inc(len(batch))
+
     @property
     def pending_count(self) -> int:
-        return sum(len(batch) for batch in self._pending.values())
+        return sum(len(batch) for batch in self._pending.values()) + sum(
+            len(batch)
+            for batches in self._pending_batches.values()
+            for batch in batches
+        )
 
     def flush(self) -> int:
         """Write every buffered batch to its shard; return records written."""
@@ -306,20 +340,29 @@ class PlatformCluster:
                     # Crashed and not yet failed over: keep the batch
                     # buffered — it flushes to the promoted replica.
                     continue
-                batch = self._pending.pop(name, None)
-                if not batch:
-                    continue
-                self.metrics.histogram("cluster.router.batch_size").observe(
-                    len(batch)
-                )
                 shard = self.shards[name]
-                for record in batch:
-                    shard.write_record(record)
-                    if self.failover is not None:
-                        self.failover.log_entity(
-                            name, record.key, stored_record_value(record)
-                        )
-                total += len(batch)
+                batch = self._pending.pop(name, None)
+                if batch:
+                    self.metrics.histogram("cluster.router.batch_size").observe(
+                        len(batch)
+                    )
+                    for record in batch:
+                        shard.write_record(record)
+                        if self.failover is not None:
+                            self.failover.log_entity(
+                                name, record.key, stored_record_value(record)
+                            )
+                    total += len(batch)
+                columnar = self._pending_batches.pop(name, None)
+                if columnar:
+                    # One bulk write per buffered batch: the shard's
+                    # engine coalesces it into one RPC per storage node.
+                    for shard_batch in columnar:
+                        self.metrics.histogram(
+                            "cluster.router.batch_size"
+                        ).observe(len(shard_batch))
+                        shard.write_record_batch(shard_batch)
+                        total += len(shard_batch)
         self.metrics.counter("cluster.ingested_records").inc(total)
         self._refresh_shard_gauges()
         return total
@@ -479,7 +522,7 @@ class PlatformCluster:
         result.items.sort(key=lambda kv: kv[0])
         return result
 
-    def spatial_range(self, region: BBox) -> GatherResult:
+    def query_spatial(self, region: BBox) -> GatherResult:
         """Entities whose payload position (``x``/``y``) lies in ``region``."""
 
         def in_region(name: str, shard: MetaversePlatform):
@@ -500,11 +543,15 @@ class PlatformCluster:
         result.items.sort(key=lambda kv: kv[0])
         return result
 
+    spatial_range = deprecated_alias("query_spatial", "spatial_range")(
+        query_spatial
+    )
+
     def register_continuous(self, query_id: str, prefix: str) -> None:
         """Register a standing prefix query, re-evaluated every tick."""
         if query_id in self._continuous:
             raise ConfigurationError(f"duplicate continuous query {query_id!r}")
-        self._continuous[query_id] = _ContinuousQuery(query_id, prefix)
+        self._continuous[query_id] = ContinuousQuery(query_id, prefix)
 
     def continuous_results(self, query_id: str) -> GatherResult | None:
         return self._continuous[query_id].results
@@ -555,8 +602,10 @@ class PlatformCluster:
                         "cluster.failover.rejected_purchases"
                     ).inc(len(batch))
                     continue
+                # presorted: each shard batch is an order-preserved
+                # subsequence of the globally sorted stream.
                 outcome_streams[name] = self.shards[name].process_purchases(
-                    batch, max_retries=max_retries
+                    batch, max_retries=max_retries, presorted=True
                 )
         # Re-interleave shard outcomes back into global order: each shard
         # returns its subsequence in the same sort order, so a positional

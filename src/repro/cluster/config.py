@@ -1,0 +1,62 @@
+"""Declarative cluster construction config.
+
+:class:`PlatformCluster` grew one keyword argument per feature (vnodes,
+replica failover, the disaggregated storage tier, ...) until call sites
+carried a dozen loose knobs.  :class:`ClusterConfig` folds the shape of
+the cluster — shard count, ring geometry, deadlines, failover and
+disaggregation settings — into one validated dataclass, leaving only the
+runtime collaborators (metrics registry, tracer, fault injector) as
+constructor arguments.  Cross-field rules live in :meth:`validate`
+instead of the constructor body, so a config can be checked (and its
+error surfaced) before any shard is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass
+class ClusterConfig:
+    """Everything that decides a :class:`PlatformCluster`'s shape.
+
+    Field defaults are exactly the legacy keyword defaults, so
+    ``ClusterConfig()`` builds the same cluster as a bare
+    ``PlatformCluster()`` always did.
+    """
+
+    n_shards: int = 4
+    n_executors_per_shard: int = 4
+    vnodes: int = 64
+    query_deadline_s: float = 0.25
+    twopc_timeout_s: float = 5.0
+    buffer_pool_pages: int = 256
+    physical_priority: bool = True
+    txn_cost_s: float = 1e-4
+    n_replicas: int = 1
+    heartbeat_interval_s: float = 0.05
+    phi_threshold: float = 8.0
+    n_storage_nodes: int | None = None
+    storage_vnodes: int = 32
+    storage_rpc_timeout_s: float = 0.05
+
+    def validate(self) -> "ClusterConfig":
+        """Check cross-field invariants; returns self for chaining."""
+        if self.n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if not 1 <= self.n_replicas <= self.n_shards:
+            raise ConfigurationError(
+                f"n_replicas must be in [1, n_shards], got {self.n_replicas}"
+            )
+        if self.n_storage_nodes is not None:
+            if self.n_storage_nodes < 1:
+                raise ConfigurationError("need at least one storage node")
+            if self.n_replicas >= 2:
+                raise ConfigurationError(
+                    "disaggregated mode and replica failover are mutually "
+                    "exclusive: with a shared storage tier, availability "
+                    "comes from re-mounting it, not from WAL replicas"
+                )
+        return self

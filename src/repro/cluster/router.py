@@ -47,6 +47,13 @@ class ShardRouter:
         # layer replicates each shard's op log to.
         self.replica_ring = ChordRing()
         self._shards: list[str] = []
+        # key → owner memo.  A ring lookup is a sha256 + bisect per call
+        # and the hot paths (batch routing, purchase routing, owned-slice
+        # filters) ask about the same keys every tick; the memo makes the
+        # steady state a dict hit.  Any membership change invalidates it
+        # wholesale — correctness over cleverness.
+        self._owner_cache: dict[str, str] = {}
+        self._owner_cache_cap = 1 << 20
         for name in shard_names or []:
             self.add_shard(name)
 
@@ -63,6 +70,7 @@ class ShardRouter:
             self.ring.join(f"{name}{_VNODE_SEP}{i}")
         self.replica_ring.join(name)
         self._shards.append(name)
+        self._owner_cache.clear()
         self.metrics.gauge("cluster.router.shards").set(len(self._shards))
 
     def remove_shard(self, name: str) -> None:
@@ -72,6 +80,7 @@ class ShardRouter:
             self.ring.leave(f"{name}{_VNODE_SEP}{i}")
         self.replica_ring.leave(name)
         self._shards.remove(name)
+        self._owner_cache.clear()
         self.metrics.gauge("cluster.router.shards").set(len(self._shards))
 
     @property
@@ -92,7 +101,13 @@ class ShardRouter:
         if not self._shards:
             raise ConfigurationError("router has no shards")
         self.metrics.counter("cluster.router.lookups").inc()
-        return self.ring.owner_of(key).split(_VNODE_SEP, 1)[0]
+        owner = self._owner_cache.get(key)
+        if owner is None:
+            if len(self._owner_cache) >= self._owner_cache_cap:
+                self._owner_cache.clear()
+            owner = self.ring.owner_of(key).split(_VNODE_SEP, 1)[0]
+            self._owner_cache[key] = owner
+        return owner
 
     def replica_holders(self, name: str, n: int) -> list[str]:
         """The ``n`` distinct shards holding copies of ``name``'s op log:

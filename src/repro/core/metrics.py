@@ -48,9 +48,14 @@ class Histogram:
     """
 
     samples: list[float] = field(default_factory=list)
+    # Cached sorted view for quantile queries; repeated p50/p95/p99 reads
+    # between observations (snapshot(), benchmark reports) would otherwise
+    # re-sort the full sample list each call.
+    _sorted: list[float] | None = field(default=None, repr=False, compare=False)
 
     def observe(self, value: float) -> None:
         self.samples.append(float(value))
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -94,7 +99,11 @@ class Histogram:
                 f"quantile({q}) of an empty histogram is undefined; "
                 "check .count before querying"
             )
-        ordered = sorted(self.samples)
+        # Guard against out-of-band mutation of .samples (public field):
+        # the cache is only trusted while the lengths agree.
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        ordered = self._sorted
         if len(ordered) == 1:
             return ordered[0]
         pos = q * (len(ordered) - 1)

@@ -102,7 +102,7 @@ class Schema:
 _record_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class DataRecord:
     """The unit of data flowing through the platform.
 

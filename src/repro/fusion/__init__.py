@@ -1,6 +1,7 @@
 """Data fusion over heterogeneous sources: adapters, cleaning, entity
 resolution, truth inference, and event inference."""
 
+from .batch import ObservationBatch
 from .cleaning import OutlierFilter, SmoothingFilter, deduplicate
 from .fuser import (
     FusedValue,
@@ -35,6 +36,7 @@ __all__ = [
     "GpsSource",
     "GroundTruth",
     "Observation",
+    "ObservationBatch",
     "OutlierFilter",
     "ReviewSource",
     "RfidSource",

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
+from ..api.dataplane import ContinuousQuery, GatherResult
+from ..core.clock import SimulationClock
+from ..core.columns import RecordBatch
 from ..core.errors import (
     ConfigurationError,
     FaultInjectedError,
@@ -42,6 +46,9 @@ from ..storage.bufferpool import BufferPool, PageMeta
 from ..storage.engine import LocalStorageEngine, StorageEngine
 from ..txn.mvcc import TransactionManager
 from ..workloads.marketplace import PurchaseRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..spatial.geometry import BBox
 
 
 @dataclass
@@ -100,6 +107,7 @@ class MetaversePlatform:
         breaker: CircuitBreaker | None = None,
         degradation: DegradationController | None = None,
         engine: StorageEngine | None = None,
+        position_index: bool = True,
     ) -> None:
         if n_executors < 1:
             raise ConfigurationError("need at least one executor")
@@ -174,6 +182,23 @@ class MetaversePlatform:
         # budget; re-flushed before the next persist so the storage tier
         # converges once the fault clears.
         self._dirty_products: OrderedDict[str, dict | None] = OrderedDict()
+        # DataPlane surface: tick-driven buffered ingest and continuous
+        # queries, mirroring the cluster facade so workloads written
+        # against the protocol run unchanged on either shape.
+        self.clock = faults.clock if faults is not None else SimulationClock()
+        self._pending: list[DataRecord] = []
+        self._pending_batches: list[RecordBatch] = []
+        self._continuous: dict[str, ContinuousQuery] = {}
+        # key → (x, y) memo over this engine's entities, so spatial
+        # queries filter a dict instead of scanning the whole keyspace.
+        # Only sound on the private local engine (it starts empty and
+        # every write flows through this platform); a remote engine
+        # shares its keyspace with other compute nodes, so spatial
+        # queries there fall back to the scan-based filter.
+        self._positions: dict[str, tuple] | None = (
+            {} if position_index and isinstance(engine, LocalStorageEngine)
+            else None
+        )
 
     # -- storage access -----------------------------------------------------
 
@@ -223,6 +248,66 @@ class MetaversePlatform:
         self._with_retry(lambda: self.engine.put(record.key, value))
         self.pool.invalidate(record.key)
         self._remember(record.key, value)
+        if self._positions is not None:
+            self._index_position(record.key, record.payload)
+
+    def write_record_batch(self, batch: RecordBatch) -> None:
+        """Persist a columnar batch: one bulk engine call for N records.
+
+        Leaves byte-identical engine state, stale-cache contents, and page
+        invalidations to ``for r in batch.to_records(): write_record(r)`` —
+        the stored wrapper dicts are rebuilt from the columns with exact
+        scalar conversion — while paying one (coalesced) storage round
+        trip and zero per-record Python object churn.
+        """
+        payloads = batch.payloads()
+        spaces = batch.space_values()
+        times = batch.timestamps.tolist()
+        items = [
+            (key, {"payload": payload, "space": space.value, "timestamp": ts})
+            for key, payload, space, ts in zip(
+                batch.keys, payloads, spaces, times
+            )
+        ]
+        self._with_retry(lambda: self.engine.mput(items))
+        invalidate = self.pool.invalidate
+        stale = self._stale
+        for key, value in items:
+            invalidate(key)
+            stale[key] = value
+            stale.move_to_end(key)
+        while len(stale) > self._stale_capacity:
+            stale.popitem(last=False)
+        if self._positions is not None:
+            # Columns are numeric by construction, so either every row has
+            # a position (x and y columns present) or none does — the same
+            # membership rule _index_position applies per record.
+            if "x" in batch.columns and "y" in batch.columns:
+                self._positions.update(
+                    zip(
+                        batch.keys,
+                        zip(
+                            batch.columns["x"].tolist(),
+                            batch.columns["y"].tolist(),
+                        ),
+                    )
+                )
+            else:
+                for key in batch.keys:
+                    self._positions.pop(key, None)
+
+    def _index_position(self, key: str, payload: dict) -> None:
+        """Track (or forget) the entity's payload position.
+
+        Same membership rule as the scan-based spatial filter — numeric
+        ``x`` and ``y`` — so the indexed and scanning paths select
+        identical result sets.
+        """
+        x, y = payload.get("x"), payload.get("y")
+        if isinstance(x, (int, float)) and isinstance(y, (int, float)):
+            self._positions[key] = (x, y)
+        else:
+            self._positions.pop(key, None)
 
     def scan(self, lo: str, hi: str) -> list[tuple[str, object]]:
         """Sorted range scan of the entity tier (retried past transient
@@ -266,6 +351,144 @@ class MetaversePlatform:
         self.metrics.counter("platform.ingested_records").inc(total_records)
         self.metrics.counter("platform.uplink_bytes").inc(total_bytes)
         return total_records, total_bytes
+
+    def flush_gateways_batch(self) -> tuple[int, int]:
+        """Columnar twin of :meth:`flush_gateways`.
+
+        Stored state is byte-identical to the per-record path over the
+        same rows; the difference is on the event side, where one digest
+        publication per gateway batch replaces the per-record stream
+        (events are lossy by contract, unlike storage writes).
+        """
+        total_records = 0
+        total_bytes = 0
+        with self.tracer.span("platform.flush_gateways"):
+            for gateway in self.gateways.values():
+                batch, uplink = gateway.flush_batch()
+                total_bytes += uplink
+                if batch is None:
+                    continue
+                self.write_record_batch(batch)
+                self.publish(
+                    Publication(
+                        topic=f"ingest.{batch.source}",
+                        payload={"records": len(batch), "batch": True},
+                        timestamp=float(batch.timestamps.max()),
+                        size_bytes=uplink,
+                    )
+                )
+                total_records += len(batch)
+        self.metrics.counter("platform.ingested_records").inc(total_records)
+        self.metrics.counter("platform.uplink_bytes").inc(total_bytes)
+        return total_records, total_bytes
+
+    # -- DataPlane: buffered ingest and tick --------------------------------
+    #
+    # The single-node half of the repro.api.DataPlane protocol: records
+    # buffer (per-record or columnar) and become visible to queries at the
+    # next flush()/tick(), exactly the contract the cluster facade keeps.
+
+    def ingest(self, record: DataRecord) -> None:
+        """Buffer one observation until the next :meth:`flush`."""
+        self._pending.append(record)
+        self.metrics.counter("platform.buffered_records").inc()
+
+    def ingest_many(self, records: list[DataRecord]) -> None:
+        with self.tracer.span("platform.ingest", batch=len(records)):
+            for record in records:
+                self.ingest(record)
+
+    def ingest_batch(self, batch: RecordBatch) -> None:
+        """Buffer one columnar batch until the next :meth:`flush`."""
+        self._pending_batches.append(batch)
+        self.metrics.counter("platform.buffered_records").inc(len(batch))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending) + sum(
+            len(batch) for batch in self._pending_batches
+        )
+
+    def flush(self) -> int:
+        """Write everything buffered; return the number of records."""
+        total = 0
+        with self.tracer.span("platform.flush", pending=self.pending_count):
+            records, self._pending = self._pending, []
+            for record in records:
+                self.write_record(record)
+            total += len(records)
+            batches, self._pending_batches = self._pending_batches, []
+            for batch in batches:
+                self.write_record_batch(batch)
+                total += len(batch)
+        self.metrics.counter("platform.ingested_records").inc(total)
+        return total
+
+    def tick(self, dt: float) -> dict[str, GatherResult]:
+        """One simulated-clock tick: advance time, flush buffered ingest,
+        refresh every registered continuous query.  Returns fresh results."""
+        self.clock.advance(dt)
+        self.flush()
+        results: dict[str, GatherResult] = {}
+        for query in self._continuous.values():
+            query.results = self.scan_prefix(query.prefix)
+            self.metrics.counter("platform.continuous.evaluations").inc()
+            results[query.query_id] = query.results
+        return results
+
+    # -- DataPlane: queries --------------------------------------------------
+
+    def scan_prefix(self, prefix: str) -> GatherResult:
+        """Range query: every (key, value) with ``key`` under ``prefix``."""
+        items = self.scan(prefix, prefix + "￿")
+        items.sort(key=lambda kv: kv[0])
+        return GatherResult(items=items)
+
+    def query_spatial(self, region: "BBox") -> GatherResult:
+        """Entities whose payload position (``x``/``y``) lies in ``region``.
+
+        With the position index on (local engine), candidate keys come
+        from a dict filter instead of a full keyspace scan; both paths
+        select the same result set.
+        """
+        items: list = []
+        if self._positions is not None:
+            for key, (x, y) in self._positions.items():
+                if (
+                    region.x_min <= x <= region.x_max
+                    and region.y_min <= y <= region.y_max
+                ):
+                    try:
+                        value = self._with_retry(
+                            lambda k=key: self.engine.get(k)
+                        )
+                    except KeyNotFoundError:
+                        continue
+                    items.append((key, value))
+        else:
+            for key, value in self.scan("", "￿"):
+                payload = (
+                    value.get("payload", {}) if isinstance(value, dict) else {}
+                )
+                x, y = payload.get("x"), payload.get("y")
+                if (
+                    isinstance(x, (int, float))
+                    and isinstance(y, (int, float))
+                    and region.x_min <= x <= region.x_max
+                    and region.y_min <= y <= region.y_max
+                ):
+                    items.append((key, value))
+        items.sort(key=lambda kv: kv[0])
+        return GatherResult(items=items)
+
+    def register_continuous(self, query_id: str, prefix: str) -> None:
+        """Register a standing prefix query, re-evaluated every tick."""
+        if query_id in self._continuous:
+            raise ConfigurationError(f"duplicate continuous query {query_id!r}")
+        self._continuous[query_id] = ContinuousQuery(query_id, prefix)
+
+    def continuous_results(self, query_id: str) -> GatherResult | None:
+        return self._continuous[query_id].results
 
     # -- pub/sub --------------------------------------------------------------
 
@@ -393,7 +616,10 @@ class MetaversePlatform:
         return stable_hash(product_id) % self.n_executors
 
     def process_purchases(
-        self, requests: list[PurchaseRequest], max_retries: int = 2
+        self,
+        requests: list[PurchaseRequest],
+        max_retries: int = 2,
+        presorted: bool = False,
     ) -> list[PurchaseOutcome]:
         """Execute a batch of purchases with space-aware ordering.
 
@@ -401,14 +627,18 @@ class MetaversePlatform:
         ``physical_priority`` on, physical-space shoppers win ties on the
         last unit — the paper's example policy.  Each purchase is an MVCC
         transaction decrementing the product's stock; conflicts retry up to
-        ``max_retries`` times.
+        ``max_retries`` times.  ``presorted=True`` skips the sort — the
+        cluster router passes order-preserved subsequences of an already
+        globally sorted stream, so per-shard re-sorting is pure overhead.
         """
         outcomes = []
-        with self.tracer.span("platform.process_purchases", n=len(requests)):
-            for request in sorted(
+        if not presorted:
+            requests = sorted(
                 requests,
                 key=lambda r: purchase_sort_key(r, self.physical_priority),
-            ):
+            )
+        with self.tracer.span("platform.process_purchases", n=len(requests)):
+            for request in requests:
                 outcomes.append(self._purchase_one(request, max_retries))
         return outcomes
 
@@ -478,12 +708,17 @@ class MetaversePlatform:
         self._with_retry(lambda: self.engine.put(key, value))
         self.pool.invalidate(key)
         self._remember(key, value)
+        if self._positions is not None:
+            payload = value.get("payload", {}) if isinstance(value, dict) else {}
+            self._index_position(key, payload)
 
     def drop_entity(self, key: str) -> None:
         """Forget an entity handed off to another shard."""
         self._with_retry(lambda: self.engine.delete(key))
         self.pool.invalidate(key)
         self._stale.pop(key, None)
+        if self._positions is not None:
+            self._positions.pop(key, None)
 
     def catalog_snapshot(self) -> dict[str, dict]:
         """Committed product state, keyed by product id."""

@@ -30,7 +30,7 @@ from ..obs.tracing import NoopTracer, Tracer
 PageKey = Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class PageMeta:
     """Semantic attributes attached to a cached page."""
 
@@ -39,7 +39,7 @@ class PageMeta:
     size_bytes: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class _Frame:
     value: object
     meta: PageMeta

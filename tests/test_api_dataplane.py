@@ -1,0 +1,179 @@
+"""Conformance suite for the :class:`repro.api.DataPlane` protocol.
+
+One driver, three deployment shapes — a single platform node, a sharded
+cluster, and a disaggregated cluster — held to the same observable
+behaviour: ingest is invisible until flush/tick, queries return sorted
+(key, value) pairs, continuous queries refresh per tick, and an
+identically ordered purchase stream decides identically everywhere.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import DataPlane, GatherResult
+from repro.cluster import ClusterConfig, PlatformCluster
+from repro.core import ConfigurationError, DataKind, DataRecord, RecordBatch, Space
+from repro.platform import MetaversePlatform
+from repro.spatial.geometry import BBox
+from repro.workloads import FlashSaleConfig, MarketplaceWorkload
+
+SHAPES = ["platform", "cluster", "cluster-disagg"]
+
+
+def make_plane(shape):
+    if shape == "platform":
+        return MetaversePlatform()
+    if shape == "cluster":
+        return PlatformCluster(config=ClusterConfig(n_shards=3))
+    return PlatformCluster(
+        config=ClusterConfig(n_shards=3, n_storage_nodes=2)
+    )
+
+
+@pytest.fixture(params=SHAPES)
+def plane(request):
+    return make_plane(request.param)
+
+
+def record(key, payload, timestamp=0.0):
+    return DataRecord(
+        key=key, payload=payload, space=Space.PHYSICAL,
+        timestamp=timestamp, kind=DataKind.SENSOR, source="test",
+    )
+
+
+def seed_records(n=24):
+    return [
+        record(f"ent/{i:03d}", {"x": float(i), "y": float(i % 5), "v": i},
+               timestamp=float(i))
+        for i in range(n)
+    ]
+
+
+def make_workload(seed=1):
+    config = FlashSaleConfig(
+        n_products=10, n_shoppers=60, initial_stock=5,
+        burst_rate=120.0, burst_start=0.0, burst_end=5.0, zipf_skew=1.0,
+    )
+    return MarketplaceWorkload(config, seed=seed)
+
+
+def outcome_signature(outcomes):
+    return [
+        (o.request.shopper_id, o.request.product_id, o.success, o.reason)
+        for o in outcomes
+    ]
+
+
+class TestProtocolConformance:
+    def test_both_shapes_satisfy_the_protocol(self, plane):
+        assert isinstance(plane, DataPlane)
+
+    def test_ingest_is_invisible_until_flush(self, plane):
+        plane.ingest_many(seed_records(12))
+        assert plane.pending_count == 12
+        assert plane.scan_prefix("ent/").items == []
+        assert plane.flush() == 12
+        assert plane.pending_count == 0
+        items = plane.scan_prefix("ent/").items
+        assert [k for k, _ in items] == sorted(k for k, _ in items)
+        assert len(items) == 12
+
+    def test_ingest_batch_is_invisible_until_flush(self, plane):
+        plane.ingest_batch(RecordBatch.from_records(seed_records(12)))
+        assert plane.pending_count == 12
+        assert plane.scan_prefix("ent/").items == []
+        assert plane.flush() == 12
+        assert len(plane.scan_prefix("ent/").items) == 12
+
+    def test_tick_advances_clock_flushes_and_refreshes(self, plane):
+        plane.register_continuous("q", "ent/")
+        assert plane.continuous_results("q") is None
+        plane.ingest_many(seed_records(6))
+        t0 = plane.clock.now
+        results = plane.tick(0.5)
+        # At least dt: storage RPC latency also advances the simulated
+        # clock on the disaggregated shape.
+        assert plane.clock.now >= t0 + 0.5
+        assert plane.pending_count == 0
+        assert len(results["q"].items) == 6
+        assert plane.continuous_results("q") is results["q"]
+
+    def test_duplicate_continuous_registration_rejected(self, plane):
+        plane.register_continuous("q", "ent/")
+        with pytest.raises(ConfigurationError):
+            plane.register_continuous("q", "other/")
+
+    def test_query_spatial_filters_by_position(self, plane):
+        plane.ingest_many(seed_records(20))
+        plane.flush()
+        result = plane.query_spatial(BBox(4.0, 0.0, 9.0, 10.0))
+        assert isinstance(result, GatherResult) and not result.partial
+        keys = [k for k, _ in result.items]
+        assert keys == [f"ent/{i:03d}" for i in range(4, 10)]
+
+    def test_purchases_decide_identically_across_shapes(self):
+        workload = make_workload()
+        requests = workload.requests_between(0.0, 5.0)
+        signatures = {}
+        stocks = {}
+        for shape in SHAPES:
+            plane = make_plane(shape)
+            plane.load_catalog(workload.catalog_records())
+            signatures[shape] = outcome_signature(
+                plane.process_purchases(requests)
+            )
+            stocks[shape] = [
+                plane.get_stock(workload.product_id(i)) for i in range(10)
+            ]
+        assert signatures["cluster"] == signatures["platform"]
+        assert signatures["cluster-disagg"] == signatures["platform"]
+        assert stocks["cluster"] == stocks["platform"]
+        assert stocks["cluster-disagg"] == stocks["platform"]
+
+    def test_scan_results_identical_across_shapes(self):
+        planes = {shape: make_plane(shape) for shape in SHAPES}
+        for plane in planes.values():
+            plane.ingest_many(seed_records(18))
+            plane.tick(1.0)
+        scans = {
+            shape: plane.scan_prefix("ent/").items
+            for shape, plane in planes.items()
+        }
+        spatial = {
+            shape: plane.query_spatial(BBox(0.0, 0.0, 8.0, 3.0)).items
+            for shape, plane in planes.items()
+        }
+        assert scans["cluster"] == scans["platform"]
+        assert scans["cluster-disagg"] == scans["platform"]
+        assert spatial["cluster"] == spatial["platform"]
+        assert spatial["cluster-disagg"] == spatial["platform"]
+
+
+class TestDeprecatedSurface:
+    def test_spatial_range_alias_warns_and_forwards(self):
+        cluster = PlatformCluster(config=ClusterConfig(n_shards=2))
+        cluster.ingest_many(seed_records(8))
+        cluster.flush()
+        region = BBox(0.0, 0.0, 3.0, 3.0)
+        with pytest.warns(DeprecationWarning, match="spatial_range"):
+            aliased = cluster.spatial_range(region)
+        assert aliased.items == cluster.query_spatial(region).items
+
+    def test_legacy_kwargs_warn_and_build_equivalent_config(self):
+        with pytest.warns(DeprecationWarning, match="ClusterConfig"):
+            legacy = PlatformCluster(n_shards=2, n_storage_nodes=3)
+        assert legacy.config == ClusterConfig(n_shards=2, n_storage_nodes=3)
+
+    def test_config_and_legacy_kwargs_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                PlatformCluster(config=ClusterConfig(), n_shards=2)
+
+    def test_unknown_legacy_kwarg_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                PlatformCluster(no_such_knob=1)

@@ -1,0 +1,273 @@
+"""Byte-identity of the columnar hot path against the per-record path.
+
+The vectorized pipeline (RecordBatch ingest, batched gateway aggregation,
+fuse_batch) is a wire/compute format, not a different data model: over
+the same rows it must leave the platform in *byte-identical* state and
+return *equal* results — same floats, not merely close ones.  Hypothesis
+drives the comparison, including under injected ``storage.rpc`` faults
+where a dropped coalesced batch must time out and retry as a unit.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    DataKind,
+    DataRecord,
+    FaultInjectedError,
+    RecordBatch,
+    Space,
+)
+from repro.fusion import ObservationBatch, TruthFusion
+from repro.fusion.sources import Observation
+from repro.platform import DeviceGateway, MetaversePlatform
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.faults import FaultRule
+from repro.storage import StorageTier
+
+keys = st.integers(0, 40).map(lambda i: f"ent/{i:03d}")
+floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+ints = st.integers(-(10**9), 10**9)
+
+
+@st.composite
+def record_lists(draw, min_size=1, max_size=40):
+    """Uniform-payload record lists: one int and two float columns."""
+    n = draw(st.integers(min_size, max_size))
+    return [
+        DataRecord(
+            key=draw(keys),
+            payload={
+                "x": draw(floats), "y": draw(floats), "v": draw(ints),
+            },
+            space=draw(st.sampled_from([Space.PHYSICAL, Space.VIRTUAL])),
+            timestamp=draw(st.floats(0, 1e4, allow_nan=False)),
+            kind=DataKind.SENSOR,
+            source="hyp",
+        )
+        for _ in range(n)
+    ]
+
+
+def engine_state(platform):
+    """Everything the storage engine holds, JSON-serialized for byte
+    comparison (int-vs-float payload drift would change the encoding)."""
+    entities = platform.engine.scan("", "￿")
+    products = sorted(platform.catalog_snapshot().items())
+    return json.dumps(
+        {"entities": entities, "products": products}, sort_keys=True
+    )
+
+
+class TestBatchIngestIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(records=record_lists())
+    def test_local_engine_state_is_byte_identical(self, records):
+        per_record = MetaversePlatform()
+        per_record.ingest_many(records)
+        per_record.flush()
+
+        columnar = MetaversePlatform()
+        columnar.ingest_batch(RecordBatch.from_records(records))
+        columnar.flush()
+
+        assert engine_state(columnar) == engine_state(per_record)
+        assert (
+            columnar.scan_prefix("ent/").items
+            == per_record.scan_prefix("ent/").items
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        records=record_lists(min_size=4),
+        seed=st.integers(0, 100),
+        drop_rate=st.floats(0.0, 0.3),
+    )
+    def test_remote_engine_state_identical_under_rpc_faults(
+        self, records, seed, drop_rate
+    ):
+        """A dropped coalesced batch times out as a unit, the platform's
+        retry re-sends it, and the final tier state still matches the
+        per-record path under its own identically-seeded fault stream.
+        Either path may exhaust the 4-attempt retry budget outright
+        (a batch is one retried unit, so its per-attempt failure rate
+        spans every node it touches); re-ingesting is idempotent — the
+        same values land — so the test re-drives until durable."""
+
+        def build():
+            tier = StorageTier(n_nodes=3)
+            plan = FaultPlan(
+                rules=[
+                    FaultRule(site="storage.rpc", kind="drop", rate=drop_rate),
+                    FaultRule(
+                        site="storage.rpc", kind="delay", rate=0.2,
+                        delay_s=0.005,
+                    ),
+                ],
+                seed=seed,
+            )
+            injector = FaultInjector(plan, clock=tier.clock)
+            platform = MetaversePlatform(
+                engine=tier.mount("test", faults=injector),
+                faults=injector,
+            )
+            return tier, platform
+
+        def ingest_until_durable(platform, do_ingest):
+            for _ in range(60):
+                do_ingest()
+                try:
+                    platform.flush()
+                    return
+                except FaultInjectedError:
+                    continue
+            raise AssertionError("could not flush past injected faults")
+
+        tier_a, per_record = build()
+        ingest_until_durable(
+            per_record, lambda: per_record.ingest_many(records)
+        )
+
+        tier_b, columnar = build()
+        batch = RecordBatch.from_records(records)
+        ingest_until_durable(columnar, lambda: columnar.ingest_batch(batch))
+
+        state_a = sorted(tier_a.mget(tier_a.keys()).items())
+        state_b = sorted(tier_b.mget(tier_b.keys()).items())
+        assert json.dumps(state_b) == json.dumps(state_a)
+
+
+class TestGatewayBatchIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(records=record_lists())
+    def test_aggregated_flush_matches_per_record(self, records):
+        group_fn = lambda r: r.key.split("/")[0]  # noqa: E731
+        per_record = DeviceGateway(aggregate=True, group_fn=group_fn)
+        per_record.ingest_many(records)
+        out_records, uplink_records = per_record.flush()
+
+        columnar = DeviceGateway(aggregate=True, group_fn=group_fn)
+        batch = RecordBatch.from_records(records)
+        batch.groups = [group_fn(r) for r in records]
+        columnar.ingest_batch(batch)
+        out_batch, uplink_batch = columnar.flush_batch()
+
+        assert uplink_batch == uplink_records
+        expanded = out_batch.to_records()
+        assert len(expanded) == len(out_records)
+        for got, want in zip(expanded, out_records):
+            assert got.key == want.key
+            assert got.payload == want.payload  # same floats, int count
+            assert got.timestamp == want.timestamp
+            assert got.space is want.space
+
+    def test_raw_flush_preserves_rows_and_uplink(self):
+        records = [
+            DataRecord(key=f"e/{i}", payload={"x": float(i), "y": 0.5, "v": i})
+            for i in range(10)
+        ]
+        per_record = DeviceGateway(aggregate=False)
+        per_record.ingest_many(records)
+        out_records, uplink_records = per_record.flush()
+
+        columnar = DeviceGateway(aggregate=False)
+        columnar.ingest_batch(RecordBatch.from_records(records))
+        out_batch, uplink_batch = columnar.flush_batch()
+
+        assert uplink_batch == uplink_records
+        assert [r.payload for r in out_batch.to_records()] == [
+            r.payload for r in out_records
+        ]
+
+    def test_empty_flush_batch(self):
+        gateway = DeviceGateway(aggregate=False)
+        assert gateway.flush_batch() == (None, 0)
+
+
+class TestFusionBatchIdentity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(1, 120),
+        seed=st.integers(0, 1000),
+        iterations=st.integers(1, 6),
+    )
+    def test_fuse_batch_equals_fuse_bitwise(self, n, seed, iterations):
+        import random
+
+        rng = random.Random(seed)
+        observations = [
+            Observation(
+                entity_id=f"e{rng.randrange(12)}",
+                attribute=rng.choice(["x", "y"]),
+                value=rng.uniform(-50, 50),
+                source=f"s{rng.randrange(5)}",
+                timestamp=float(i),
+                confidence=rng.uniform(0.1, 1.0),
+            )
+            for i in range(n)
+        ]
+        reference = TruthFusion(iterations=iterations)
+        expected = reference.fuse(observations)
+
+        vectorized = TruthFusion(iterations=iterations)
+        actual = vectorized.fuse_batch(
+            ObservationBatch.from_observations(observations)
+        )
+
+        assert set(actual) == set(expected)
+        for key, fused in expected.items():
+            got = actual[key]
+            assert got.value == fused.value  # bitwise, not approx
+            assert got.support == fused.support
+            assert got.contributors == fused.contributors
+        assert vectorized.source_trust == reference.source_trust
+
+    def test_categorical_observations_stay_per_record(self):
+        with pytest.raises(ConfigurationError):
+            ObservationBatch.from_observations(
+                [Observation("e", "color", "red", "s", 0.0, 1.0)]
+            )
+
+
+class TestRecordBatchFormat:
+    def test_round_trip_preserves_int_vs_float(self):
+        records = [
+            DataRecord(key="a", payload={"v": 3, "x": 1.5}),
+            DataRecord(key="b", payload={"v": -2, "x": 0.25}),
+        ]
+        back = RecordBatch.from_records(records).to_records()
+        assert [r.payload for r in back] == [r.payload for r in records]
+        assert all(isinstance(r.payload["v"], int) for r in back)
+        assert all(isinstance(r.payload["x"], float) for r in back)
+
+    def test_mixed_int_float_column_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecordBatch.from_records(
+                [
+                    DataRecord(key="a", payload={"v": 1}),
+                    DataRecord(key="b", payload={"v": 1.0}),
+                ]
+            )
+
+    def test_non_numeric_payload_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RecordBatch.from_records(
+                [DataRecord(key="a", payload={"v": "text"})]
+            )
+
+    def test_take_and_concat(self):
+        records = [
+            DataRecord(key=f"k{i}", payload={"v": i}, timestamp=float(i))
+            for i in range(6)
+        ]
+        batch = RecordBatch.from_records(records)
+        subset = batch.take([4, 1])
+        assert subset.keys == ["k4", "k1"]
+        assert subset.columns["v"].tolist() == [4, 1]
+        merged = RecordBatch.concat([batch.take([0, 1]), batch.take([2])])
+        assert merged.keys == ["k0", "k1", "k2"]
+        assert len(RecordBatch.concat([batch])) == 6

@@ -1,0 +1,69 @@
+"""ClusterConfig: declarative cluster shape with validated invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterConfig, PlatformCluster
+from repro.core import ConfigurationError
+
+pytestmark = pytest.mark.cluster
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        config = ClusterConfig()
+        assert config.validate() is config  # chains
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n_shards=0).validate()
+
+    def test_rejects_replicas_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n_shards=2, n_replicas=3).validate()
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n_replicas=0).validate()
+
+    def test_rejects_zero_storage_nodes(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(n_storage_nodes=0).validate()
+
+    def test_disagg_and_failover_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually"):
+            ClusterConfig(n_storage_nodes=2, n_replicas=2).validate()
+        # Each alone is fine.
+        ClusterConfig(n_storage_nodes=2).validate()
+        ClusterConfig(n_replicas=2).validate()
+
+    def test_invalid_config_fails_before_any_shard_is_built(self):
+        with pytest.raises(ConfigurationError):
+            PlatformCluster(
+                config=ClusterConfig(n_storage_nodes=2, n_replicas=2)
+            )
+
+
+class TestConstruction:
+    def test_default_config_matches_default_cluster(self):
+        cluster = PlatformCluster()
+        assert cluster.config == ClusterConfig()
+        assert len(cluster.shards) == ClusterConfig().n_shards
+
+    def test_config_fields_reach_the_cluster(self):
+        config = ClusterConfig(
+            n_shards=2, n_executors_per_shard=3, n_storage_nodes=4,
+            query_deadline_s=0.5,
+        )
+        cluster = PlatformCluster(config=config)
+        assert cluster.config is config
+        assert len(cluster.shards) == 2
+        assert all(s.n_executors == 3 for s in cluster.shards.values())
+        assert len(cluster.storage.nodes) == 4
+        assert cluster.query_deadline.seconds == 0.5
+
+    def test_config_is_a_plain_dataclass(self):
+        # Configs are data: copyable, comparable, introspectable.
+        config = ClusterConfig(n_shards=5)
+        clone = dataclasses.replace(config, n_replicas=2)
+        assert clone.n_shards == 5 and clone.n_replicas == 2
+        assert config == ClusterConfig(n_shards=5)

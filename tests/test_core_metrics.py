@@ -75,6 +75,26 @@ class TestHistogram:
         assert h.p99() == 42.0
         assert h.stddev() == 0.0
 
+    def test_sorted_view_is_cached_and_invalidated_on_observe(self):
+        h = Histogram()
+        for v in [5.0, 1.0, 3.0]:
+            h.observe(v)
+        assert h.p50() == 3.0
+        assert h._sorted == [1.0, 3.0, 5.0]  # cached after first quantile
+        assert h.quantile(0.0) == 1.0  # served from the cache
+        h.observe(0.0)
+        assert h._sorted is None  # observe invalidates
+        assert h.quantile(0.0) == 0.0
+
+    def test_quantiles_survive_direct_samples_mutation(self):
+        # .samples is a public field; the cache must not serve a stale
+        # view when someone appends to it directly.
+        h = Histogram()
+        h.observe(2.0)
+        assert h.p50() == 2.0
+        h.samples.append(1.0)
+        assert h.quantile(0.0) == 1.0
+
 
 class TestRegistry:
     def test_snapshot_flattens(self):

@@ -121,6 +121,75 @@ class TestEngineParity:
         assert second.get("k") == 1  # same tier state behind both mounts
 
 
+class TestCoalescedBulkOps:
+    def test_mget_mput_round_trip(self):
+        _, remote = remote_engine(n_nodes=3)
+        remote.mput([(f"k{i:02d}", {"v": i}) for i in range(20)])
+        got = remote.mget([f"k{i:02d}" for i in range(20)] + ["missing"])
+        assert got == {f"k{i:02d}": {"v": i} for i in range(20)}
+
+    def test_bulk_rpc_count_is_o_nodes_not_o_keys(self):
+        """The coalescing contract: a tick's worth of keys costs one
+        round trip per *storage node*, regardless of how many keys."""
+        tier, remote = remote_engine(n_nodes=3)
+        items = [(f"k{i:03d}", i) for i in range(200)]
+        remote.mput(items)
+        assert remote.rpcs <= len(tier.nodes)  # 200 puts, <= 3 RPCs
+        rpcs_before = remote.rpcs
+        remote.mget([key for key, _ in items])
+        assert remote.rpcs - rpcs_before <= len(tier.nodes)
+        assert tier.metrics.counter("storage.rpc.calls").value == remote.rpcs
+
+    def test_bulk_ops_match_per_key_state(self):
+        _, coalesced = remote_engine(n_nodes=2)
+        _, per_key = remote_engine(n_nodes=2)
+        items = [(f"k{i}", {"v": i}) for i in range(30)]
+        coalesced.mput(items)
+        for key, value in items:
+            per_key.put(key, value)
+        assert coalesced.scan("", "￿") == per_key.scan("", "￿")
+
+    def test_local_engine_bulk_defaults(self):
+        engine = LocalStorageEngine()
+        engine.mput([("a", 1), ("b", 2)])
+        assert engine.mget(["a", "b", "zzz"]) == {"a": 1, "b": 2}
+
+    def test_dropped_batch_times_out_as_a_unit(self):
+        """One drop decision burns one rpc_timeout for the whole batch —
+        not one per key — and the retried batch lands atomically."""
+        tier, engine = faulted_engine(
+            [FaultRule(site="storage.rpc", kind="drop", rate=1.0, end=0.01)],
+            rpc_timeout_s=0.05,
+        )
+        retry = RetryPolicy(
+            max_attempts=4, base_delay_s=0.02, seed=1, clock=tier.clock
+        )
+        items = [(f"k{i}", i) for i in range(40)]
+        before = tier.clock.now
+        retry.call(lambda: engine.mput(items))
+        elapsed = tier.clock.now - before
+        # One timeout (0.05s) + backoff, then the fault window is past:
+        # far below the 40 x 0.05s a per-key drop storm would burn.
+        assert elapsed < 40 * 0.05
+        assert engine.mget([k for k, _ in items]) == dict(items)
+
+    def test_group_by_node_preserves_first_appearance_order(self):
+        tier, _ = remote_engine(n_nodes=3)
+        keys = [f"k{i:02d}" for i in range(12)]
+        grouped = tier.group_by_node(keys)
+        regrouped = [key for node_keys in grouped.values() for key in node_keys]
+        assert sorted(regrouped) == sorted(keys)
+        for node, node_keys in grouped.items():
+            for key in node_keys:
+                assert tier.node_of(key) is node
+
+    def test_owner_cache_survives_churn(self):
+        tier, _ = remote_engine(n_nodes=3)
+        first = {f"k{i}": tier.node_of(f"k{i}").name for i in range(50)}
+        second = {f"k{i}": tier.node_of(f"k{i}").name for i in range(50)}
+        assert first == second
+
+
 class TestTierValidation:
     def test_rejects_empty_tier(self):
         with pytest.raises(ConfigurationError):
