@@ -1,10 +1,14 @@
-"""Perf-regression gate for the E27 hot-path trajectory.
+"""Perf-regression gate for the committed benchmark baselines.
 
-Usage:  python benchmarks/check_regression.py [--baseline BENCH_e27.json]
-                                              [--current PATH] [--tolerance 0.2]
+Usage:  python benchmarks/check_regression.py [--suite {e27,e28,all}]
+                                              [--baseline PATH] [--current PATH]
+                                              [--tolerance 0.2]
 
-Re-measures the E27 hot-path suite (or loads ``--current`` if given) and
-compares it against the committed ``BENCH_e27.json`` baseline:
+Re-measures each selected suite (or loads ``--current`` if given, valid
+only with a single ``--suite``) and compares it against the committed
+baseline at the repo root.
+
+E27 (``BENCH_e27.json``, hot-path trajectory):
 
 * every ``*.speedup_wall`` ratio must stay within ``tolerance`` (default
   20%) of the baseline — ratios are columnar-vs-per-record on the *same*
@@ -14,6 +18,18 @@ compares it against the committed ``BENCH_e27.json`` baseline:
   is a regression, not an optimisation);
 * the coalesced RPC count must not exceed the baseline's (O(nodes) is a
   property, not a measurement).
+
+E28 (``BENCH_e28.json``, data-lifecycle recovery):
+
+* every conservation / identity flag must still be 1 — checkpointing,
+  compaction, and tiering may never lose a committed unit or corrupt a
+  value;
+* recovery replay work (snapshot + WAL suffix entries) and promotion
+  replay entries must not exceed the baseline — recovery cost is a
+  function of live state, so these counts are host-independent;
+* the recovery wall-clock ratio (100x history / 1x history, same host)
+  must stay flat: within the suite's 1.5x bound and within ``tolerance``
+  of the committed ratio.
 
 Exits nonzero on the first violated bound, so CI can gate on it.
 """
@@ -27,29 +43,59 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
+E28_RECOVERY_RATIO_BOUND = 1.5
 
-def measure_current(artifacts_dir: str) -> dict:
+
+def _write_current(payload: dict, artifacts_dir: str, basename: str) -> None:
+    out = Path(artifacts_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    current_path = out / basename
+    current_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[current measurement: {current_path}]")
+
+
+def _import_bench(module_name: str):
     sys.path.insert(0, str(REPO_ROOT / "src"))
     sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
-    import bench_hotpath
+    return __import__(module_name)
 
+
+def measure_e27(artifacts_dir: str) -> dict:
+    bench_hotpath = _import_bench("bench_hotpath")
     payload = bench_hotpath.bench_payload(
         *bench_hotpath.collect(smoke=False), smoke=False
     )
-    out = Path(artifacts_dir)
-    out.mkdir(parents=True, exist_ok=True)
-    current_path = out / "BENCH_e27_current.json"
-    current_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"[current measurement: {current_path}]")
+    _write_current(payload, artifacts_dir, "BENCH_e27_current.json")
     return payload
 
 
-def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
-    failures: list[str] = []
+def measure_e28(artifacts_dir: str) -> dict:
+    import io
 
-    for name, value in current["deterministic"].items():
-        if name.endswith(".identical") and value != 1:
-            failures.append(f"{name}: outcome identity lost ({value})")
+    bench_lifecycle = _import_bench("bench_lifecycle")
+    payload = bench_lifecycle.report(
+        file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
+    )
+    _write_current(payload, artifacts_dir, "BENCH_e28_current.json")
+    return payload
+
+
+def check_flags(baseline: dict, current: dict) -> list[str]:
+    """Identity/conservation flags that were 1 in the baseline stay 1."""
+    failures = []
+    for name, base in baseline["deterministic"].items():
+        flag = (name.endswith(".identical") or ".conserved" in name
+                or name.endswith("_ok"))
+        if not flag or base != 1:
+            continue
+        value = current["deterministic"].get(name)
+        if value != 1:
+            failures.append(f"{name}: invariant flag lost ({value!r})")
+    return failures
+
+
+def check_e27(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    failures = check_flags(baseline, current)
 
     base_rpcs = baseline["deterministic"]["storage.rpcs_coalesced"]
     cur_rpcs = current["deterministic"]["storage.rpcs_coalesced"]
@@ -77,29 +123,85 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_e28(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    failures = check_flags(baseline, current)
+
+    # Replay work is a pure count of entries (snapshot + suffix, or
+    # entries folded during replica promotion) — host-independent, and
+    # growing it means recovery cost crept back toward history size.
+    ceilinged = (
+        "recovery.snapshot_entries",
+        "recovery.wal_entries",
+        "failover.promotion_replayed_grown",
+    )
+    for name in ceilinged:
+        base = baseline["deterministic"][name]
+        cur = current["deterministic"].get(name)
+        status = "ok" if cur is not None and cur <= base else "REGRESSED"
+        print(f"{name:>40}: baseline {base:9,.0f}  current "
+              f"{cur if cur is not None else float('nan'):9,.0f}  [{status}]")
+        if cur is None or cur > base:
+            failures.append(f"{name}: {cur!r} > baseline {base}")
+
+    base_ratio = baseline["wall_clock"]["recovery.time_ratio"]
+    cur_ratio = current["wall_clock"].get("recovery.time_ratio")
+    bound = min(E28_RECOVERY_RATIO_BOUND, base_ratio * (1.0 + tolerance))
+    status = "ok" if cur_ratio is not None and cur_ratio <= bound else "REGRESSED"
+    print(f"{'recovery.time_ratio':>40}: baseline {base_ratio:6.2f}x  current "
+          f"{cur_ratio if cur_ratio is not None else float('nan'):6.2f}x  "
+          f"bound {bound:6.2f}x  [{status}]")
+    if cur_ratio is None or cur_ratio > bound:
+        failures.append(
+            f"recovery.time_ratio: {cur_ratio!r} above bound {bound:.2f}x "
+            f"(min of {E28_RECOVERY_RATIO_BOUND}x flatness bound and "
+            f"baseline {base_ratio:.2f}x + {tolerance:.0%})"
+        )
+    return failures
+
+
+SUITES = {
+    "e27": ("BENCH_e27.json", measure_e27, check_e27),
+    "e28": ("BENCH_e28.json", measure_e28, check_e28),
+}
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", default=str(REPO_ROOT / "BENCH_e27.json"))
+    parser.add_argument("--suite", choices=[*SUITES, "all"], default="all")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON; defaults to the committed "
+                             "BENCH_<suite>.json (single --suite only)")
     parser.add_argument("--current", default=None,
-                        help="existing measurement JSON; re-measures if omitted")
+                        help="existing measurement JSON; re-measures if "
+                             "omitted (single --suite only)")
     parser.add_argument("--tolerance", type=float, default=0.2,
-                        help="allowed fractional speedup regression (0.2 = 20%%)")
+                        help="allowed fractional regression (0.2 = 20%%)")
     parser.add_argument("--artifacts-dir", default="benchmarks/artifacts")
     args = parser.parse_args()
 
-    baseline = json.loads(Path(args.baseline).read_text())
-    if args.current is not None:
-        current = json.loads(Path(args.current).read_text())
-    else:
-        current = measure_current(args.artifacts_dir)
+    selected = list(SUITES) if args.suite == "all" else [args.suite]
+    if (args.baseline or args.current) and len(selected) != 1:
+        parser.error("--baseline/--current require a single --suite")
 
-    failures = check(baseline, current, args.tolerance)
+    failures: list[str] = []
+    for suite in selected:
+        default_baseline, measure, check = SUITES[suite]
+        baseline_path = args.baseline or str(REPO_ROOT / default_baseline)
+        baseline = json.loads(Path(baseline_path).read_text())
+        if args.current is not None:
+            current = json.loads(Path(args.current).read_text())
+        else:
+            current = measure(args.artifacts_dir)
+        print(f"== {suite}: vs {baseline_path} ==")
+        suite_failures = check(baseline, current, args.tolerance)
+        failures += [f"[{suite}] {failure}" for failure in suite_failures]
+
     if failures:
-        print(f"\n{len(failures)} perf regression(s) vs {args.baseline}:")
+        print(f"\n{len(failures)} regression(s):")
         for failure in failures:
             print(f"  - {failure}")
         sys.exit(1)
-    print("\nno perf regressions vs committed baseline")
+    print("\nno regressions vs committed baselines")
 
 
 if __name__ == "__main__":

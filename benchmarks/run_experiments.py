@@ -1,4 +1,4 @@
-"""Regenerate every experiment table (E1-E27) in one run.
+"""Regenerate every experiment table (E1-E28) in one run.
 
 Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
                                              [--artifacts-dir DIR] [--smoke]
@@ -56,6 +56,7 @@ MODULES = [
     ("E25", "bench_cluster_failover"),
     ("E26", "bench_disaggregated_scaleout"),
     ("E27", "bench_hotpath"),
+    ("E28", "bench_lifecycle"),
 ]
 
 

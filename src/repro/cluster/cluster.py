@@ -200,6 +200,9 @@ class PlatformCluster:
                 heartbeat_interval_s=heartbeat_interval_s,
                 phi_threshold=phi_threshold,
                 tracer=self.tracer,
+                replica_log_compact_threshold=(
+                    config.replica_log_compact_threshold
+                ),
             )
             for name, shard in self.shards.items():
                 self._hook_purchase_log(name, shard)
@@ -382,12 +385,30 @@ class PlatformCluster:
         self.flush()
         if self.failover is not None:
             self.failover.tick()
+        self.maintain_storage()
         results: dict[str, GatherResult] = {}
         for query in self._continuous.values():
             query.results = self.scan_prefix(query.prefix)
             self.metrics.counter("cluster.continuous.evaluations").inc()
             results[query.query_id] = query.results
         return results
+
+    def maintain_storage(self) -> None:
+        """One data-lifecycle sweep across the cluster's storage.
+
+        Disaggregated mode sweeps the shared tier's nodes; otherwise each
+        live shard's own engine sweeps.  A no-op unless an engine actually
+        implements lifecycle maintenance (e.g. the tiered engine), so the
+        default cluster is unchanged.
+        """
+        now = self.clock.now
+        if self.storage is not None:
+            self.storage.maintain(now)
+            return
+        for name, shard in self.shards.items():
+            if self._is_down(name):
+                continue
+            shard.maintain_storage(now)
 
     # -- reads and scatter-gather queries -----------------------------------
 

@@ -41,6 +41,9 @@ class ClusterConfig:
     n_storage_nodes: int | None = None
     storage_vnodes: int = 32
     storage_rpc_timeout_s: float = 0.05
+    #: Compact replica op logs once a shard's primary copy exceeds this
+    #: many entries (None disables compaction entirely).
+    replica_log_compact_threshold: int | None = 4096
 
     def validate(self) -> "ClusterConfig":
         """Check cross-field invariants; returns self for chaining."""
@@ -49,6 +52,13 @@ class ClusterConfig:
         if not 1 <= self.n_replicas <= self.n_shards:
             raise ConfigurationError(
                 f"n_replicas must be in [1, n_shards], got {self.n_replicas}"
+            )
+        if (
+            self.replica_log_compact_threshold is not None
+            and self.replica_log_compact_threshold < 1
+        ):
+            raise ConfigurationError(
+                "replica_log_compact_threshold must be >= 1 (or None)"
             )
         if self.n_storage_nodes is not None:
             if self.n_storage_nodes < 1:

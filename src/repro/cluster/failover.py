@@ -138,6 +138,59 @@ def _merkle_root(entries: list[WalEntry]) -> bytes:
     return tree.root()
 
 
+def compact_entries(entries: list[WalEntry]) -> list[WalEntry]:
+    """Collapse superseded absolute post-states, preserving replay
+    semantics.
+
+    Every logged op is an absolute post-state keyed by ``k``.  An op is
+    dropped only when a *later op in this same copy* provably supersedes
+    it under the replay fold, for any interleaving with other copies'
+    entries in the LSN-union:
+
+    * entity family (``entity``/``drop_entity``): later ops replace
+      wholesale, so only the last op per key survives;
+    * product family (``product``/``drop_product``): same wholesale rule
+      — keep the last, which also supersedes any *earlier* ``stock`` op;
+    * ``stock``: sets only the stock field, so the last stock op survives
+      alongside (not folded into) the last product op when it is newer.
+
+    Survivors are kept *verbatim at their original LSNs* — no ops are
+    synthesized, because a synthesized full record could claim non-stock
+    fields at an LSN newer than another copy's genuine ``product`` op
+    that this copy missed (a replication hole), corrupting the union.
+    Unknown op kinds are kept verbatim (future-proofing over dropping
+    data).
+    """
+    # Hinted handoff can append old LSNs after newer ones, so buffer
+    # order is not LSN order; sort first so "last seen" == "highest LSN".
+    entries = sorted(entries, key=lambda entry: entry.lsn)
+    entity_last: dict[str, WalEntry] = {}
+    product_last: dict[str, WalEntry] = {}
+    stock_last: dict[str, WalEntry] = {}
+    passthrough: list[WalEntry] = []
+    for entry in entries:
+        op = json.loads(entry.payload.decode("utf-8"))
+        kind = op.get("op")
+        key = op.get("k")
+        if kind in ("entity", "drop_entity"):
+            entity_last[key] = entry
+        elif kind in ("product", "drop_product"):
+            product_last[key] = entry
+            stock_last.pop(key, None)  # older stock level: superseded
+        elif kind == "stock":
+            stock_last[key] = entry
+        else:
+            passthrough.append(entry)
+    compacted = (
+        passthrough
+        + list(entity_last.values())
+        + list(product_last.values())
+        + list(stock_last.values())
+    )
+    compacted.sort(key=lambda entry: entry.lsn)
+    return compacted
+
+
 class ShardReplicator:
     """Per-shard replicated operation logs with hinted handoff.
 
@@ -169,6 +222,9 @@ class ShardReplicator:
         # holder -> ops buffered while the holder was down.
         self._hints: dict[str, list[tuple[str, int, bytes]]] = {}
         self._down: set[str] = set()
+        # owner -> primary-copy entry count right after its last compaction
+        # (the 2x-growth trigger that keeps compaction amortized O(n)).
+        self._last_compacted: dict[str, int] = {}
 
     def holders(self, owner: str) -> list[str]:
         """Replica holders of ``owner``'s log, owner first."""
@@ -189,6 +245,7 @@ class ShardReplicator:
         """Drop all logs and hints (membership-change resync)."""
         self._logs.clear()
         self._hints.clear()
+        self._last_compacted.clear()
 
     # -- the write path -----------------------------------------------------
 
@@ -275,6 +332,46 @@ class ShardReplicator:
             self.metrics.counter("cluster.failover.antientropy_repairs").inc()
         return diverged
 
+    # -- log compaction -----------------------------------------------------
+
+    def entry_count(self, owner: str) -> int:
+        """Intact entries in ``owner``'s primary log copy."""
+        return self._copies(owner)[owner].entry_count
+
+    def should_compact(self, owner: str, threshold: int) -> bool:
+        """True when the primary copy has outgrown both the configured
+        threshold and twice its post-compaction size — the latter keeps a
+        shard whose *live* key set exceeds the threshold from rewriting
+        its whole log every tick for no reduction."""
+        floor = max(threshold, 2 * self._last_compacted.get(owner, 0))
+        return self.entry_count(owner) > floor
+
+    def compact(self, owner: str) -> int:
+        """Compact every *up* holder's copy of ``owner``'s log in place.
+
+        Down holders are skipped — their copies (and any torn tails from a
+        crash) are untouched, so the union a later promotion replays still
+        sees exactly what PR 4's semantics promise; they reconverge via
+        anti-entropy when they return.  Returns total entries removed
+        across copies.
+        """
+        removed = 0
+        for holder, copy in self._copies(owner).items():
+            if holder in self._down:
+                continue
+            entries, _ = copy.recover_prefix()
+            compacted = compact_entries(entries)
+            if len(compacted) < len(entries):
+                copy.rebuild(compacted)
+                removed += len(entries) - len(compacted)
+        self._last_compacted[owner] = self.entry_count(owner)
+        if removed:
+            self.metrics.counter("cluster.failover.log_compactions").inc()
+            self.metrics.counter(
+                "cluster.failover.compacted_entries"
+            ).inc(removed)
+        return removed
+
     # -- replica-side reads -------------------------------------------------
 
     def latest_value(self, owner: str, key: str):
@@ -324,9 +421,18 @@ class FailoverManager:
         heartbeat_interval_s: float = 0.05,
         phi_threshold: float = 8.0,
         tracer: Tracer | None = None,
+        replica_log_compact_threshold: int | None = 4096,
     ) -> None:
         if n_replicas < 2:
             raise ConfigurationError("failover needs n_replicas >= 2")
+        if (
+            replica_log_compact_threshold is not None
+            and replica_log_compact_threshold < 1
+        ):
+            raise ConfigurationError(
+                "replica_log_compact_threshold must be >= 1 (or None)"
+            )
+        self.compact_threshold = replica_log_compact_threshold
         self.cluster = cluster
         self.clock = cluster.clock
         self.metrics = cluster.metrics
@@ -456,6 +562,7 @@ class FailoverManager:
         self._send_heartbeats(now)
         self._advance_recoveries(now)
         self._detect(now)
+        self._compact_logs()
         self.metrics.gauge("cluster.failover.down_shards").set(
             float(sum(1 for s in self._state.values() if s != UP))
         )
@@ -510,6 +617,12 @@ class FailoverManager:
         self.metrics.gauge(f"cluster.shard.{name}.promoted_lsn").set(
             float(entries[-1].lsn if entries else 0)
         )
+        # How much work promotion had to replay — the number compaction
+        # exists to bound, and what E28 gates on (deterministic, unlike
+        # wall-clock).
+        self.metrics.gauge("cluster.failover.promotion_replayed_entries").set(
+            float(len(entries))
+        )
         self.tracer.log(
             "info", "replica promoted", shard=name, ops=len(entries)
         )
@@ -538,6 +651,15 @@ class FailoverManager:
                 products.setdefault(op["k"], {})["stock"] = int(op["stock"])
         for product_id, value in products.items():
             platform.import_product(product_id, value)
+
+    def _compact_logs(self) -> None:
+        if self.compact_threshold is None:
+            return
+        for name in self.cluster.router.shards:
+            if self.state(name) != UP:
+                continue
+            if self.replicator.should_compact(name, self.compact_threshold):
+                self.replicator.compact(name)
 
     def _advance_recoveries(self, now: float) -> None:
         for name in list(self._state):

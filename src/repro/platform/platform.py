@@ -612,6 +612,14 @@ class MetaversePlatform:
         )
         self._stale.clear()
 
+    def maintain_storage(self, now: float | None = None) -> dict:
+        """One data-lifecycle sweep of the storage engine (checkpointing,
+        tier demotion).  A no-op dict for engines without lifecycle
+        management, so callers can invoke it unconditionally."""
+        return self.engine.maintain(
+            self.clock.now if now is None else now
+        )
+
     def _executor_for(self, product_id: str) -> int:
         return stable_hash(product_id) % self.n_executors
 

@@ -17,6 +17,11 @@ from .engine import (
     StorageTier,
 )
 from .kv import KVStore, MemTable, SSTable
+from .lifecycle import (
+    CheckpointManager,
+    LifecyclePolicy,
+    TieredStorageEngine,
+)
 from .objectstore import ObjectRef, ObjectStore
 from .polystore import PolyStore, PolyStoreStats
 from .sharded import ShardedKVCluster, Versioned
@@ -25,8 +30,10 @@ from .wal import WalEntry, WriteAheadLog
 __all__ = [
     "BlockStore",
     "BufferPool",
+    "CheckpointManager",
     "Extent",
     "KVStore",
+    "LifecyclePolicy",
     "LRUKPolicy",
     "LRUPolicy",
     "LocalStorageEngine",
@@ -43,6 +50,7 @@ __all__ = [
     "StorageEngine",
     "StorageNode",
     "StorageTier",
+    "TieredStorageEngine",
     "Versioned",
     "WalEntry",
     "WriteAheadLog",

@@ -146,6 +146,18 @@ class StorageEngine(ABC):
     @abstractmethod
     def get_object(self, name: str, version: int | None = None) -> bytes: ...
 
+    # -- lifecycle -----------------------------------------------------------
+
+    def maintain(self, now: float | None = None) -> dict:
+        """One data-lifecycle sweep (checkpointing, tier demotion).
+
+        No-op by default; :class:`~repro.storage.lifecycle.
+        TieredStorageEngine` overrides it.  The platform and cluster tick
+        loops call this unconditionally, so any engine can opt into
+        lifecycle work without new wiring.
+        """
+        return {}
+
     # -- introspection ------------------------------------------------------
 
     def describe(self) -> dict:
@@ -245,11 +257,19 @@ class StorageNode:
         name: str,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        engine_factory=None,
     ) -> None:
         self.name = name
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NoopTracer()
-        self.engine = LocalStorageEngine(metrics=self.metrics, tracer=self.tracer)
+        # ``engine_factory(metrics, tracer)`` lets a tier run lifecycle-
+        # managed nodes (e.g. TieredStorageEngine) without this module
+        # depending on the lifecycle layer.
+        self.engine = (
+            engine_factory(self.metrics, self.tracer)
+            if engine_factory is not None
+            else LocalStorageEngine(metrics=self.metrics, tracer=self.tracer)
+        )
         self.ops = 0
 
     def execute(self, op: str, *args):
@@ -281,6 +301,7 @@ class StorageTier:
         link: Link | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        engine_factory=None,
     ) -> None:
         names = list(node_names) if node_names is not None else [
             f"storage-{i}" for i in range(n_nodes)
@@ -310,7 +331,8 @@ class StorageTier:
                     f"storage node name {name!r} may not contain {_VNODE_SEP!r}"
                 )
             self.nodes[name] = StorageNode(
-                name, metrics=self.metrics, tracer=self.tracer
+                name, metrics=self.metrics, tracer=self.tracer,
+                engine_factory=engine_factory,
             )
             self.net.add_node(name)
             for i in range(vnodes):
@@ -399,6 +421,18 @@ class StorageTier:
         for node in self.nodes.values():
             merged.update(node.engine.keys())
         return sorted(merged)
+
+    def maintain(self, now: float | None = None) -> dict[str, dict]:
+        """Run one lifecycle sweep on every storage node's engine.
+
+        Server-side maintenance: checkpointing and tier demotion happen
+        where the data lives, not on the compute clients.  Returns each
+        node's sweep summary.
+        """
+        now = self.clock.now if now is None else now
+        return {
+            name: node.engine.maintain(now) for name, node in self.nodes.items()
+        }
 
     def refresh_gauges(self) -> None:
         for name, node in self.nodes.items():

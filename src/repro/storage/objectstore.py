@@ -68,7 +68,7 @@ class ObjectStore:
         versions = self._versions.setdefault(name, [])
         ref = ObjectRef(
             name=name,
-            version=len(versions) + 1,
+            version=versions[-1].version + 1 if versions else 1,
             content_hash=digest,
             size_bytes=len(data),
             metadata=tuple(sorted((metadata or {}).items())),
@@ -96,9 +96,13 @@ class ObjectStore:
             raise KeyNotFoundError(name)
         if version is None:
             return versions[-1]
-        if not 1 <= version <= len(versions):
+        # Resolve by version *number*, not list position: pruning may have
+        # dropped a prefix while surviving refs keep their numbering.
+        first = versions[0].version
+        idx = version - first
+        if not 0 <= idx < len(versions):
             raise KeyNotFoundError(f"{name}@v{version}")
-        return versions[version - 1]
+        return versions[idx]
 
     def delete(self, name: str) -> None:
         """Drop all versions of ``name``; blobs are GC'd by refcount."""
@@ -110,6 +114,33 @@ class ObjectStore:
             if self._refcount[ref.content_hash] == 0:
                 del self._blobs[ref.content_hash]
                 del self._refcount[ref.content_hash]
+
+    def prune_versions(self, name: str, keep: int) -> int:
+        """Drop all but the newest ``keep`` versions of ``name``; returns
+        the number of versions pruned (blobs GC'd by refcount).
+
+        Lifecycle management: checkpoint snapshots and cold-tier demotions
+        would otherwise accumulate a version per write forever — exactly
+        the unbounded growth this store exists to absorb, re-created one
+        layer down.  Version numbers of the survivors are preserved, so
+        existing :class:`ObjectRef` handles to them stay valid.
+        """
+        if keep < 1:
+            raise StorageError("keep must be >= 1")
+        versions = self._versions.get(name)
+        if versions is None:
+            raise KeyNotFoundError(name)
+        pruned = versions[:-keep]
+        if not pruned:
+            return 0
+        self._versions[name] = versions[-keep:]
+        for ref in pruned:
+            self._refcount[ref.content_hash] -= 1
+            if self._refcount[ref.content_hash] == 0:
+                del self._blobs[ref.content_hash]
+                del self._refcount[ref.content_hash]
+        self.metrics.counter("obj.pruned_versions").inc(len(pruned))
+        return len(pruned)
 
     # -- introspection ------------------------------------------------------
 

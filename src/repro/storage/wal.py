@@ -54,10 +54,25 @@ class WriteAheadLog:
         self._next_lsn = 1
         self.faults = faults
         self._torn = False  # tail chopped by corrupt_tail, not yet trimmed
+        # Highest LSN removed by truncate_before (checkpointing).  Entries
+        # at or below this LSN are durable in the checkpoint snapshot, not
+        # on disk, so LSN accounting must never report the log as starting
+        # at LSN 0 again after a checkpoint truncated its prefix.
+        self._truncated_lsn = 0
 
     @property
     def next_lsn(self) -> int:
         return self._next_lsn
+
+    @property
+    def truncated_lsn(self) -> int:
+        """Highest LSN dropped by checkpoint truncation (0 if none)."""
+        return self._truncated_lsn
+
+    @property
+    def entry_count(self) -> int:
+        """Number of intact entries currently in the log body."""
+        return len(self._scan()[0])
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -139,10 +154,13 @@ class WriteAheadLog:
     def replay(self) -> Iterator[WalEntry]:
         """Yield entries in order, stopping cleanly at the first torn or
         corrupt record; the generator's return value (``StopIteration``
-        payload) is the last valid LSN — 0 for an empty or fully torn log."""
+        payload) is the last valid LSN — 0 for an empty or fully torn log
+        that was never checkpoint-truncated.  After ``truncate_before``
+        the reported LSN never falls below the truncated prefix: those
+        entries are durable in the checkpoint snapshot, not lost."""
         entries, last_lsn, _ = self._scan()
         yield from entries
-        return last_lsn
+        return max(last_lsn, self._truncated_lsn)
 
     def recover_prefix(self) -> tuple[list[WalEntry], int]:
         """The committed prefix as a list, plus the last valid LSN.
@@ -152,12 +170,13 @@ class WriteAheadLog:
         after a torn tail) rather than an iterator.
         """
         entries, last_lsn, _ = self._scan()
-        return entries, last_lsn
+        return entries, max(last_lsn, self._truncated_lsn)
 
     @property
     def last_valid_lsn(self) -> int:
-        """LSN of the last intact entry (0 when none survive)."""
-        return self._scan()[1]
+        """LSN of the last intact entry — floored at the checkpoint
+        truncation point (0 only for a log that never held anything)."""
+        return max(self._scan()[1], self._truncated_lsn)
 
     def rebuild(self, entries: Iterable[WalEntry]) -> None:
         """Replace the log body with ``entries`` (anti-entropy repair)."""
@@ -173,15 +192,25 @@ class WriteAheadLog:
         self._next_lsn = next_lsn
 
     def truncate_before(self, lsn: int) -> None:
-        """Drop entries with LSN < ``lsn`` (checkpointing)."""
+        """Drop entries with LSN < ``lsn`` (checkpointing).
+
+        The highest dropped LSN is remembered so :attr:`last_valid_lsn`
+        and :meth:`recover_prefix` keep reporting the true durability
+        high-water mark even when the remaining body is empty or its tail
+        is later torn — the prefix lives on in the checkpoint snapshot.
+        """
         kept = bytearray()
-        for entry in self.replay():
+        dropped_max = 0
+        for entry in self._scan()[0]:
             if entry.lsn >= lsn:
                 crc = zlib.crc32(entry.payload)
                 kept += _HEADER.pack(crc, len(entry.payload), entry.lsn)
                 kept += entry.payload
+            elif entry.lsn > dropped_max:
+                dropped_max = entry.lsn
         self._buf = kept
         self._torn = False
+        self._truncated_lsn = max(self._truncated_lsn, dropped_max)
 
     def corrupt_tail(self, nbytes: int) -> None:
         """Chop ``nbytes`` off the end to simulate a torn write (tests)."""
