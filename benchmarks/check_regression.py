@@ -1,6 +1,6 @@
 """Perf-regression gate for the committed benchmark baselines.
 
-Usage:  python benchmarks/check_regression.py [--suite {e27,e28,all}]
+Usage:  python benchmarks/check_regression.py [--suite {e27,e28,e29,all}]
                                               [--baseline PATH] [--current PATH]
                                               [--tolerance 0.2]
 
@@ -30,6 +30,18 @@ E28 (``BENCH_e28.json``, data-lifecycle recovery):
 * the recovery wall-clock ratio (100x history / 1x history, same host)
   must stay flat: within the suite's 1.5x bound and within ``tolerance``
   of the committed ratio.
+
+E29 (``BENCH_e29.json``, closed-loop elasticity):
+
+* every identity / conservation / ``_ok`` flag must still be 1 —
+  scaling may never change a purchase outcome, salting may never lose
+  stock, and shedding may never drop a physical-space record;
+* the elastic cluster's flash-spike SLO attainment must stay at or
+  above the suite's absolute floor (``attainment_min`` in the payload
+  meta) relative to the static 8-shard cluster;
+* its diurnal node-hours must stay at or below the absolute ceiling
+  (``node_hours_max``) relative to static provisioning — both are
+  simulated-clock ratios, so they transfer across hosts exactly.
 
 Exits nonzero on the first violated bound, so CI can gate on it.
 """
@@ -77,6 +89,17 @@ def measure_e28(artifacts_dir: str) -> dict:
         file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
     )
     _write_current(payload, artifacts_dir, "BENCH_e28_current.json")
+    return payload
+
+
+def measure_e29(artifacts_dir: str) -> dict:
+    import io
+
+    bench_elasticity = _import_bench("bench_elasticity")
+    payload = bench_elasticity.report(
+        file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
+    )
+    _write_current(payload, artifacts_dir, "BENCH_e29_current.json")
     return payload
 
 
@@ -159,9 +182,40 @@ def check_e28(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_e29(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    failures = check_flags(baseline, current)
+
+    # Both ratios are computed on the simulated clock, so they are
+    # host-independent: gate against the suite's absolute bounds (from
+    # the baseline's meta), not a tolerance band around the baseline.
+    bounds = (
+        ("spike.attainment_ratio", baseline["meta"]["attainment_min"], ">="),
+        ("diurnal.node_hours_ratio", baseline["meta"]["node_hours_max"], "<="),
+    )
+    for name, bound, op in bounds:
+        base = baseline["deterministic"][name]
+        cur = current["deterministic"].get(name)
+        ok = cur is not None and (cur >= bound if op == ">=" else cur <= bound)
+        status = "ok" if ok else "REGRESSED"
+        print(f"{name:>40}: baseline {base:6.3f}  current "
+              f"{cur if cur is not None else float('nan'):6.3f}  "
+              f"bound {op} {bound:4.2f}  [{status}]")
+        if not ok:
+            failures.append(f"{name}: {cur!r} violates bound {op} {bound}")
+
+    # The controller must still exercise its full range on the spike.
+    for name in ("spike.elastic_max_shards", "purchases.scale_outs"):
+        base = baseline["deterministic"][name]
+        cur = current["deterministic"].get(name)
+        if cur is None or cur < base:
+            failures.append(f"{name}: {cur!r} < baseline {base}")
+    return failures
+
+
 SUITES = {
     "e27": ("BENCH_e27.json", measure_e27, check_e27),
     "e28": ("BENCH_e28.json", measure_e28, check_e28),
+    "e29": ("BENCH_e29.json", measure_e29, check_e29),
 }
 
 

@@ -1,4 +1,4 @@
-"""Regenerate every experiment table (E1-E28) in one run.
+"""Regenerate every experiment table (E1-E29) in one run.
 
 Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
                                              [--artifacts-dir DIR] [--smoke]
@@ -57,6 +57,7 @@ MODULES = [
     ("E26", "bench_disaggregated_scaleout"),
     ("E27", "bench_hotpath"),
     ("E28", "bench_lifecycle"),
+    ("E29", "bench_elasticity"),
 ]
 
 

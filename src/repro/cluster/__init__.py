@@ -27,20 +27,33 @@ E26 (``bench_disaggregated_scaleout.py``) the compute/storage split.
 """
 
 from .cluster import BasketOutcome, GatherResult, PlatformCluster
-from .config import ClusterConfig
+from .config import ClusterConfig, ElasticityConfig
 from .coordinator import CrossShardCoordinator, ShardParticipant
+from .elasticity import (
+    AdmissionController,
+    ElasticityController,
+    ScaleAction,
+    ScalingPolicy,
+    TokenBucket,
+)
 from .failover import FailoverManager, FailureDetector, ShardReplicator
 from .router import ShardRouter
 
 __all__ = [
+    "AdmissionController",
     "BasketOutcome",
     "ClusterConfig",
     "CrossShardCoordinator",
+    "ElasticityConfig",
+    "ElasticityController",
     "FailoverManager",
     "FailureDetector",
     "GatherResult",
     "PlatformCluster",
+    "ScaleAction",
+    "ScalingPolicy",
     "ShardParticipant",
     "ShardReplicator",
     "ShardRouter",
+    "TokenBucket",
 ]

@@ -47,7 +47,7 @@ exercises the cluster path end to end.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..api.dataplane import ContinuousQuery, GatherResult, deprecated_alias
 from ..core.clock import SimulationClock
@@ -58,7 +58,8 @@ from ..core.errors import (
     KeyNotFoundError,
 )
 from ..core.metrics import MetricsRegistry
-from ..core.records import DataRecord
+from ..core.records import DataRecord, Space
+from ..net.overlay import stable_hash
 from ..obs.tracing import NoopTracer, Tracer
 from ..platform.platform import (
     MetaversePlatform,
@@ -74,6 +75,7 @@ from ..txn.twopc import TxnOutcome
 from ..workloads.marketplace import PurchaseRequest
 from .config import ClusterConfig
 from .coordinator import CrossShardCoordinator
+from .elasticity import ElasticityController
 from .failover import RECOVERING, FailoverManager
 from .router import ShardRouter
 
@@ -189,6 +191,23 @@ class PlatformCluster:
         self._pending: dict[str, list[DataRecord]] = {}
         self._pending_batches: dict[str, list[RecordBatch]] = {}
         self._continuous: dict[str, ContinuousQuery] = {}
+        # Bounded-drain ingest queues (opt-in): banked per-shard drain
+        # credit, accrued each tick at ``shard_drain_rate`` and spent by
+        # flush().  With the rate unset, flushes stay unbounded and the
+        # dict stays empty.
+        self._drain_credit: dict[str, float] = {}
+        # Closed-loop elasticity (opt-in via config.elasticity): the
+        # controller reads this cluster's own metrics each tick and
+        # drives shard membership, hot-key salting, and admission.
+        self.elasticity: ElasticityController | None = None
+        if config.elasticity is not None:
+            self.elasticity = ElasticityController(
+                self,
+                config.elasticity,
+                clock=self.clock,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
         # Failover is opt-in: with n_replicas == 1 (the default) nothing is
         # replicated, no heartbeats flow, and every path below behaves
         # exactly as before.
@@ -275,12 +294,20 @@ class PlatformCluster:
     # -- batched ingest -----------------------------------------------------
 
     def ingest(self, record: DataRecord) -> None:
-        """Buffer one observation, grouped under its owning shard."""
+        """Buffer one observation, grouped under its owning shard.
+
+        With admission control on (``config.elasticity.admission_rate``),
+        the record passes the owning shard's token bucket first —
+        virtual-space LOD traffic is shed when the bucket is dry,
+        physical-space records always land.
+        """
         if self.faults is not None:
             if self.faults.decide("cluster.ingest", kinds=("drop",)).faulted:
                 self.metrics.counter("cluster.dropped_records").inc()
                 return
         owner = self.router.owner_of(record.key)
+        if not self._admit(owner, record.space):
+            return
         self._pending.setdefault(owner, []).append(record)
         self.metrics.counter("cluster.buffered_records").inc()
 
@@ -309,6 +336,17 @@ class PlatformCluster:
                 if not keep:
                     return
                 batch = batch.take(keep)
+        if self.elasticity is not None and self.elasticity.admission is not None:
+            spaces = batch.space_values()
+            admitted = [
+                i
+                for i, key in enumerate(batch.keys)
+                if self._admit(self.router.owner_of(key), spaces[i])
+            ]
+            if len(admitted) < len(batch):
+                if not admitted:
+                    return
+                batch = batch.take(admitted)
         owners: dict[str, list[int]] = {}
         for i, key in enumerate(batch.keys):
             owners.setdefault(self.router.owner_of(key), []).append(i)
@@ -334,41 +372,109 @@ class PlatformCluster:
             for batch in batches
         )
 
-    def flush(self) -> int:
-        """Write every buffered batch to its shard; return records written."""
+    def shard_queue_depth(self, name: str) -> int:
+        """Records currently queued for ``name`` (bounded-drain mode)."""
+        return len(self._pending.get(name, [])) + sum(
+            len(batch) for batch in self._pending_batches.get(name, [])
+        )
+
+    def _admit(self, owner: str, space: Space) -> bool:
+        if self.elasticity is None or self.elasticity.admission is None:
+            return True
+        return self.elasticity.admission.admit(owner, space)
+
+    def flush(self, force: bool = True) -> int:
+        """Write buffered batches to their shards; return records written.
+
+        Direct calls (and membership changes, which must not leave
+        records queued under a stale ring) drain everything.  The tick
+        path passes ``force=False``: with ``shard_drain_rate`` set, each
+        shard writes at most its banked drain credit and the remainder
+        stays queued — the queue depth and implied wait are the
+        elasticity loop's load signal.
+        """
         total = 0
+        rate = self.config.shard_drain_rate
+        bounded = not force and rate is not None
         with self.tracer.span("cluster.flush", pending=self.pending_count):
             for name in self.router.shards:
                 if self._is_down(name):
                     # Crashed and not yet failed over: keep the batch
                     # buffered — it flushes to the promoted replica.
                     continue
-                shard = self.shards[name]
-                batch = self._pending.pop(name, None)
-                if batch:
-                    self.metrics.histogram("cluster.router.batch_size").observe(
-                        len(batch)
+                budget = (
+                    int(self._drain_credit.get(name, 0.0)) if bounded else None
+                )
+                written = self._flush_shard(name, budget)
+                if bounded and written:
+                    self._drain_credit[name] = (
+                        self._drain_credit.get(name, 0.0) - written
                     )
-                    for record in batch:
-                        shard.write_record(record)
-                        if self.failover is not None:
-                            self.failover.log_entity(
-                                name, record.key, stored_record_value(record)
-                            )
-                    total += len(batch)
-                columnar = self._pending_batches.pop(name, None)
-                if columnar:
-                    # One bulk write per buffered batch: the shard's
-                    # engine coalesces it into one RPC per storage node.
-                    for shard_batch in columnar:
-                        self.metrics.histogram(
-                            "cluster.router.batch_size"
-                        ).observe(len(shard_batch))
-                        shard.write_record_batch(shard_batch)
-                        total += len(shard_batch)
+                total += written
         self.metrics.counter("cluster.ingested_records").inc(total)
         self._refresh_shard_gauges()
         return total
+
+    def _flush_shard(self, name: str, budget: int | None) -> int:
+        """Write up to ``budget`` queued records to ``name`` (None =
+        unbounded); leftovers stay queued in arrival order."""
+        shard = self.shards[name]
+        written = 0
+        batch = self._pending.get(name)
+        if batch:
+            take = len(batch) if budget is None else min(budget, len(batch))
+            if take:
+                self.metrics.histogram("cluster.router.batch_size").observe(
+                    take
+                )
+                for record in batch[:take]:
+                    shard.write_record(record)
+                    if self.failover is not None:
+                        self.failover.log_entity(
+                            name, record.key, stored_record_value(record)
+                        )
+                written += take
+                if take == len(batch):
+                    del self._pending[name]
+                else:
+                    self._pending[name] = batch[take:]
+        columnar = self._pending_batches.get(name)
+        if columnar:
+            remaining = None if budget is None else budget - written
+            drained = 0
+            for i, shard_batch in enumerate(columnar):
+                if remaining is not None and remaining <= 0:
+                    break
+                if remaining is not None and len(shard_batch) > remaining:
+                    # Split the batch at the budget: the head flushes
+                    # now, the columnar tail stays queued.
+                    head = shard_batch.take(list(range(remaining)))
+                    tail = shard_batch.take(
+                        list(range(remaining, len(shard_batch)))
+                    )
+                    self.metrics.histogram(
+                        "cluster.router.batch_size"
+                    ).observe(len(head))
+                    shard.write_record_batch(head)
+                    written += len(head)
+                    columnar[i] = tail
+                    remaining = 0
+                    break
+                # One bulk write per buffered batch: the shard's
+                # engine coalesces it into one RPC per storage node.
+                self.metrics.histogram("cluster.router.batch_size").observe(
+                    len(shard_batch)
+                )
+                shard.write_record_batch(shard_batch)
+                written += len(shard_batch)
+                drained += 1
+                if remaining is not None:
+                    remaining -= len(shard_batch)
+            if drained == len(columnar):
+                del self._pending_batches[name]
+            elif drained:
+                self._pending_batches[name] = columnar[drained:]
+        return written
 
     def tick(self, dt: float) -> dict[str, GatherResult]:
         """One simulated-clock tick: advance time, flush batches, refresh
@@ -382,7 +488,20 @@ class PlatformCluster:
                 self._remount_shard(name)
             self._down_compute.clear()
             self._refresh_shard_gauges()
-        self.flush()
+        rate = self.config.shard_drain_rate
+        if rate is not None:
+            # Bank one tick of drain credit per live shard, capped so an
+            # idle shard cannot accumulate an unbounded burst allowance.
+            cap = max(rate, rate * dt)
+            for name in self.router.shards:
+                self._drain_credit[name] = min(
+                    cap, self._drain_credit.get(name, 0.0) + rate * dt
+                )
+        self.flush(force=rate is None)
+        if rate is not None:
+            self._observe_ingest_waits(rate)
+        if self.elasticity is not None:
+            self.elasticity.tick(dt)
         if self.failover is not None:
             self.failover.tick()
         self.maintain_storage()
@@ -392,6 +511,34 @@ class PlatformCluster:
             self.metrics.counter("cluster.continuous.evaluations").inc()
             results[query.query_id] = query.results
         return results
+
+    def _observe_ingest_waits(self, rate: float) -> None:
+        """Record each live shard's post-flush queue state: depth gauge
+        plus implied drain wait (depth / rate) into the per-shard
+        histogram the elasticity loop reads through a window."""
+        for name in self.router.shards:
+            if self._is_down(name):
+                continue
+            depth = self.shard_queue_depth(name)
+            self.metrics.gauge(f"cluster.shard.{name}.queue_depth").set(
+                float(depth)
+            )
+            self.metrics.histogram(
+                f"cluster.shard.{name}.ingest_wait_s"
+            ).observe(depth / rate)
+
+    def ingest_wait_p95(self, window: int) -> float:
+        """Worst per-shard p95 ingest wait over the last ``window``
+        observations — the elasticity loop's SLO signal.  0.0 while no
+        shard has observations (cold start, drain rate unset)."""
+        worst = 0.0
+        for name in self.router.shards:
+            view = self.metrics.histogram(
+                f"cluster.shard.{name}.ingest_wait_s"
+            ).window(window)
+            if view.count:
+                worst = max(worst, view.p95())
+        return worst
 
     def maintain_storage(self) -> None:
         """One data-lifecycle sweep across the cluster's storage.
@@ -604,8 +751,22 @@ class PlatformCluster:
         ordered = sorted(
             requests, key=lambda r: purchase_sort_key(r, self.physical_priority)
         )
+        # Salt-bucket routing: each request maps to the request that
+        # actually executes (identity unless its product is salted).  The
+        # heat sketch sees every original product id, so hot keys are
+        # detected before and tracked after salting.
+        routed = ordered
+        if self.elasticity is not None:
+            for request in ordered:
+                self.elasticity.observe_purchase(request.product_id)
+        if self.router.salted_keys():
+            reserved: dict[str, int] = {}
+            routed = [
+                self._route_purchase(request, reserved)
+                for request in ordered
+            ]
         by_shard: dict[str, list[PurchaseRequest]] = {}
-        for request in ordered:
+        for request in routed:
             owner = self.router.owner_of(request.product_id)
             by_shard.setdefault(owner, []).append(request)
         outcome_streams: dict[str, list[PurchaseOutcome]] = {}
@@ -630,21 +791,42 @@ class PlatformCluster:
                 )
         # Re-interleave shard outcomes back into global order: each shard
         # returns its subsequence in the same sort order, so a positional
-        # merge is exact.
+        # merge is exact.  Outcomes of salted requests are re-labelled
+        # with the shopper's original request — callers never see bucket
+        # keys.
         cursor = {name: 0 for name in outcome_streams}
         merged: list[PurchaseOutcome] = []
-        for request in ordered:
+        for original, request in zip(ordered, routed):
             name = self.router.owner_of(request.product_id)
-            merged.append(outcome_streams[name][cursor[name]])
+            outcome = outcome_streams[name][cursor[name]]
             cursor[name] += 1
+            if request is not original:
+                outcome = PurchaseOutcome(
+                    original, outcome.success, outcome.reason
+                )
+            merged.append(outcome)
         self.metrics.counter("cluster.purchases_routed").inc(len(requests))
         self._refresh_purchase_gauges()
         return merged
 
     def process_basket(self, requests: list[PurchaseRequest]) -> BasketOutcome:
-        """All-or-nothing basket; cross-shard baskets go through 2PC."""
+        """All-or-nothing basket; cross-shard baskets go through 2PC.
+
+        A basket touching a salted product merges it back first: 2PC
+        prepares exact per-shard quantities, and "enough stock across
+        buckets but not in any one" must not abort a basket the unsalted
+        cluster would commit.  Admission control never applies here —
+        baskets are top-priority traffic and are never shed.
+        """
         if not requests:
             raise ConfigurationError("empty basket")
+        if self.router.salted_keys():
+            for pid in sorted({r.product_id for r in requests}):
+                if self.router.is_salted(pid):
+                    self.unsalt_product(pid)
+                    self.metrics.counter(
+                        "cluster.elasticity.basket_unsalts"
+                    ).inc()
         quantities: dict[str, dict[str, int]] = {}
         for request in requests:
             owner = self.router.owner_of(request.product_id)
@@ -694,6 +876,14 @@ class PlatformCluster:
         return True, ""
 
     def get_stock(self, product_id: str) -> int:
+        """Stock of ``product_id`` — merge-on-read for salted products:
+        the visible stock is the sum over all salt buckets."""
+        buckets = self.router.buckets_of(product_id)
+        if len(buckets) > 1:
+            return sum(self._bucket_stock(bucket) for bucket in buckets)
+        return self._bucket_stock(product_id)
+
+    def _bucket_stock(self, product_id: str) -> int:
         owner = self.router.owner_of(product_id)
         if owner in self._down_compute:
             # Disaggregated re-route: read the committed record straight
@@ -715,6 +905,122 @@ class PlatformCluster:
             self.metrics.counter("cluster.failover.replica_reads").inc()
             return stock
         return self.shards[owner].get_stock(product_id)
+
+    # -- hot-key salting ----------------------------------------------------
+    #
+    # A flash sale concentrates the purchase stream on a few products —
+    # no matter how many shards join, one shard owns the hot key and
+    # melts (the hot-shard problem).  Salting splits a hot product's
+    # stock across ``n_buckets`` bucket records whose keys hash to their
+    # own ring positions: contention spreads across shards, the visible
+    # stock is the merge-on-read sum, and total stock is conserved
+    # exactly through split and merge (property-tested).
+
+    def salt_product(self, product_id: str, n_buckets: int) -> list[str]:
+        """Split ``product_id``'s stock across ``n_buckets`` salt buckets.
+
+        Bucket 0 keeps the base key (and the first share of stock);
+        buckets 1..n-1 are new product records on their own ring
+        positions.  Stock splits as evenly as integers allow and sums
+        back exactly.  Returns the bucket key list.
+        """
+        stock = self.get_stock(product_id)  # raises if unknown
+        value = self._committed_product(product_id)
+        if value is None:
+            raise KeyNotFoundError(product_id)
+        buckets = self.router.salt_key(product_id, n_buckets)
+        share, extra = divmod(stock, len(buckets))
+        with self.tracer.span(
+            "cluster.salt_product", product=product_id, buckets=n_buckets
+        ):
+            for i, bucket in enumerate(buckets):
+                bucket_value = dict(value)
+                bucket_value["stock"] = share + (1 if i < extra else 0)
+                self.shards[self.router.owner_of(bucket)].import_product(
+                    bucket, bucket_value
+                )
+        self.metrics.counter("cluster.elasticity.salt_splits").inc()
+        return buckets
+
+    def unsalt_product(self, product_id: str) -> int:
+        """Merge a salted product back into one record; returns the
+        merged stock (exactly the sum of the bucket stocks)."""
+        buckets = self.router.buckets_of(product_id)
+        if len(buckets) == 1:
+            raise ConfigurationError(f"product {product_id!r} is not salted")
+        total = 0
+        merged: dict | None = None
+        with self.tracer.span("cluster.unsalt_product", product=product_id):
+            for bucket in buckets:
+                value = self._committed_product(bucket)
+                if value is not None:
+                    total += int(value.get("stock", 0))
+                    if merged is None:
+                        merged = dict(value)
+            for bucket in buckets[1:]:
+                self.shards[self.router.owner_of(bucket)].drop_product(bucket)
+            self.router.unsalt_key(product_id)
+            if merged is None:
+                merged = {}
+            merged["stock"] = total
+            self.shards[self.router.owner_of(product_id)].import_product(
+                product_id, merged
+            )
+        self.metrics.counter("cluster.elasticity.salt_merges").inc()
+        return total
+
+    def _committed_product(self, key: str) -> dict | None:
+        """Committed product state from the owner's MVCC cache, falling
+        back to storage hydration (stateless compute after a remap)."""
+        owner = self.router.owner_of(key)
+        shard = (
+            self._live_shard()
+            if owner in self._down_compute
+            else self.shards[owner]
+        )
+        txn = shard.txn.begin()
+        value = txn.read_or(key)
+        if value is None:
+            value = shard._hydrate_product(key)
+        return dict(value) if value is not None else None
+
+    def _route_purchase(
+        self, request: PurchaseRequest, reserved: dict[str, int]
+    ) -> PurchaseRequest:
+        """Map a purchase onto its salt bucket (identity when unsalted).
+
+        The shopper's stable hash picks a start bucket — the flash-sale
+        crowd spreads across buckets, and a given shopper always starts
+        at the same one — then rotation skips exhausted buckets so stock
+        stranded in a cold bucket is still sellable.  ``reserved`` tracks
+        quantities already routed in this batch on top of committed
+        stock, so a batch never oversubscribes one bucket while another
+        still has units: as long as *total* stock covers the request,
+        some bucket accepts it (the salting property suite holds this
+        exact-utilisation bar for unit purchases).
+        """
+        pid = request.product_id
+        if not self.router.is_salted(pid):
+            return request
+        buckets = self.router.buckets_of(pid)
+        start = stable_hash(request.shopper_id) % len(buckets)
+        rotation = buckets[start:] + buckets[:start]
+        chosen = rotation[0]
+        for bucket in rotation:
+            try:
+                available = (
+                    self._bucket_stock(bucket) - reserved.get(bucket, 0)
+                )
+            except (KeyNotFoundError, ConfigurationError):
+                continue
+            if available >= request.quantity:
+                chosen = bucket
+                reserved[chosen] = (
+                    reserved.get(chosen, 0) + request.quantity
+                )
+                break
+        self.metrics.counter("cluster.elasticity.salted_routes").inc()
+        return replace(request, product_id=chosen)
 
     # -- failover -----------------------------------------------------------
 
@@ -807,8 +1113,24 @@ class PlatformCluster:
     def _remap_compute(self) -> int:
         """Disaggregated membership change: zero keys move; every compute
         node drops its caches so the next access hydrates fresh state
-        from the tier under the new ownership map."""
-        for shard in self.shards.values():
+        from the tier under the new ownership map.
+
+        Deferred product write-throughs (parked on storage faults) are
+        force-flushed *before* the caches drop: the new owner hydrates
+        from the tier, and a stale tier record would resurrect sold
+        stock.  A write still failing is surfaced as a counter — the
+        oversell hazard is then real and observable, not silent.
+        """
+        for name, shard in self.shards.items():
+            remaining = shard.flush_dirty_products()
+            if remaining:
+                self.metrics.counter("cluster.disagg.dirty_remaps").inc()
+                self.tracer.log(
+                    "warn",
+                    "remap with unflushed product write-throughs",
+                    shard=name,
+                    dirty=remaining,
+                )
             shard.reset_caches()
         self.metrics.counter("cluster.disagg.remaps").inc()
         self.metrics.counter("cluster.rebalance.moved_keys").inc(0)

@@ -19,6 +19,95 @@ from ..core.errors import ConfigurationError
 
 
 @dataclass
+class ElasticityConfig:
+    """Shape of the closed elasticity loop (:mod:`repro.cluster.elasticity`).
+
+    Three independently switchable mechanisms:
+
+    * **autoscaling** (``autoscale=True``) — hysteresis + cooldown scale
+      decisions over the windowed p95 ingest wait, joining/leaving
+      stateless compute shards between ``min_shards`` and ``max_shards``.
+      Requires disaggregated mode (``n_storage_nodes``): only there is a
+      membership change a zero-migration ring remap cheap enough for a
+      control loop to issue.
+    * **hot-key salting** (``hot_key_fraction`` set) — products whose
+      share of recent purchase traffic crosses the fraction are split
+      across ``salt_buckets`` salt buckets on distinct shards
+      (merge-on-read); they merge back when their share falls below a
+      quarter of the fraction.
+    * **admission control** (``admission_rate`` set) — a token bucket
+      per shard ahead of the circuit breaker; when a shard's bucket is
+      dry, lowest-priority LOD traffic (virtual-space records) is shed
+      first, physical-space records are always admitted.
+    """
+
+    # -- autoscaling --------------------------------------------------------
+    autoscale: bool = True
+    min_shards: int = 2
+    max_shards: int = 8
+    #: Evaluate the control signals at most once per this much simulated time.
+    control_interval_s: float = 0.5
+    #: Minimum simulated time between scale actions (the hysteresis window).
+    cooldown_s: float = 2.0
+    #: Scale-out band: windowed p95 ingest wait at or above this breaches SLO.
+    slo_p95_wait_s: float = 0.5
+    #: Scale-in band: windowed p95 ingest wait at or below this is slack.
+    clear_p95_wait_s: float = 0.1
+    #: Consecutive breached evaluations required before scaling out.
+    breach_evals: int = 2
+    #: Consecutive slack evaluations required before scaling in.
+    clear_evals: int = 4
+    #: Histogram window (samples) for controller reads.
+    window: int = 16
+    # -- hot-key salting ----------------------------------------------------
+    #: Share of recent purchase traffic at which a product is salted
+    #: (None disables automatic salting).
+    hot_key_fraction: float | None = None
+    #: Minimum sketch traffic before any salting decision.
+    hot_key_min_requests: int = 64
+    #: Salt buckets a hot product is split across.
+    salt_buckets: int = 4
+    # -- admission control --------------------------------------------------
+    #: Records per second per shard admitted at steady state (None disables).
+    admission_rate: float | None = None
+    #: Bucket capacity (burst absorbed before shedding starts); defaults
+    #: to one second of admission_rate.
+    admission_burst: float | None = None
+
+    def validate(self) -> "ElasticityConfig":
+        if self.min_shards < 1:
+            raise ConfigurationError("min_shards must be >= 1")
+        if self.max_shards < self.min_shards:
+            raise ConfigurationError("max_shards must be >= min_shards")
+        if self.control_interval_s <= 0 or self.cooldown_s <= 0:
+            raise ConfigurationError(
+                "control_interval_s and cooldown_s must be positive"
+            )
+        if self.slo_p95_wait_s <= self.clear_p95_wait_s:
+            raise ConfigurationError(
+                "slo_p95_wait_s must exceed clear_p95_wait_s (the hysteresis "
+                "bands may not overlap)"
+            )
+        if self.breach_evals < 1 or self.clear_evals < 1:
+            raise ConfigurationError("breach/clear evals must be >= 1")
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if self.hot_key_fraction is not None and not (
+            0.0 < self.hot_key_fraction <= 1.0
+        ):
+            raise ConfigurationError("hot_key_fraction must be in (0, 1]")
+        if self.salt_buckets < 2:
+            raise ConfigurationError("salt_buckets must be >= 2")
+        if self.hot_key_min_requests < 1:
+            raise ConfigurationError("hot_key_min_requests must be >= 1")
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise ConfigurationError("admission_rate must be positive")
+        if self.admission_burst is not None and self.admission_burst <= 0:
+            raise ConfigurationError("admission_burst must be positive")
+        return self
+
+
+@dataclass
 class ClusterConfig:
     """Everything that decides a :class:`PlatformCluster`'s shape.
 
@@ -44,6 +133,15 @@ class ClusterConfig:
     #: Compact replica op logs once a shard's primary copy exceeds this
     #: many entries (None disables compaction entirely).
     replica_log_compact_threshold: int | None = 4096
+    #: Records per second each shard drains from its ingest queue per
+    #: tick (None = unbounded, the legacy behaviour: every buffered
+    #: record flushes immediately).  Setting it turns the per-shard
+    #: buffers into real queues whose depth/wait the elasticity loop
+    #: reads as its load signal.
+    shard_drain_rate: float | None = None
+    #: Closed-loop elasticity (autoscaling, hot-key salting, admission
+    #: control); None leaves the cluster fully static.
+    elasticity: ElasticityConfig | None = None
 
     def validate(self) -> "ClusterConfig":
         """Check cross-field invariants; returns self for chaining."""
@@ -69,4 +167,29 @@ class ClusterConfig:
                     "exclusive: with a shared storage tier, availability "
                     "comes from re-mounting it, not from WAL replicas"
                 )
+        if self.shard_drain_rate is not None and self.shard_drain_rate <= 0:
+            raise ConfigurationError("shard_drain_rate must be positive")
+        if self.elasticity is not None:
+            self.elasticity.validate()
+            if self.n_replicas >= 2:
+                raise ConfigurationError(
+                    "elasticity and replica failover are mutually exclusive "
+                    "(the control loop assumes stateless compute shards)"
+                )
+            if self.elasticity.autoscale:
+                if self.n_storage_nodes is None:
+                    raise ConfigurationError(
+                        "autoscaling requires disaggregated mode "
+                        "(n_storage_nodes): only there is a membership "
+                        "change a zero-migration ring remap"
+                    )
+                if not (
+                    self.elasticity.min_shards
+                    <= self.n_shards
+                    <= self.elasticity.max_shards
+                ):
+                    raise ConfigurationError(
+                        "n_shards must start inside "
+                        "[min_shards, max_shards] when autoscaling"
+                    )
         return self

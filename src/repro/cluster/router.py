@@ -26,6 +26,9 @@ from ..net.overlay import ChordRing
 #: Separator between a shard name and its virtual-node index on the ring.
 _VNODE_SEP = "#"
 
+#: Separator between a salted key's base and its salt-bucket index.
+_SALT_SEP = "~s"
+
 
 class ShardRouter:
     """Maps entity/region keys onto named shards via a vnode hash ring."""
@@ -54,6 +57,12 @@ class ShardRouter:
         # wholesale — correctness over cleverness.
         self._owner_cache: dict[str, str] = {}
         self._owner_cache_cap = 1 << 20
+        # Hot-key salting (elasticity layer): base key → bucket count.
+        # The router only keeps the map — splitting stock into buckets
+        # and merging it back is the cluster's job (it owns the data
+        # paths); routing a salted key's *buckets* goes through the
+        # normal ring, so buckets land on distinct shards naturally.
+        self._salted: dict[str, int] = {}
         for name in shard_names or []:
             self.add_shard(name)
 
@@ -123,6 +132,64 @@ class ShardRouter:
         for key in keys:
             out.setdefault(self.owner_of(key), []).append(key)
         return out
+
+    # -- hot-key salting ----------------------------------------------------
+
+    def salt_key(self, key: str, n_buckets: int) -> list[str]:
+        """Register ``key`` as salted across ``n_buckets`` buckets.
+
+        Bucket 0 is the base key itself (so unsalted readers still find
+        *a* record); buckets 1..n-1 are ``<key>~s<i>``, which hash to
+        their own ring positions and therefore spread across shards.
+        Returns the bucket key list.
+        """
+        if n_buckets < 2:
+            raise ConfigurationError("salting needs at least 2 buckets")
+        if key in self._salted:
+            raise ConfigurationError(f"key {key!r} is already salted")
+        if _SALT_SEP in key:
+            raise ConfigurationError(
+                f"key {key!r} may not contain {_SALT_SEP!r} (reserved for "
+                "salt buckets; nested salting is not supported)"
+            )
+        self._salted[key] = n_buckets
+        self.metrics.gauge("cluster.router.salted_keys").set(
+            float(len(self._salted))
+        )
+        return self.buckets_of(key)
+
+    def unsalt_key(self, key: str) -> None:
+        """Forget ``key``'s salt map entry (the cluster merges its stock)."""
+        if key not in self._salted:
+            raise ConfigurationError(f"key {key!r} is not salted")
+        del self._salted[key]
+        self.metrics.gauge("cluster.router.salted_keys").set(
+            float(len(self._salted))
+        )
+
+    def is_salted(self, key: str) -> bool:
+        return key in self._salted
+
+    def salted_keys(self) -> list[str]:
+        """Currently salted base keys, in registration order."""
+        return list(self._salted)
+
+    def buckets_of(self, key: str) -> list[str]:
+        """The bucket keys a salted ``key`` is split across (bucket 0 is
+        the base key itself); ``[key]`` when the key is not salted."""
+        n = self._salted.get(key)
+        if n is None:
+            return [key]
+        return [key] + [f"{key}{_SALT_SEP}{i}" for i in range(1, n)]
+
+    @staticmethod
+    def base_key(key: str) -> str:
+        """Strip a salt-bucket suffix: ``product~s2`` → ``product``.
+        Keys without a well-formed suffix pass through unchanged."""
+        base, sep, tail = key.rpartition(_SALT_SEP)
+        if sep and tail.isdigit():
+            return base
+        return key
 
     def load_of(self, keys: list[str]) -> dict[str, int]:
         """Keys per shard for balance introspection (all shards listed)."""

@@ -39,12 +39,74 @@ class Gauge:
         self.value += amount
 
 
+@dataclass(frozen=True)
+class HistogramWindow:
+    """An immutable view over the most recent samples of a :class:`Histogram`.
+
+    Control loops polling a long-lived histogram (see
+    :mod:`repro.cluster.elasticity`) must react to *recent* load, not
+    lifetime quantiles — a p95 over every sample since boot never comes
+    back down after one burst.  :meth:`Histogram.window` snapshots the
+    last ``n`` samples into this view; later observations on the parent
+    histogram do not change an already-taken window.
+    """
+
+    samples: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile over the window; same interpolation — and the
+        same empty-window :class:`ConfigurationError` — as the parent
+        histogram, so windowed and lifetime reads never disagree on
+        semantics."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.samples:
+            raise ConfigurationError(
+                f"quantile({q}) of an empty window is undefined; "
+                "check .count before querying"
+            )
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+
 @dataclass
 class Histogram:
     """Streaming distribution summary; stores all samples for exact quantiles.
 
     Sample counts in this library top out in the millions, so exact storage
-    is fine and keeps quantile semantics unambiguous in tests.
+    is fine and keeps quantile semantics unambiguous in tests.  Callers
+    that need *recent* behaviour rather than lifetime distributions (the
+    elasticity control loop) read through :meth:`window` instead of
+    :meth:`quantile`.
     """
 
     samples: list[float] = field(default_factory=list)
@@ -122,6 +184,18 @@ class Histogram:
 
     def p99(self) -> float:
         return self.quantile(0.99)
+
+    def window(self, n: int) -> HistogramWindow:
+        """A bounded view over the last ``min(n, count)`` samples.
+
+        The view is a snapshot: O(n) memory regardless of histogram
+        length, and immutable — observations after the call do not leak
+        into it.  Taking a window neither invalidates nor populates the
+        sorted-view cache quantile queries use.
+        """
+        if n < 1:
+            raise ConfigurationError(f"window size must be >= 1, got {n}")
+        return HistogramWindow(tuple(self.samples[-n:]))
 
 
 class MetricsRegistry:

@@ -588,6 +588,37 @@ class MetaversePlatform:
             product_id, dict(value) if value is not None else None
         )
 
+    def flush_dirty_products(self) -> int:
+        """Re-drive deferred product write-throughs; returns how many are
+        still dirty afterwards.
+
+        Called before :meth:`reset_caches` on a stateless-compute remap:
+        the MVCC cache about to be dropped may be the only holder of
+        committed stock the storage tier missed (write-through parked on
+        a fault), and the next owner hydrates from the tier.  A write
+        still failing past the retry budget leaves its entry parked and
+        stops the sweep (the fault has not cleared; later entries would
+        fail the same way).
+        """
+        for product_id in list(self._dirty_products):
+            pending = self._dirty_products[product_id]
+            try:
+                if pending is None:
+                    self._with_retry(
+                        lambda p=product_id: self.engine.delete_product(p)
+                    )
+                else:
+                    self._with_retry(
+                        lambda p=product_id, v=pending: self.engine.put_product(
+                            p, v
+                        )
+                    )
+            except FaultInjectedError:
+                self.metrics.counter("platform.product_persist_deferred").inc()
+                break
+            del self._dirty_products[product_id]
+        return len(self._dirty_products)
+
     def reset_products(self) -> None:
         """Drop the compute-side product cache (stateless-compute remap).
 

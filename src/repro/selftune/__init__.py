@@ -12,6 +12,7 @@ from .cardinality import (
     DriftDetector,
     HistogramEstimator,
 )
+from .heat import HeatSketch
 from .diststats import (
     ExchangeReport,
     MergeableHistogram,
@@ -36,6 +37,7 @@ __all__ = [
     "CoherencyTuner",
     "DriftDetector",
     "ExchangeReport",
+    "HeatSketch",
     "MergeableHistogram",
     "HistogramEstimator",
     "Human",

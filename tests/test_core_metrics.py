@@ -96,6 +96,95 @@ class TestHistogram:
         assert h.quantile(0.0) == 1.0
 
 
+class TestHistogramWindow:
+    """Bounded sliding-window reads for control loops.
+
+    The base histogram stores every sample forever by design (exact
+    lifetime quantiles for tests); a controller polling it must see
+    *recent* load instead, through a bounded snapshot view.
+    """
+
+    def test_window_covers_last_n_samples(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        w = h.window(10)
+        assert w.count == 10
+        assert w.samples == tuple(float(v) for v in range(91, 101))
+        assert w.mean == pytest.approx(95.5)
+        assert w.maximum == 100.0
+
+    def test_window_quantile_reflects_recent_load_not_lifetime(self):
+        # A burst long past must not keep the windowed p95 elevated —
+        # exactly the defect lifetime quantiles have for controllers.
+        h = Histogram()
+        for _ in range(50):
+            h.observe(100.0)  # old burst
+        for _ in range(50):
+            h.observe(1.0)    # recent calm
+        assert h.p95() == 100.0          # lifetime view still sees the burst
+        assert h.window(32).p95() == 1.0  # windowed view has moved on
+
+    def test_window_shorter_than_request_takes_everything(self):
+        h = Histogram()
+        h.observe(3.0)
+        h.observe(1.0)
+        w = h.window(100)
+        assert w.count == 2
+        assert w.p50() == 2.0
+
+    def test_window_is_an_immutable_snapshot(self):
+        h = Histogram()
+        h.observe(1.0)
+        w = h.window(4)
+        h.observe(99.0)
+        assert w.samples == (1.0,)  # later observations do not leak in
+        assert h.window(4).samples == (1.0, 99.0)
+
+    def test_empty_window_quantile_raises_like_histogram(self):
+        w = Histogram().window(8)
+        assert w.count == 0
+        assert w.mean == 0.0
+        with pytest.raises(ConfigurationError):
+            w.p95()
+
+    def test_window_quantile_range_checked(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.window(4).quantile(-0.1)
+
+    def test_window_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            Histogram().window(0)
+
+    def test_window_matches_histogram_quantile_on_same_samples(self):
+        h = Histogram()
+        full = Histogram()
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            h.observe(v)
+            full.observe(v)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.95, 1.0):
+            assert h.window(5).quantile(q) == full.quantile(q)
+
+    def test_window_does_not_disturb_sorted_cache(self):
+        # Pin the interaction with the existing cache-invalidation
+        # behaviour: taking a window neither populates nor clears the
+        # cache, and observe() still invalidates it afterwards.
+        h = Histogram()
+        for v in [5.0, 1.0, 3.0]:
+            h.observe(v)
+        assert h._sorted is None
+        h.window(2)
+        assert h._sorted is None          # window did not populate it
+        assert h.p50() == 3.0
+        assert h._sorted == [1.0, 3.0, 5.0]
+        h.window(2)
+        assert h._sorted == [1.0, 3.0, 5.0]  # window did not clear it
+        h.observe(0.0)
+        assert h._sorted is None          # observe still invalidates
+
+
 class TestRegistry:
     def test_snapshot_flattens(self):
         reg = MetricsRegistry()

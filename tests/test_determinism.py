@@ -64,6 +64,9 @@ def test_smoke_artifacts_are_byte_identical_across_runs(tmp_path):
     names_a = sorted(p.name for p in dir_a.glob("*.json"))
     names_b = sorted(p.name for p in dir_b.glob("*.json"))
     assert names_a == names_b and names_a, "runs emitted different artifacts"
+    # the elasticity loop (E29) must be part of the reproducible set —
+    # a controller that scales on hidden state would drop out here
+    assert "e29_elasticity.json" in names_a
 
     diverged = [
         name for name in names_a
@@ -71,6 +74,32 @@ def test_smoke_artifacts_are_byte_identical_across_runs(tmp_path):
     ]
     assert diverged == [], (
         f"nondeterministic artifacts (after wall-clock strip): {diverged}"
+    )
+
+
+@pytest.mark.elasticity
+def test_e29_elasticity_run_is_byte_identical(tmp_path):
+    """Two elasticity-enabled smoke runs: every scale action, salt
+    decision, and shed count derives from the simulated clock, so the
+    E29 payloads and JSON artifacts must agree byte-for-byte once the
+    wall-clock gauges are stripped."""
+    import io
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    bench_elasticity = __import__("bench_elasticity")
+
+    payloads = []
+    for run in ("a", "b"):
+        artifacts = tmp_path / run
+        payload = bench_elasticity.report(
+            file=io.StringIO(), smoke=True, artifacts_dir=str(artifacts)
+        )
+        payloads.append(payload)
+    assert payloads[0]["deterministic"] == payloads[1]["deterministic"]
+    assert payloads[0]["meta"] == payloads[1]["meta"]
+    assert (
+        canonical_bytes(tmp_path / "a" / "e29_elasticity.json")
+        == canonical_bytes(tmp_path / "b" / "e29_elasticity.json")
     )
 
 
