@@ -1,6 +1,6 @@
 """Perf-regression gate for the committed benchmark baselines.
 
-Usage:  python benchmarks/check_regression.py [--suite {e27,e28,e29,all}]
+Usage:  python benchmarks/check_regression.py [--suite {e27,e28,e29,e30,all}]
                                               [--baseline PATH] [--current PATH]
                                               [--tolerance 0.2]
 
@@ -42,6 +42,19 @@ E29 (``BENCH_e29.json``, closed-loop elasticity):
 * its diurnal node-hours must stay at or below the absolute ceiling
   (``node_hours_max``) relative to static provisioning — both are
   simulated-clock ratios, so they transfer across hosts exactly.
+
+E30 (``BENCH_e30.json``, geo-distribution):
+
+* every availability / conservation / identity flag must still be 1 —
+  a region kill or WAN partition may never lose a committed unit of
+  stock, leave replicas diverged after reconvergence, or let a
+  linearizable read hang past its deadline;
+* the linearizable fail-fast latency under partition must stay at or
+  below the suite's absolute bound (``failfast_bound_s`` in the
+  payload meta) — it is simulated-clock time, host-independent;
+* replication lag and staleness must still *peak above zero* during
+  the partition: a partition that no longer produces lag means the
+  scenario stopped exercising the WAN.
 
 Exits nonzero on the first violated bound, so CI can gate on it.
 """
@@ -100,6 +113,17 @@ def measure_e29(artifacts_dir: str) -> dict:
         file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
     )
     _write_current(payload, artifacts_dir, "BENCH_e29_current.json")
+    return payload
+
+
+def measure_e30(artifacts_dir: str) -> dict:
+    import io
+
+    bench_geo = _import_bench("bench_geo")
+    payload = bench_geo.report(
+        file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
+    )
+    _write_current(payload, artifacts_dir, "BENCH_e30_current.json")
     return payload
 
 
@@ -212,10 +236,38 @@ def check_e29(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_e30(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    failures = check_flags(baseline, current)
+
+    # Fail-fast latency is simulated-clock time: gate against the
+    # suite's absolute deadline bound, not a band around the baseline.
+    bound = baseline["meta"]["failfast_bound_s"]
+    base = baseline["deterministic"]["partition.failfast_latency_s"]
+    cur = current["deterministic"].get("partition.failfast_latency_s")
+    ok = cur is not None and cur <= bound
+    status = "ok" if ok else "REGRESSED"
+    print(f"{'partition.failfast_latency_s':>40}: baseline {base:6.3f}s  "
+          f"current {cur if cur is not None else float('nan'):6.3f}s  "
+          f"bound <= {bound:4.2f}s  [{status}]")
+    if not ok:
+        failures.append(
+            f"partition.failfast_latency_s: {cur!r} above bound {bound}"
+        )
+
+    # The partition must still be load-bearing: lag and staleness peaked.
+    for name in ("partition.lag_peak", "partition.staleness_peak_s",
+                 "kill.rejected_failfast"):
+        cur = current["deterministic"].get(name)
+        if cur is None or cur <= 0:
+            failures.append(f"{name}: {cur!r} — the drill stopped biting")
+    return failures
+
+
 SUITES = {
     "e27": ("BENCH_e27.json", measure_e27, check_e27),
     "e28": ("BENCH_e28.json", measure_e28, check_e28),
     "e29": ("BENCH_e29.json", measure_e29, check_e29),
+    "e30": ("BENCH_e30.json", measure_e30, check_e30),
 }
 
 

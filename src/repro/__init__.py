@@ -27,6 +27,7 @@ from .core.columns import RecordBatch
 from .fusion.batch import ObservationBatch
 from .core.metrics import MetricsRegistry
 from .core.records import DataKind, DataRecord, Space
+from .geo.deployment import GeoConfig, GeoDeployment, GeoSession
 from .ledger.ledgerdb import LedgerDB
 from .obs.export import render_json, render_prometheus, write_snapshot
 from .obs.logsink import LogSink
@@ -46,7 +47,7 @@ from .storage.engine import (
 )
 from .world.twin import MetaverseWorld
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CircuitBreaker",
@@ -61,6 +62,9 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "GatherResult",
+    "GeoConfig",
+    "GeoDeployment",
+    "GeoSession",
     "LedgerDB",
     "LocalStorageEngine",
     "LogSink",

@@ -664,6 +664,12 @@ class PlatformCluster:
                     self.metrics.counter("cluster.query.shard_failed").inc()
                     failed.append(name)
         self.metrics.histogram("cluster.query.fanout_results").observe(len(items))
+        if failed:
+            # Partial results are legitimate (availability over
+            # completeness) but must be observable: dashboards alert on
+            # this counter, and GatherResult.failed_shards names exactly
+            # which shards were unreachable.
+            self.metrics.counter("cluster.gather.partial").inc()
         return GatherResult(items=items, failed_shards=tuple(failed))
 
     def _owned_slice(self, name: str, items: list) -> list:

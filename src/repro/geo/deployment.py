@@ -1,0 +1,955 @@
+"""Geo-distributed multi-region deployment with tunable consistency.
+
+The paper's Sec. IV-E puts metaverse workloads on wide-area
+inter-data-center links; this module runs N :class:`PlatformCluster`\\ s
+as named *regions* joined by a shared :class:`SimulatedNetwork` WAN with
+realistic per-region-pair latencies.  Each region is the *home* for the
+keys it owns on a region-level consistent-hash ring (plus explicit
+follow-the-user overrides via :meth:`GeoDeployment.rehome_entity` /
+:meth:`~GeoDeployment.rehome_product`); writes commit at the home region
+and replicate asynchronously by shipping absolute post-state replica-log
+entries (:mod:`repro.geo.replication`) over the WAN.
+
+Reads take a per-call consistency mode:
+
+* ``eventual`` — served by the caller's own region from whatever replica
+  state it holds: zero WAN latency, bounded staleness, stays available
+  through WAN partitions and remote-region outages.
+* ``read_your_writes`` — a :class:`GeoSession` carries a vector of
+  per-home high-water LSNs; the local read is used only when the local
+  copy's watermark has caught up to the session's writes, otherwise the
+  read transparently upgrades to the home-region round trip.
+* ``linearizable`` — a home-region round trip under a
+  :class:`~repro.resilience.policies.Deadline`, retry policy, and
+  per-home circuit breaker; during a WAN partition it fails fast with
+  :class:`DeadlineExceededError` instead of serving stale state.
+
+WAN faults are injected under the ``geo.wan`` site (partition / drop /
+delay), independent from single-region ``net.link`` plans.  A dropped
+replication entry leaves a visible LSN hole repaired by Merkle
+anti-entropy; an unreachable destination gets hinted handoff.  Region
+kills use the outage model: the region's state survives, writes to its
+home keys are deferred (ingest) or fail fast (purchases — never queued,
+preserving exactly-once), and a restart drains deferrals, hints, and
+anti-entropy until every copy reconverges.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..api.dataplane import GatherResult
+from ..cluster.cluster import PlatformCluster
+from ..cluster.config import ClusterConfig
+from ..cluster.router import ShardRouter
+from ..core.clock import EventScheduler
+from ..core.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    FaultInjectedError,
+    KeyNotFoundError,
+    NetworkError,
+    PartitionedError,
+)
+from ..core.metrics import MetricsRegistry
+from ..core.records import DataRecord
+from ..net.simnet import Link, Message, SimulatedNetwork
+from ..obs.tracing import NoopTracer, Tracer
+from ..platform.platform import (
+    PurchaseOutcome,
+    purchase_sort_key,
+    stored_record_value,
+)
+from ..resilience.faults import FaultInjector, FaultPlan
+from ..resilience.policies import CircuitBreaker, RetryPolicy, Timeout
+from ..workloads.marketplace import PurchaseRequest
+from .replication import GeoReplicator
+
+__all__ = [
+    "CONSISTENCY_MODES",
+    "EVENTUAL",
+    "GeoConfig",
+    "GeoDeployment",
+    "GeoSession",
+    "LINEARIZABLE",
+    "READ_YOUR_WRITES",
+]
+
+EVENTUAL = "eventual"
+READ_YOUR_WRITES = "read_your_writes"
+LINEARIZABLE = "linearizable"
+CONSISTENCY_MODES = (EVENTUAL, READ_YOUR_WRITES, LINEARIZABLE)
+
+
+@dataclass
+class GeoConfig:
+    """Validated construction parameters for :class:`GeoDeployment`.
+
+    ``wan_latencies_s`` maps unordered region pairs ``(a, b)`` to one-way
+    propagation latency in seconds; pairs without an entry use
+    ``default_wan_latency_s``.  ``cluster`` is the per-region template
+    (every region runs an identical cluster); it defaults to a small
+    2-shard cluster.
+    """
+
+    regions: tuple[str, ...] = ("us-east", "eu-west", "ap-south")
+    cluster: ClusterConfig | None = None
+    region_vnodes: int = 32
+    default_wan_latency_s: float = 0.04
+    wan_latencies_s: dict = field(default_factory=dict)
+    wan_bandwidth_bps: float = 2e8
+    rpc_bytes: int = 512
+    rpc_timeout_s: float = 0.06
+    linearizable_timeout_s: float = 0.25
+    read_max_attempts: int = 3
+    read_retry_base_s: float = 0.02
+    breaker_failure_threshold: int = 4
+    breaker_cooldown_s: float = 1.0
+    antientropy_interval_s: float = 0.5
+    compact_threshold: int | None = 4096
+    seed: int = 0
+
+    def validate(self) -> "GeoConfig":
+        regions = tuple(self.regions)
+        if len(regions) < 2:
+            raise ConfigurationError("a geo deployment needs >= 2 regions")
+        if len(set(regions)) != len(regions):
+            raise ConfigurationError(f"duplicate region names: {regions}")
+        for name in regions:
+            if not name or not isinstance(name, str):
+                raise ConfigurationError(f"invalid region name: {name!r}")
+        for pair, latency in self.wan_latencies_s.items():
+            if len(pair) != 2 or pair[0] == pair[1]:
+                raise ConfigurationError(f"WAN latency key must be a region pair: {pair!r}")
+            for name in pair:
+                if name not in regions:
+                    raise ConfigurationError(f"WAN latency names unknown region {name!r}")
+            if latency <= 0:
+                raise ConfigurationError(f"WAN latency must be positive: {pair!r}")
+        if self.default_wan_latency_s <= 0:
+            raise ConfigurationError("default_wan_latency_s must be positive")
+        if self.wan_bandwidth_bps <= 0:
+            raise ConfigurationError("wan_bandwidth_bps must be positive")
+        if self.rpc_bytes < 1:
+            raise ConfigurationError("rpc_bytes must be >= 1")
+        if self.rpc_timeout_s <= 0 or self.linearizable_timeout_s <= 0:
+            raise ConfigurationError("RPC and linearizable timeouts must be positive")
+        if self.read_max_attempts < 1:
+            raise ConfigurationError("read_max_attempts must be >= 1")
+        if self.read_retry_base_s < 0:
+            raise ConfigurationError("read_retry_base_s must be >= 0")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError("breaker_failure_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ConfigurationError("breaker_cooldown_s must be positive")
+        if self.antientropy_interval_s <= 0:
+            raise ConfigurationError("antientropy_interval_s must be positive")
+        if self.compact_threshold is not None and self.compact_threshold < 2:
+            raise ConfigurationError("compact_threshold must be >= 2 (or None)")
+        if self.region_vnodes < 1:
+            raise ConfigurationError("region_vnodes must be >= 1")
+        if self.cluster is not None:
+            self.cluster.validate()
+            if self.cluster.elasticity is not None:
+                # The controller adds/removes shards behind the geo layer's
+                # back, which would bypass the purchase-log chaining that
+                # feeds cross-region replication.
+                raise ConfigurationError(
+                    "per-region elasticity is not supported under a geo deployment"
+                )
+        return self
+
+
+@dataclass
+class GeoSession:
+    """Per-client read-your-writes token.
+
+    ``vector`` maps home region -> highest LSN this client's writes
+    reached in that home's replication log.  A read at region R can be
+    served locally iff R's copy of the home log has caught up to the
+    vector entry; otherwise it upgrades to the home round trip.
+    """
+
+    vector: dict[str, int] = field(default_factory=dict)
+
+    def observe(self, region: str, lsn: int | None) -> None:
+        if lsn:
+            self.vector[region] = max(self.vector.get(region, 0), lsn)
+
+
+class GeoDeployment:
+    """N regional clusters over a simulated WAN with tunable consistency."""
+
+    def __init__(
+        self,
+        config: GeoConfig | None = None,
+        faults: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.config = (config if config is not None else GeoConfig()).validate()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NoopTracer()
+        # One injector (and hence one simulated clock) is shared by the WAN,
+        # every region cluster, and all resilience policies: a fault plan's
+        # time windows and each region's timeouts advance the same time.
+        self.faults = faults if faults is not None else FaultInjector(FaultPlan())
+        self.clock = self.faults.clock
+        self.scheduler = EventScheduler(self.clock)
+        # The WAN deliberately carries no fault injector: single-region
+        # ``net.link`` plans must not leak onto inter-region links.  WAN
+        # faults are decided here under the ``geo.wan`` site instead.
+        self.wan = SimulatedNetwork(
+            self.scheduler,
+            default_link=Link(
+                latency_s=self.config.default_wan_latency_s,
+                bandwidth_bps=self.config.wan_bandwidth_bps,
+            ),
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        for pair, latency in sorted(self.config.wan_latencies_s.items()):
+            a, b = pair
+            self.wan.set_link(
+                self._node(a),
+                self._node(b),
+                Link(latency_s=latency, bandwidth_bps=self.config.wan_bandwidth_bps),
+                symmetric=True,
+            )
+        template = (
+            self.config.cluster
+            if self.config.cluster is not None
+            else ClusterConfig(n_shards=2, n_executors_per_shard=2)
+        )
+        self._ring = ShardRouter(vnodes=self.config.region_vnodes, metrics=self.metrics)
+        self._clusters: dict[str, PlatformCluster] = {}
+        for name in self.config.regions:
+            self._ring.add_shard(name)
+            self.wan.add_node(self._node(name)).on("geo.repl", self._on_repl)
+            # Every region cluster gets the *geo* registry/tracer: the
+            # cluster constructor rebinds faults.metrics to whatever it is
+            # handed, so handing each region its own registry would leave
+            # the shared injector counting into only the last one.
+            cluster = PlatformCluster(
+                config=template,
+                faults=self.faults,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            self._clusters[name] = cluster
+            for shard in cluster.shards.values():
+                self._chain_purchase_log(name, shard)
+        self.replicator = GeoReplicator(
+            self.config.regions,
+            metrics=self.metrics,
+            compact_threshold=self.config.compact_threshold,
+        )
+        self._home_override: dict[str, str] = {}
+        self._down: set[str] = set()
+        self._deferred: dict[str, list[DataRecord]] = {}
+        self._last_antientropy = self.clock.now
+        # Highest home-log LSN applied to each replica's state, per key.
+        # Absolute post-states are only safe to apply in LSN order; WAN
+        # serialization delays can reorder same-instant ships (a smaller
+        # payload overtakes a larger one), so an entry older than what a
+        # replica already applied is adopted into the copy log but must
+        # not overwrite the newer state.
+        self._applied_lsn: dict[tuple[str, str], dict[str, int]] = {}
+        self._read_retry = RetryPolicy(
+            max_attempts=self.config.read_max_attempts,
+            base_delay_s=self.config.read_retry_base_s,
+            max_delay_s=4 * self.config.read_retry_base_s,
+            seed=self.config.seed,
+            clock=self.clock,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
+        self._breakers = {
+            name: CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                clock=self.clock,
+                name=f"geo.{name}",
+                metrics=self.metrics,
+                tracer=self.tracer,
+            )
+            for name in self.config.regions
+        }
+
+    # -- topology ----------------------------------------------------------
+
+    def _node(self, region: str) -> str:
+        return f"wan/{region}"
+
+    def region(self, name: str) -> PlatformCluster:
+        """The named region's cluster (tests, direct workload drivers)."""
+        try:
+            return self._clusters[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown region {name!r}") from None
+
+    @property
+    def down_regions(self) -> tuple[str, ...]:
+        return tuple(sorted(self._down))
+
+    def home_of(self, key: str) -> str:
+        """The region authoritative for ``key`` (override, else ring)."""
+        override = self._home_override.get(key)
+        return override if override is not None else self._ring.owner_of(key)
+
+    def _resolve_region(self, region: str | None) -> str:
+        name = region if region is not None else self.config.regions[0]
+        if name not in self._clusters:
+            raise ConfigurationError(f"unknown region {name!r}")
+        if name in self._down:
+            raise NetworkError(f"client region {name!r} is down")
+        return name
+
+    def _chain_purchase_log(self, region: str, shard) -> None:
+        """Tap committed stock levels into this region's replication log
+        without displacing an intra-region failover hook."""
+        inner = shard.purchase_log
+
+        def hook(product_id, stock, _region=region, _inner=inner):
+            if _inner is not None:
+                _inner(product_id, stock)
+            self._on_stock_commit(_region, product_id, stock)
+
+        shard.purchase_log = hook
+
+    # -- WAN primitives ----------------------------------------------------
+
+    def _wan_reachable(self, a: str, b: str) -> bool:
+        if a in self._down or b in self._down:
+            return False
+        return not self.wan.is_partitioned(self._node(a), self._node(b))
+
+    def _wan_rpc(self, src: str, dst: str) -> float:
+        """One synchronous round trip ``src -> dst -> src``.
+
+        Advances the shared clock by the RTT on success and by
+        ``rpc_timeout_s`` on failure, so deadlines expire deterministically
+        while a destination stays unreachable.
+        """
+        if src == dst:
+            return 0.0
+        if src in self._down or dst in self._down:
+            self.clock.advance(self.config.rpc_timeout_s)
+            self.metrics.counter("geo.rpc.timeouts").inc()
+            down = dst if dst in self._down else src
+            raise PartitionedError(f"region {down!r} is down")
+        extra = 0.0
+        decision = self.faults.decide(
+            "geo.wan", target=f"{src}->{dst}", kinds=("partition", "drop", "delay")
+        )
+        if decision.kind == "partition":
+            self.clock.advance(self.config.rpc_timeout_s)
+            self.metrics.counter("geo.rpc.timeouts").inc()
+            raise PartitionedError(f"injected WAN partition {src} -> {dst}")
+        if decision.kind == "drop":
+            self.clock.advance(self.config.rpc_timeout_s)
+            self.metrics.counter("geo.rpc.timeouts").inc()
+            raise FaultInjectedError(f"injected WAN drop {src} -> {dst}")
+        if decision.kind == "delay":
+            extra = decision.delay_s
+        if self.wan.is_partitioned(self._node(src), self._node(dst)):
+            self.clock.advance(self.config.rpc_timeout_s)
+            self.metrics.counter("geo.rpc.timeouts").inc()
+            raise PartitionedError(f"{src} -> {dst} is partitioned")
+        there = self.wan.link_for(self._node(src), self._node(dst))
+        back = self.wan.link_for(self._node(dst), self._node(src))
+        rtt = (
+            there.transfer_delay(self.config.rpc_bytes)
+            + back.transfer_delay(self.config.rpc_bytes)
+            + extra
+        )
+        self.clock.advance(rtt)
+        self.metrics.counter("geo.rpc.round_trips").inc()
+        self.metrics.histogram("geo.rpc.rtt_s").observe(rtt)
+        return rtt
+
+    # -- replication: ship / deliver / apply -------------------------------
+
+    def _replicate(self, home: str, op: dict) -> int:
+        lsn, payload = self.replicator.log_op(home, op, self.clock.now)
+        for dst in self.config.regions:
+            if dst != home:
+                self._ship(home, dst, lsn, payload)
+        return lsn
+
+    def _ship(self, home: str, dst: str, lsn: int, payload: bytes) -> bool:
+        # Once a pair has hints queued, everything later must queue behind
+        # them so hints drain in log order; the per-key applied-LSN guard
+        # at delivery is the backstop for any reordering that remains.
+        if dst in self._down or self.replicator.has_hints(home, dst):
+            self.replicator.buffer_hint(home, dst, lsn, payload)
+            return False
+        decision = self.faults.decide(
+            "geo.wan", target=f"{home}->{dst}", kinds=("partition", "drop", "delay")
+        )
+        if decision.kind == "partition":
+            self.replicator.buffer_hint(home, dst, lsn, payload)
+            return False
+        if decision.kind == "drop":
+            # Lost on the WAN with no sender-side signal: a visible LSN
+            # hole in the destination copy until anti-entropy repairs it.
+            self.metrics.counter("geo.repl.dropped").inc()
+            return False
+        if decision.kind == "delay":
+            self.scheduler.schedule(
+                decision.delay_s,
+                lambda home=home, dst=dst, lsn=lsn, payload=payload: (
+                    self._ship_now(home, dst, lsn, payload)
+                ),
+            )
+            return True
+        return self._ship_now(home, dst, lsn, payload)
+
+    def _ship_now(self, home: str, dst: str, lsn: int, payload: bytes) -> bool:
+        try:
+            self.wan.send(
+                self._node(home),
+                self._node(dst),
+                "geo.repl",
+                {"home": home, "lsn": lsn, "data": payload},
+                size_bytes=len(payload) + 64,
+            )
+        except PartitionedError:
+            self.replicator.buffer_hint(home, dst, lsn, payload)
+            return False
+        self.metrics.counter("geo.repl.shipped").inc()
+        return True
+
+    def _on_repl(self, message: Message) -> None:
+        dst = message.dst.split("/", 1)[1]
+        home = message.payload["home"]
+        lsn = message.payload["lsn"]
+        data = message.payload["data"]
+        if dst in self._down:
+            # The destination died with the entry in flight: it was never
+            # processed, so park it for handoff at restart.
+            self.replicator.buffer_hint(home, dst, lsn, data)
+            return
+        op = self.replicator.deliver(home, dst, lsn, data)
+        if op is None:
+            return
+        applied = self._applied_lsn.setdefault((home, dst), {})
+        key = op.get("k")
+        if lsn <= applied.get(key, -1):
+            # An entry that arrived behind a newer post-state for the same
+            # key: keep it in the copy log (no hole) but do not let it
+            # regress the replica's state.
+            self.metrics.counter("geo.repl.out_of_order").inc()
+            return
+        applied[key] = lsn
+        self._apply_op(dst, home, op)
+
+    def _apply_op(self, region: str, home: str, op: dict) -> None:
+        """Fold one home-log op into ``region``'s replica state."""
+        key = op.get("k")
+        if self.home_of(key) != home:
+            # The key re-homed after this op was logged; the new home's
+            # log is authoritative and will overwrite.
+            self.metrics.counter("geo.repl.stale_ignored").inc()
+            return
+        cluster = self._clusters[region]
+        shard = cluster.shards[cluster.router.owner_of(key)]
+        kind = op.get("op")
+        if kind == "entity":
+            shard.import_entity(key, op["v"])
+        elif kind == "drop_entity":
+            try:
+                shard.drop_entity(key)
+            except KeyNotFoundError:
+                pass
+        elif kind == "product":
+            shard.import_product(key, dict(op["v"]))
+        elif kind == "drop_product":
+            try:
+                shard.drop_product(key)
+            except KeyNotFoundError:
+                pass
+        elif kind == "stock":
+            value = cluster._committed_product(key)
+            value = dict(value) if value is not None else {}
+            value["stock"] = int(op["stock"])
+            shard.import_product(key, value)
+        self.metrics.counter("geo.repl.applied").inc()
+
+    def _on_stock_commit(self, region: str, product_id: str, stock: int) -> None:
+        self._replicate(region, {"op": "stock", "k": product_id, "stock": int(stock)})
+
+    # -- hinted handoff / anti-entropy -------------------------------------
+
+    def _deliver_hints(self) -> None:
+        for home in self.config.regions:
+            for dst in self.config.regions:
+                if dst == home or not self.replicator.has_hints(home, dst):
+                    continue
+                if not self._wan_reachable(home, dst):
+                    continue
+                decision = self.faults.decide(
+                    "geo.wan", target=f"{home}->{dst}", kinds=("partition",)
+                )
+                if decision.kind == "partition":
+                    continue
+                delivered = 0
+                for lsn, payload in self.replicator.take_hints(home, dst):
+                    if self._ship_now(home, dst, lsn, payload):
+                        delivered += 1
+                if delivered:
+                    self.metrics.counter("geo.repl.hints_delivered").inc(delivered)
+
+    def _antientropy_round(self) -> None:
+        """Reconverge every reachable (home, destination) pair.
+
+        The replicator rebuilds a diverged copy from the primary; the
+        entries the destination had never adopted are *folded* — replayed
+        in LSN order over the whole copy for just the affected keys — so
+        repairing an old hole can never regress a newer applied state.
+        """
+        for home in self.config.regions:
+            if home in self._down:
+                continue
+            for dst in self.config.regions:
+                if dst == home or dst in self._down:
+                    continue
+                if not self._wan_reachable(home, dst):
+                    continue
+                decision = self.faults.decide(
+                    "geo.wan", target=f"{home}->{dst}", kinds=("partition",)
+                )
+                if decision.kind == "partition":
+                    continue
+                missing = self.replicator.antientropy(home, dst)
+                if missing:
+                    self._apply_folded(dst, home, missing)
+
+    def _apply_folded(self, region: str, home: str, missing: list) -> None:
+        affected = {
+            json.loads(payload.decode("utf-8")).get("k") for _, payload in missing
+        }
+        entity_final: dict[str, tuple] = {}
+        product_final: dict[str, dict | None] = {}
+        applied = self._applied_lsn.setdefault((home, region), {})
+        for entry in self.replicator.copy_entries(home, region):
+            op = json.loads(entry.payload.decode("utf-8"))
+            key = op.get("k")
+            if key not in affected:
+                continue
+            applied[key] = max(applied.get(key, -1), entry.lsn)
+            kind = op.get("op")
+            if kind == "entity":
+                entity_final[key] = ("set", op["v"])
+            elif kind == "drop_entity":
+                entity_final[key] = ("drop", None)
+            elif kind == "product":
+                product_final[key] = dict(op["v"])
+            elif kind == "drop_product":
+                product_final[key] = None
+            elif kind == "stock":
+                base = product_final.get(key)
+                base = dict(base) if base else {}
+                base["stock"] = int(op["stock"])
+                product_final[key] = base
+        cluster = self._clusters[region]
+        for key in sorted(entity_final):
+            if self.home_of(key) != home:
+                self.metrics.counter("geo.repl.stale_ignored").inc()
+                continue
+            action, value = entity_final[key]
+            shard = cluster.shards[cluster.router.owner_of(key)]
+            if action == "set":
+                shard.import_entity(key, value)
+            else:
+                try:
+                    shard.drop_entity(key)
+                except KeyNotFoundError:
+                    pass
+        for key in sorted(product_final):
+            if self.home_of(key) != home:
+                self.metrics.counter("geo.repl.stale_ignored").inc()
+                continue
+            value = product_final[key]
+            shard = cluster.shards[cluster.router.owner_of(key)]
+            if value is None:
+                try:
+                    shard.drop_product(key)
+                except KeyNotFoundError:
+                    pass
+            else:
+                shard.import_product(key, dict(value))
+
+    # -- writes ------------------------------------------------------------
+
+    def write_record(
+        self,
+        record: DataRecord,
+        region: str | None = None,
+        session: GeoSession | None = None,
+    ) -> int | None:
+        """Write-through at the record's home region; returns the home-log
+        LSN (``None`` when the home is down and the write was deferred)."""
+        home = self.home_of(record.key)
+        if home in self._down:
+            self._deferred.setdefault(home, []).append(record)
+            self.metrics.counter("geo.writes.deferred").inc()
+            return None
+        if region is not None:
+            submitted = self._resolve_region(region)
+            if submitted != home:
+                # The client's region forwards to the home region: a WAN
+                # partition surfaces here, before anything mutates.
+                self._wan_rpc(submitted, home)
+                self.metrics.counter("geo.writes.forwarded").inc()
+        self._clusters[home].write_record(record)
+        lsn = self._replicate(
+            home, {"op": "entity", "k": record.key, "v": stored_record_value(record)}
+        )
+        if session is not None:
+            session.observe(home, lsn)
+        self.metrics.counter("geo.writes").inc()
+        return lsn
+
+    def ingest(
+        self,
+        record: DataRecord,
+        region: str | None = None,
+        session: GeoSession | None = None,
+    ) -> int | None:
+        return self.write_record(record, region=region, session=session)
+
+    def ingest_many(
+        self,
+        records: list[DataRecord],
+        region: str | None = None,
+        session: GeoSession | None = None,
+    ) -> list[int | None]:
+        return [self.write_record(r, region=region, session=session) for r in records]
+
+    def load_catalog(self, records: list[DataRecord]) -> None:
+        by_home: dict[str, list[DataRecord]] = {}
+        for record in records:
+            by_home.setdefault(self.home_of(record.key), []).append(record)
+        for home in sorted(by_home):
+            if home in self._down:
+                raise NetworkError(f"cannot load catalog: region {home!r} is down")
+            batch = by_home[home]
+            self._clusters[home].load_catalog(batch)
+            for record in batch:
+                self._replicate(
+                    home, {"op": "product", "k": record.key, "v": dict(record.payload)}
+                )
+
+    def process_purchases(
+        self, requests: list[PurchaseRequest], max_retries: int = 2
+    ) -> list[PurchaseOutcome]:
+        """Route purchases to their products' home regions.
+
+        The stream is globally presorted with the single-node sort key and
+        re-merged positionally, so per-product decisions match a
+        single-region run.  Purchases against a down home region fail fast
+        (never queued): queueing would risk double-execution when the
+        region restarts — the same exactly-once stance the intra-region
+        failover path takes.
+        """
+        if not requests:
+            return []
+        physical_priority = self._clusters[self.config.regions[0]].physical_priority
+        ordered = sorted(
+            requests, key=lambda r: purchase_sort_key(r, physical_priority)
+        )
+        by_home: dict[str, list[PurchaseRequest]] = {}
+        for request in ordered:
+            by_home.setdefault(self.home_of(request.product_id), []).append(request)
+        outcome_streams: dict[str, list[PurchaseOutcome]] = {}
+        for home in sorted(by_home):
+            batch = by_home[home]
+            if home in self._down:
+                outcome_streams[home] = [
+                    PurchaseOutcome(request, False, f"region down: {home}")
+                    for request in batch
+                ]
+                self.metrics.counter("geo.purchases.rejected_region_down").inc(
+                    len(batch)
+                )
+                continue
+            outcome_streams[home] = self._clusters[home].process_purchases(
+                batch, max_retries=max_retries
+            )
+        cursor = {home: 0 for home in outcome_streams}
+        merged: list[PurchaseOutcome] = []
+        for request in ordered:
+            home = self.home_of(request.product_id)
+            merged.append(outcome_streams[home][cursor[home]])
+            cursor[home] += 1
+        self.metrics.counter("geo.purchases").inc(len(requests))
+        return merged
+
+    # -- reads -------------------------------------------------------------
+
+    def read(
+        self,
+        key: str,
+        consistency: str = EVENTUAL,
+        region: str | None = None,
+        session: GeoSession | None = None,
+    ):
+        """Point read under the requested consistency mode."""
+        return self._read(
+            key, consistency, region, session, lambda cluster: cluster.read(key)
+        )
+
+    def get_stock(
+        self,
+        product_id: str,
+        consistency: str = EVENTUAL,
+        region: str | None = None,
+        session: GeoSession | None = None,
+    ) -> int:
+        """Product stock under the requested consistency mode."""
+        return self._read(
+            product_id,
+            consistency,
+            region,
+            session,
+            lambda cluster: cluster.get_stock(product_id),
+        )
+
+    def _read(self, key, consistency, region, session, local):
+        if consistency not in CONSISTENCY_MODES:
+            raise ConfigurationError(
+                f"unknown consistency mode {consistency!r}; "
+                f"expected one of {CONSISTENCY_MODES}"
+            )
+        via = self._resolve_region(region)
+        home = self.home_of(key)
+        started = self.clock.now
+        try:
+            if consistency == EVENTUAL:
+                value = local(self._clusters[via])
+            elif consistency == READ_YOUR_WRITES:
+                value = self._read_ryw(via, home, session, local)
+            else:
+                value = self._read_linearizable(via, home, local)
+        finally:
+            self.metrics.histogram(f"geo.read.latency.{consistency}").observe(
+                self.clock.now - started
+            )
+        self.metrics.counter(f"geo.read.{consistency}").inc()
+        return value
+
+    def _read_ryw(self, via, home, session, local):
+        needed = session.vector.get(home, 0) if session is not None else 0
+        if via == home or self.replicator.watermark(home, via) >= needed:
+            self.metrics.counter("geo.read.ryw_local").inc()
+            return local(self._clusters[via])
+        # The local copy has not caught up to this session's writes:
+        # upgrade to the home round trip rather than violate RYW.
+        self.metrics.counter("geo.read.ryw_upgraded").inc()
+        return self._read_linearizable(via, home, local)
+
+    def _read_linearizable(self, via, home, local):
+        guard = Timeout(self.config.linearizable_timeout_s).guard(
+            self.clock, label=f"geo.read.{home}"
+        )
+        breaker = self._breakers[home]
+
+        def attempt():
+            guard.check()
+            if via != home:
+                self._wan_rpc(via, home)
+            return local(self._clusters[home])
+
+        try:
+            return breaker.call(
+                lambda: self._read_retry.call(
+                    attempt, retry_on=(PartitionedError, FaultInjectedError)
+                )
+            )
+        except DeadlineExceededError:
+            self.metrics.counter("geo.read.linearizable_failed").inc()
+            raise
+        except (PartitionedError, FaultInjectedError, CircuitOpenError) as exc:
+            self.metrics.counter("geo.read.linearizable_failed").inc()
+            raise DeadlineExceededError(
+                f"linearizable read via {via!r} of home {home!r} failed: {exc}"
+            ) from exc
+
+    # -- follow-the-user re-homing -----------------------------------------
+
+    def rehome_entity(self, key: str, to_region: str) -> str:
+        """Move ``key``'s authoritative home to ``to_region``."""
+        return self._rehome(key, to_region, product=False)
+
+    def rehome_product(self, product_id: str, to_region: str) -> str:
+        """Move a product's authoritative home (stock moves with it)."""
+        return self._rehome(product_id, to_region, product=True)
+
+    def _rehome(self, key: str, to_region: str, product: bool) -> str:
+        if to_region not in self._clusters:
+            raise ConfigurationError(f"unknown region {to_region!r}")
+        old = self.home_of(key)
+        if old == to_region:
+            return old
+        if old in self._down or to_region in self._down:
+            self.metrics.counter("geo.rehome.aborted").inc()
+            down = old if old in self._down else to_region
+            raise NetworkError(f"cannot re-home {key!r}: region {down!r} is down")
+        try:
+            # The handoff round trip runs before any state moves, so a WAN
+            # partition aborts the re-home atomically: home map, both
+            # clusters, and both logs are untouched.
+            self._wan_rpc(old, to_region)
+        except (PartitionedError, FaultInjectedError) as exc:
+            self.metrics.counter("geo.rehome.aborted").inc()
+            raise PartitionedError(f"re-home of {key!r} aborted: {exc}") from exc
+        src, dst = self._clusters[old], self._clusters[to_region]
+        if product:
+            value = src._committed_product(key)
+            if value is None:
+                raise KeyNotFoundError(key)
+            dst.shards[dst.router.owner_of(key)].import_product(key, dict(value))
+            self._home_override[key] = to_region
+            self._replicate(to_region, {"op": "product", "k": key, "v": dict(value)})
+        else:
+            value = src.shards[src.router.owner_of(key)].export_entity(key)
+            dst.shards[dst.router.owner_of(key)].import_entity(key, value)
+            self._home_override[key] = to_region
+            self._replicate(to_region, {"op": "entity", "k": key, "v": value})
+        # The old home keeps its copy as a plain replica; ops still in its
+        # log for this key are ignored at apply time (home guard), and the
+        # new home's full-state op overwrites every copy.
+        self.metrics.counter("geo.rehomes").inc()
+        return to_region
+
+    # -- region lifecycle / WAN control ------------------------------------
+
+    def kill_region(self, name: str) -> None:
+        """Take a region down (outage model: its state survives)."""
+        if name not in self._clusters:
+            raise ConfigurationError(f"unknown region {name!r}")
+        if name in self._down:
+            raise ConfigurationError(f"region {name!r} is already down")
+        self._down.add(name)
+        self.metrics.counter("geo.region.kills").inc()
+        self.metrics.gauge("geo.regions.down").set(float(len(self._down)))
+
+    def restart_region(self, name: str) -> None:
+        """Bring a region back; deferred writes land immediately, hints and
+        anti-entropy reconverge its copies on the following ticks."""
+        if name not in self._down:
+            raise ConfigurationError(f"region {name!r} is not down")
+        self._down.discard(name)
+        self.metrics.counter("geo.region.restarts").inc()
+        self.metrics.gauge("geo.regions.down").set(float(len(self._down)))
+        for record in self._deferred.pop(name, []):
+            self.write_record(record)
+
+    def partition_regions(self, groups) -> None:
+        """Split the WAN into isolated region groups (chaos drills)."""
+        self.wan.partition_group(
+            [[self._node(region) for region in group] for group in groups]
+        )
+        self.metrics.counter("geo.wan.partitions").inc()
+
+    def heal_wan(self) -> None:
+        self.wan.heal_all()
+        self.metrics.counter("geo.wan.heals").inc()
+
+    # -- time --------------------------------------------------------------
+
+    def tick(self, dt: float) -> None:
+        """Advance the shared clock once and run every region's sub-steps.
+
+        Region clusters share one clock (via the shared injector), so this
+        must not call ``cluster.tick`` — that would advance time once per
+        region.  Instead each live region's flush/failover/storage steps
+        run against the single advance made here.
+        """
+        if dt < 0:
+            raise ConfigurationError(f"dt must be >= 0, got {dt}")
+        self.clock.advance(dt)
+        now = self.clock.now
+        self.scheduler.run_until(now)
+        for name in self.config.regions:
+            if name in self._down:
+                continue
+            cluster = self._clusters[name]
+            cluster.flush()
+            if cluster.failover is not None:
+                cluster.failover.tick()
+            cluster.maintain_storage()
+        self._deliver_hints()
+        if now - self._last_antientropy >= self.config.antientropy_interval_s:
+            self._last_antientropy = now
+            self._antientropy_round()
+        for home in self.config.regions:
+            if self.replicator.should_compact(home):
+                self.replicator.compact(home)
+        self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        now = self.clock.now
+        max_lag, max_stale = 0, 0.0
+        for home in self.config.regions:
+            for dst in self.config.regions:
+                if dst == home:
+                    continue
+                lag = self.replicator.lag(home, dst)
+                stale = self.replicator.staleness_s(home, dst, now)
+                self.metrics.gauge(f"geo.replication.lag.{home}.{dst}").set(float(lag))
+                self.metrics.gauge(
+                    f"geo.replication.staleness_s.{home}.{dst}"
+                ).set(stale)
+                max_lag = max(max_lag, lag)
+                max_stale = max(max_stale, stale)
+        self.metrics.gauge("geo.replication.lag_max").set(float(max_lag))
+        self.metrics.gauge("geo.replication.staleness_s_max").set(max_stale)
+
+    # -- fan-out queries ---------------------------------------------------
+
+    def scan_prefix(self, prefix: str) -> GatherResult:
+        """Range query over every region's *home* keyspace.
+
+        Each live region contributes only the keys it is authoritative
+        for (its replica copies of other homes' keys are filtered out, so
+        every key appears exactly once).  A down region makes the result
+        partial — its name lands in ``failed_shards`` alongside any
+        ``region/shard`` entries from intra-region fan-out failures —
+        rather than silently served stale from a replica.
+        """
+        items: list = []
+        failed: list[str] = []
+        for name in self.config.regions:
+            if name in self._down:
+                failed.append(name)
+                self.metrics.counter("geo.gather.region_down").inc()
+                continue
+            result = self._clusters[name].scan_prefix(prefix)
+            items.extend(
+                (key, value)
+                for key, value in result.items
+                if self.home_of(key) == name
+            )
+            failed.extend(f"{name}/{shard}" for shard in result.failed_shards)
+        items.sort(key=lambda kv: kv[0])
+        if failed:
+            self.metrics.counter("geo.gather.partial").inc()
+        return GatherResult(items=items, failed_shards=tuple(failed))
+
+    # -- introspection -----------------------------------------------------
+
+    def replication_lag(self) -> dict[tuple[str, str], int]:
+        """Outstanding entries per (home, destination) pair."""
+        return {
+            (home, dst): self.replicator.lag(home, dst)
+            for home in self.config.regions
+            for dst in self.config.regions
+            if dst != home
+        }
+
+    def max_replication_lag(self) -> int:
+        return max(self.replication_lag().values(), default=0)

@@ -161,7 +161,34 @@ class SimulatedNetwork:
     def heal(self, a: str, b: str) -> None:
         self._partitioned.discard(frozenset((a, b)))
 
+    def partition_group(self, groups) -> None:
+        """Split the network into isolated ``groups`` of node names.
+
+        Every pair of nodes in *different* groups is partitioned; pairs
+        within a group keep their connectivity.  Group-granularity splits
+        are what geo chaos drills want (e.g. one region vs. the rest)
+        without enumerating pairwise :meth:`partition` calls.  Node names
+        may appear in at most one group; an empty group is rejected.
+        """
+        groups = [list(group) for group in groups]
+        seen: set[str] = set()
+        for group in groups:
+            if not group:
+                raise ConfigurationError("partition_group: empty group")
+            for name in group:
+                if name in seen:
+                    raise ConfigurationError(
+                        f"partition_group: {name!r} appears in multiple groups"
+                    )
+                seen.add(name)
+        for i, group in enumerate(groups):
+            for other in groups[i + 1:]:
+                for a in group:
+                    for b in other:
+                        self.partition(a, b)
+
     def heal_all(self) -> None:
+        """Clear every partition (pairwise or group-granularity)."""
         self._partitioned.clear()
 
     def is_partitioned(self, a: str, b: str) -> bool:

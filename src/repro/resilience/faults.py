@@ -24,6 +24,7 @@ site                      component
 ``cluster.query``         :class:`~repro.cluster.cluster.PlatformCluster`
 ``cluster.replicate``     :class:`~repro.cluster.failover.ShardReplicator`
 ``storage.rpc``           :class:`~repro.storage.engine.RemoteStorageEngine`
+``geo.wan``               :class:`~repro.geo.deployment.GeoDeployment`
 ========================  =========================================
 
 Fault kinds: ``crash`` (the site raises
@@ -61,6 +62,7 @@ DEFAULT_SITE_KINDS: dict[str, str] = {
     "cluster.query": "crash",
     "cluster.replicate": "drop",
     "storage.rpc": "crash",
+    "geo.wan": "drop",
 }
 
 

@@ -124,6 +124,18 @@ class TestScatterGather:
         }
         assert survivors == expected  # healthy shards still answer in full
         assert cluster.metrics.counter("cluster.query.shard_failed").value == 1
+        # Partial fan-outs are observable: the counter fires once per
+        # partial gather and failed_shards names the unreachable shard.
+        assert cluster.metrics.counter("cluster.gather.partial").value == 1
+
+    def test_clean_gather_does_not_count_as_partial(self):
+        cluster = PlatformCluster(n_shards=3)
+        for i in range(12):
+            cluster.ingest(record(f"e/{i:02d}", {"v": i}))
+        cluster.flush()
+        result = cluster.scan_prefix("e/")
+        assert not result.partial and result.failed_shards == ()
+        assert cluster.metrics.counter("cluster.gather.partial").value == 0
 
     def test_single_slow_shard_is_named_and_timed_out(self):
         """One shard blowing its deadline yields a *partial* gather that

@@ -67,6 +67,9 @@ def test_smoke_artifacts_are_byte_identical_across_runs(tmp_path):
     # the elasticity loop (E29) must be part of the reproducible set —
     # a controller that scales on hidden state would drop out here
     assert "e29_elasticity.json" in names_a
+    # likewise the geo deployment (E30): partitions, hints, anti-entropy,
+    # and per-mode read latencies all ride the simulated clock
+    assert "e30_geo.json" in names_a
 
     diverged = [
         name for name in names_a
@@ -100,6 +103,33 @@ def test_e29_elasticity_run_is_byte_identical(tmp_path):
     assert (
         canonical_bytes(tmp_path / "a" / "e29_elasticity.json")
         == canonical_bytes(tmp_path / "b" / "e29_elasticity.json")
+    )
+
+
+@pytest.mark.geo
+def test_e30_geo_run_is_byte_identical(tmp_path):
+    """Two geo smoke runs: every replication ship, hint, anti-entropy
+    round, partition drill, and consistency-mode latency derives from
+    the simulated clock and seeded workloads, so the E30 payloads and
+    JSON artifacts must agree byte-for-byte once the wall-clock gauges
+    are stripped."""
+    import io
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    bench_geo = __import__("bench_geo")
+
+    payloads = []
+    for run in ("a", "b"):
+        artifacts = tmp_path / run
+        payload = bench_geo.report(
+            file=io.StringIO(), smoke=True, artifacts_dir=str(artifacts)
+        )
+        payloads.append(payload)
+    assert payloads[0]["deterministic"] == payloads[1]["deterministic"]
+    assert payloads[0]["meta"] == payloads[1]["meta"]
+    assert (
+        canonical_bytes(tmp_path / "a" / "e30_geo.json")
+        == canonical_bytes(tmp_path / "b" / "e30_geo.json")
     )
 
 

@@ -134,6 +134,75 @@ class TestPartitions:
         assert got == []
 
 
+class TestGroupPartitions:
+    """Region-granularity splits: ``partition_group`` + ``heal_all``."""
+
+    def make_five(self):
+        sched, net = make_net(default_link=Link(latency_s=0.01))
+        for name in ("a", "b", "c", "d", "e"):
+            net.add_node(name)
+        return sched, net
+
+    def test_cross_group_pairs_are_severed(self):
+        _, net = self.make_five()
+        net.partition_group([["a", "b"], ["c", "d"], ["e"]])
+        for src, dst in (("a", "c"), ("b", "d"), ("a", "e"), ("d", "e")):
+            assert net.is_partitioned(src, dst)
+            with pytest.raises(PartitionedError):
+                net.send(src, dst, "x", None)
+
+    def test_intra_group_pairs_stay_connected(self):
+        sched, net = self.make_five()
+        net.partition_group([["a", "b"], ["c", "d"], ["e"]])
+        got = []
+        net.node("b").on("x", lambda m: got.append("ab"))
+        net.node("d").on("x", lambda m: got.append("cd"))
+        net.send("a", "b", "x", None)
+        net.send("c", "d", "x", None)
+        sched.run_all()
+        assert sorted(got) == ["ab", "cd"]
+
+    def test_single_group_is_a_no_op(self):
+        _, net = self.make_five()
+        net.partition_group([["a", "b", "c", "d", "e"]])
+        assert not any(
+            net.is_partitioned(x, y)
+            for x in "abcde" for y in "abcde" if x != y
+        )
+
+    def test_empty_group_rejected(self):
+        from repro.core import ConfigurationError
+
+        _, net = self.make_five()
+        with pytest.raises(ConfigurationError):
+            net.partition_group([["a"], []])
+
+    def test_duplicate_member_rejected(self):
+        from repro.core import ConfigurationError
+
+        _, net = self.make_five()
+        with pytest.raises(ConfigurationError):
+            net.partition_group([["a", "b"], ["b", "c"]])
+
+    def test_heal_all_restores_group_split(self):
+        sched, net = self.make_five()
+        net.partition_group([["a"], ["b", "c", "d", "e"]])
+        net.heal_all()
+        got = []
+        net.node("b").on("x", lambda m: got.append(True))
+        net.send("a", "b", "x", None)
+        sched.run_all()
+        assert got == [True]
+
+    def test_heal_all_also_clears_pairwise_partitions(self):
+        _, net = self.make_five()
+        net.partition("a", "b")
+        net.partition_group([["a", "b"], ["c", "d", "e"]])
+        net.heal_all()
+        assert not net.is_partitioned("a", "b")
+        assert not net.is_partitioned("a", "c")
+
+
 class TestLoss:
     def test_lossy_link_drops_some(self):
         sched, net = make_net(
