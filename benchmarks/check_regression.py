@@ -1,6 +1,6 @@
 """Perf-regression gate for the committed benchmark baselines.
 
-Usage:  python benchmarks/check_regression.py [--suite {e27,e28,e29,e30,all}]
+Usage:  python benchmarks/check_regression.py [--suite {e27,e28,e29,e30,e31,all}]
                                               [--baseline PATH] [--current PATH]
                                               [--tolerance 0.2]
 
@@ -55,6 +55,17 @@ E30 (``BENCH_e30.json``, geo-distribution):
 * replication lag and staleness must still *peak above zero* during
   the partition: a partition that no longer produces lag means the
   scenario stopped exercising the WAN.
+
+E31 (``BENCH_e31.json``, sharded semantic retrieval):
+
+* recall@10 against the exact brute-force oracle must stay at or above
+  the suite's absolute floor (``recall_floor`` in the payload meta) and
+  the distance-eval speedup at or above ``speedup_floor`` — both are
+  counts over seeded streams, host-independent;
+* the merged top-k must stay identical across 1-vs-2 and 1-vs-4 shard
+  deployments (a shard-dependent answer is a correctness regression);
+* the per-shard index-build makespan must still shrink monotonically
+  as shards are added.
 
 Exits nonzero on the first violated bound, so CI can gate on it.
 """
@@ -124,6 +135,17 @@ def measure_e30(artifacts_dir: str) -> dict:
         file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
     )
     _write_current(payload, artifacts_dir, "BENCH_e30_current.json")
+    return payload
+
+
+def measure_e31(artifacts_dir: str) -> dict:
+    import io
+
+    bench_semantic = _import_bench("bench_semantic")
+    payload = bench_semantic.report(
+        file=io.StringIO(), smoke=False, artifacts_dir=artifacts_dir
+    )
+    _write_current(payload, artifacts_dir, "BENCH_e31_current.json")
     return payload
 
 
@@ -263,11 +285,43 @@ def check_e30(baseline: dict, current: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_e31(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    failures = check_flags(baseline, current)
+
+    # Recall and eval-speedup are counts over seeded streams — fully
+    # host-independent — so gate against the suite's absolute floors
+    # (from the baseline's meta), not a tolerance band.
+    bounds = (
+        ("recall_at_10", baseline["meta"]["recall_floor"], ">="),
+        ("speedup_evals", baseline["meta"]["speedup_floor"], ">="),
+    )
+    for name, bound, op in bounds:
+        base = baseline["deterministic"][name]
+        cur = current["deterministic"].get(name)
+        ok = cur is not None and cur >= bound
+        status = "ok" if ok else "REGRESSED"
+        print(f"{name:>40}: baseline {base:6.3f}  current "
+              f"{cur if cur is not None else float('nan'):6.3f}  "
+              f"bound {op} {bound:4.2f}  [{status}]")
+        if not ok:
+            failures.append(f"{name}: {cur!r} violates bound {op} {bound}")
+
+    # Shard-invariance is exact: any divergence is a correctness bug.
+    for name in ("identical_1v2", "identical_1v4"):
+        cur = current["deterministic"].get(name)
+        if cur != 1:
+            failures.append(
+                f"{name}: top-k no longer shard-invariant ({cur!r})"
+            )
+    return failures
+
+
 SUITES = {
     "e27": ("BENCH_e27.json", measure_e27, check_e27),
     "e28": ("BENCH_e28.json", measure_e28, check_e28),
     "e29": ("BENCH_e29.json", measure_e29, check_e29),
     "e30": ("BENCH_e30.json", measure_e30, check_e30),
+    "e31": ("BENCH_e31.json", measure_e31, check_e31),
 }
 
 

@@ -1,4 +1,4 @@
-"""Regenerate every experiment table (E1-E30) in one run.
+"""Regenerate every experiment table (E1-E31) in one run.
 
 Usage:  python benchmarks/run_experiments.py [--only E4 E8 ...]
                                              [--artifacts-dir DIR] [--smoke]
@@ -59,6 +59,7 @@ MODULES = [
     ("E28", "bench_lifecycle"),
     ("E29", "bench_elasticity"),
     ("E30", "bench_geo"),
+    ("E31", "bench_semantic"),
 ]
 
 

@@ -5,7 +5,8 @@ Workloads and benchmarks used to be written twice: once against a single
 :class:`~repro.cluster.cluster.PlatformCluster`, special-casing whichever
 deployment shape they happened to target.  :class:`DataPlane` is the one
 explicit interface both implement — ingest (per-record and columnar),
-tick-driven flushing, prefix/spatial/continuous queries, and marketplace
+tick-driven flushing, modality-agnostic :meth:`~DataPlane.query` dispatch
+(plus the prefix/spatial/continuous convenience wrappers), and marketplace
 operations — so a workload written once against the protocol runs
 unchanged on either shape (experiment E27 exploits exactly this to compare
 the per-record and columnar hot paths on identical drivers).
@@ -15,12 +16,10 @@ from .dataplane import (
     ContinuousQuery,
     DataPlane,
     GatherResult,
-    deprecated_alias,
 )
 
 __all__ = [
     "ContinuousQuery",
     "DataPlane",
     "GatherResult",
-    "deprecated_alias",
 ]

@@ -10,15 +10,14 @@ query return type; :mod:`repro.cluster` re-exports it for compatibility.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from functools import wraps
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.columns import RecordBatch
     from ..core.records import DataRecord
     from ..platform.platform import PurchaseOutcome
+    from ..query.plane import QueryRequest
     from ..spatial.geometry import BBox
     from ..workloads.marketplace import PurchaseRequest
 
@@ -37,39 +36,17 @@ class GatherResult:
 
 @dataclass
 class ContinuousQuery:
-    """One standing prefix query, re-evaluated on every :meth:`tick`."""
+    """One standing query, re-evaluated on every :meth:`tick`.
+
+    ``request`` carries the full query-plane request (any modality);
+    ``prefix`` is kept as a plain-data summary for the common
+    prefix-scan case (empty for other modalities).
+    """
 
     query_id: str
     prefix: str
     results: GatherResult | None = field(default=None)
-
-
-def deprecated_alias(new_name: str, old_name: str | None = None):
-    """Wrap a bound method under its old name, warning on every call.
-
-    The wrapper forwards verbatim, so aliased call sites keep working
-    while the :class:`DeprecationWarning` names the replacement.  Pass
-    ``old_name`` when aliasing an existing method object (whose
-    ``__name__`` is already the new name).
-    """
-
-    def decorate(fn):
-        deprecated = old_name or fn.__name__
-
-        @wraps(fn)
-        def shim(*args, **kwargs):
-            warnings.warn(
-                f"{deprecated} is deprecated; use {new_name} instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            return fn(*args, **kwargs)
-
-        shim.__name__ = deprecated
-        shim.__doc__ = f"Deprecated alias for :meth:`{new_name}`."
-        return shim
-
-    return decorate
+    request: "QueryRequest | None" = field(default=None)
 
 
 @runtime_checkable
@@ -83,9 +60,10 @@ class DataPlane(Protocol):
     * :meth:`ingest`/:meth:`ingest_many`/:meth:`ingest_batch` buffer;
       nothing is visible to queries until :meth:`flush` (or :meth:`tick`);
     * :meth:`flush` returns the number of records written;
-    * :meth:`scan_prefix`/:meth:`query_spatial` return a
-      :class:`GatherResult` whose items are ``(key, stored_value)``
-      pairs sorted by key;
+    * :meth:`query` runs any registered query-plane modality
+      (:mod:`repro.query.plane`) and returns a :class:`GatherResult`;
+      :meth:`scan_prefix`/:meth:`query_spatial` are thin wrappers over
+      it whose items are ``(key, stored_value)`` pairs sorted by key;
     * :meth:`tick` advances simulated time, flushes, and re-evaluates
       every registered continuous query, returning fresh results;
     * :meth:`process_purchases` decides an identically-ordered request
@@ -106,6 +84,8 @@ class DataPlane(Protocol):
     def tick(self, dt: float) -> "dict[str, GatherResult]": ...
 
     # -- queries -----------------------------------------------------------
+
+    def query(self, request: "QueryRequest") -> GatherResult: ...
 
     def scan_prefix(self, prefix: str) -> GatherResult: ...
 

@@ -49,7 +49,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass, replace
 
-from ..api.dataplane import ContinuousQuery, GatherResult, deprecated_alias
+from ..api.dataplane import ContinuousQuery, GatherResult
 from ..core.clock import SimulationClock
 from ..core.columns import RecordBatch
 from ..core.errors import (
@@ -66,6 +66,14 @@ from ..platform.platform import (
     PurchaseOutcome,
     purchase_sort_key,
     stored_record_value,
+)
+from ..query.plane import (
+    QueryExecutor,
+    QueryModality,
+    QueryPlan,
+    QueryRequest,
+    prefix_query,
+    spatial_query,
 )
 from ..resilience.faults import FaultInjector
 from ..resilience.policies import Timeout
@@ -191,6 +199,9 @@ class PlatformCluster:
         self._pending: dict[str, list[DataRecord]] = {}
         self._pending_batches: dict[str, list[RecordBatch]] = {}
         self._continuous: dict[str, ContinuousQuery] = {}
+        # Query-plane executor: resolves requests to (modality, plan);
+        # the cluster contributes only the scatter-gather dispatch.
+        self.query_executor = QueryExecutor()
         # Bounded-drain ingest queues (opt-in): banked per-shard drain
         # credit, accrued each tick at ``shard_drain_rate`` and spent by
         # flush().  With the rate unset, flushes stay unbounded and the
@@ -248,6 +259,7 @@ class PlatformCluster:
             tracer=self.tracer,
             faults=self.faults,
             engine=engine,
+            semantic_index=self.config.semantic_index,
         )
 
     def shard_of(self, key: str) -> MetaversePlatform:
@@ -507,7 +519,12 @@ class PlatformCluster:
         self.maintain_storage()
         results: dict[str, GatherResult] = {}
         for query in self._continuous.values():
-            query.results = self.scan_prefix(query.prefix)
+            request = (
+                query.request
+                if query.request is not None
+                else prefix_query(query.prefix)
+            )
+            query.results = self.query(request)
             self.metrics.counter("cluster.continuous.evaluations").inc()
             results[query.query_id] = query.results
         return results
@@ -616,24 +633,56 @@ class PlatformCluster:
                 owner, record.key, stored_record_value(record)
             )
 
-    def gather(self, fn) -> GatherResult:
-        """Scatter ``fn(shard)`` to every shard under per-shard deadlines.
+    def query(self, request: QueryRequest) -> GatherResult:
+        """Scatter one query-plane request across the ring and merge.
 
-        A shard that raises an injected crash (site ``cluster.query``),
-        exceeds its deadline — injected delays advance the simulated clock
-        — or whose storage RPCs stay faulted past the retry budget
-        (disaggregated mode, site ``storage.rpc``) is skipped and reported
-        in ``failed_shards``; the result is then *partial*, the
-        availability-over-completeness stance the paper takes for
-        interactive queries.
+        The modality (from the plane registry) plans/rewrites once; the
+        cluster contributes exactly one thing — the fault-aware scatter
+        in :meth:`_scatter` — and the modality folds the per-shard
+        partials with its order-deterministic merge.  New modalities
+        (e.g. :mod:`repro.semantic`) ride this path without any cluster
+        edits.
         """
-        return self._gather_named(lambda name, shard: fn(shard))
+        modality, plan = self.query_executor.resolve(request)
+        return self.run_plan(modality, plan)
 
-    def _gather_named(self, fn) -> GatherResult:
-        """:meth:`gather` with the shard name passed to ``fn`` — the
-        disaggregated scan paths need it to filter the shared keyspace
-        down to each compute node's owned slice."""
-        items: list = []
+    def run_plan(self, modality: QueryModality, plan: QueryPlan) -> GatherResult:
+        """Dispatch an already-planned query (the geo layer reuses this
+        to fan the same plan out across regions without re-planning)."""
+        partials, failed = self._scatter(
+            lambda name, shard: self._owned_slice(
+                name, modality.execute(shard, plan), key_of=modality.item_key
+            )
+        )
+        return GatherResult(
+            items=modality.merge(partials, plan), failed_shards=failed
+        )
+
+    def gather(self, fn) -> GatherResult:
+        """Scatter an ad-hoc ``fn(shard)`` to every shard (escape hatch
+        for cross-shard reads that are not a registered modality); the
+        per-shard results are concatenated in ring order."""
+        partials, failed = self._scatter(lambda name, shard: fn(shard))
+        return GatherResult(
+            items=[item for partial in partials for item in partial],
+            failed_shards=failed,
+        )
+
+    def _scatter(self, fn) -> tuple[list[list], tuple[str, ...]]:
+        """THE scatter core: every fan-out in the cluster runs through here.
+
+        Visits shards in ring order under per-shard deadlines.  A shard
+        that is down, raises an injected crash (site ``cluster.query``),
+        exceeds its deadline — injected delays advance the simulated
+        clock — or whose storage RPCs stay faulted past the retry budget
+        (disaggregated mode, site ``storage.rpc``) is skipped and
+        reported in the failed tuple; the result is then *partial*, the
+        availability-over-completeness stance the paper takes for
+        interactive queries.  Partiality is observable exactly once per
+        fan-out via the ``cluster.gather.partial`` counter, and
+        ``failed_shards`` names exactly which shards were unreachable.
+        """
+        partials: list[list] = []
         failed: list[str] = []
         with self.tracer.span("cluster.gather", shards=len(self.shards)):
             for name in self.router.shards:
@@ -657,75 +706,63 @@ class PlatformCluster:
                     failed.append(name)
                     continue
                 try:
-                    items.extend(fn(name, self.shards[name]))
+                    partials.append(list(fn(name, self.shards[name])))
                 except FaultInjectedError:
                     # Remote-engine RPCs that stayed faulted past the
                     # shard's retry budget: partial result, not an error.
                     self.metrics.counter("cluster.query.shard_failed").inc()
                     failed.append(name)
-        self.metrics.histogram("cluster.query.fanout_results").observe(len(items))
+        self.metrics.histogram("cluster.query.fanout_results").observe(
+            sum(len(partial) for partial in partials)
+        )
         if failed:
             # Partial results are legitimate (availability over
             # completeness) but must be observable: dashboards alert on
-            # this counter, and GatherResult.failed_shards names exactly
-            # which shards were unreachable.
+            # this counter.
             self.metrics.counter("cluster.gather.partial").inc()
-        return GatherResult(items=items, failed_shards=tuple(failed))
+        return partials, tuple(failed)
 
-    def _owned_slice(self, name: str, items: list) -> list:
-        """Restrict scan output to keys ``name`` owns on the compute ring.
+    def _owned_slice(self, name: str, items: list, key_of=None) -> list:
+        """Restrict shard output to keys ``name`` owns on the compute ring.
 
         On local engines each shard physically holds only its own keys and
         this is the identity; on a shared storage tier every compute node
         sees the whole keyspace, so scatter-gather must partition results
-        by ring ownership to keep exactly-one semantics.
+        by ring ownership to keep exactly-one semantics.  ``key_of`` maps
+        one result item to its routing key (the modality's ``item_key``),
+        keeping this filter modality-agnostic.
         """
         if self.storage is None:
             return items
+        if key_of is None:
+            def key_of(item):
+                return item[0]
         return [
-            (key, value) for key, value in items
-            if self.router.owner_of(key) == name
+            item for item in items
+            if self.router.owner_of(key_of(item)) == name
         ]
 
     def scan_prefix(self, prefix: str) -> GatherResult:
         """Range query: every (key, value) with ``key`` under ``prefix``."""
-        hi = prefix + "￿"
-        result = self._gather_named(
-            lambda name, shard: self._owned_slice(name, shard.scan(prefix, hi))
-        )
-        result.items.sort(key=lambda kv: kv[0])
-        return result
+        return self.query(prefix_query(prefix))
 
     def query_spatial(self, region: BBox) -> GatherResult:
         """Entities whose payload position (``x``/``y``) lies in ``region``."""
-
-        def in_region(name: str, shard: MetaversePlatform):
-            out = []
-            for key, value in self._owned_slice(name, shard.scan("", "￿")):
-                payload = value.get("payload", {}) if isinstance(value, dict) else {}
-                x, y = payload.get("x"), payload.get("y")
-                if (
-                    isinstance(x, (int, float))
-                    and isinstance(y, (int, float))
-                    and region.x_min <= x <= region.x_max
-                    and region.y_min <= y <= region.y_max
-                ):
-                    out.append((key, value))
-            return out
-
-        result = self._gather_named(in_region)
-        result.items.sort(key=lambda kv: kv[0])
-        return result
-
-    spatial_range = deprecated_alias("query_spatial", "spatial_range")(
-        query_spatial
-    )
+        return self.query(spatial_query(region))
 
     def register_continuous(self, query_id: str, prefix: str) -> None:
         """Register a standing prefix query, re-evaluated every tick."""
+        self.register_continuous_query(query_id, prefix_query(prefix))
+
+    def register_continuous_query(
+        self, query_id: str, request: QueryRequest
+    ) -> None:
+        """Register a standing query of *any* modality, refreshed per tick."""
         if query_id in self._continuous:
             raise ConfigurationError(f"duplicate continuous query {query_id!r}")
-        self._continuous[query_id] = ContinuousQuery(query_id, prefix)
+        self._continuous[query_id] = ContinuousQuery(
+            query_id, str(request.params.get("prefix", "")), request=request
+        )
 
     def continuous_results(self, query_id: str) -> GatherResult | None:
         return self._continuous[query_id].results

@@ -142,6 +142,10 @@ class ClusterConfig:
     #: Closed-loop elasticity (autoscaling, hot-key salting, admission
     #: control); None leaves the cluster fully static.
     elasticity: ElasticityConfig | None = None
+    #: Per-shard semantic retrieval (repro.semantic): True for default
+    #: index parameters, or a SemanticIndexConfig.  Off by default — the
+    #: numeric ingest hot paths never pay the embedding cost.
+    semantic_index: object = False
 
     def validate(self) -> "ClusterConfig":
         """Check cross-field invariants; returns self for chaining."""
@@ -169,6 +173,12 @@ class ClusterConfig:
                 )
         if self.shard_drain_rate is not None and self.shard_drain_rate <= 0:
             raise ConfigurationError("shard_drain_rate must be positive")
+        if self.semantic_index and self.n_storage_nodes is not None:
+            raise ConfigurationError(
+                "semantic_index requires local shard engines: on a shared "
+                "storage tier a compute node's ANN graph would go stale "
+                "across re-mounts and ring remaps"
+            )
         if self.elasticity is not None:
             self.elasticity.validate()
             if self.n_replicas >= 2:

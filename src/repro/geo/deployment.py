@@ -62,6 +62,13 @@ from ..platform.platform import (
     purchase_sort_key,
     stored_record_value,
 )
+from ..query.plane import (
+    QueryExecutor,
+    QueryModality,
+    QueryPlan,
+    QueryRequest,
+    prefix_query,
+)
 from ..resilience.faults import FaultInjector, FaultPlan
 from ..resilience.policies import CircuitBreaker, RetryPolicy, Timeout
 from ..workloads.marketplace import PurchaseRequest
@@ -277,6 +284,9 @@ class GeoDeployment:
             )
             for name in self.config.regions
         }
+        # Query-plane executor: plans/rewrites once per geo query; the
+        # regions' clusters then run the resolved plan as-is.
+        self.query_executor = QueryExecutor()
 
     # -- topology ----------------------------------------------------------
 
@@ -911,34 +921,127 @@ class GeoDeployment:
 
     # -- fan-out queries ---------------------------------------------------
 
-    def scan_prefix(self, prefix: str) -> GatherResult:
-        """Range query over every region's *home* keyspace.
+    def query(
+        self,
+        request: QueryRequest,
+        consistency: str = EVENTUAL,
+        region: str | None = None,
+        session: GeoSession | None = None,
+    ) -> GatherResult:
+        """Fan one query-plane request out under a per-call consistency mode.
+
+        Like point reads, fan-out queries choose which replicas answer:
+
+        * ``eventual`` — served entirely by the caller's region from its
+          local replica state: zero WAN traffic, bounded staleness,
+          available through partitions and remote outages.
+        * ``read_your_writes`` — served locally only when the caller
+          region's replication watermarks cover the session's writes for
+          every home; otherwise transparently upgraded to the
+          authoritative fan-out.
+        * ``linearizable`` — the authoritative fan-out: each live region
+          answers for exactly the keys it is home for.  With an explicit
+          caller ``region``, reaching each remote home pays (and
+          accounts) a WAN round trip, and an unreachable home makes the
+          result partial instead of stale; with ``region=None`` (the
+          operator view — what :meth:`scan_prefix` uses) the gather is
+          costed as intra-DC.
+
+        Any registered modality rides this path — the geo layer resolves
+        the plan once and never looks at what the modality is.
+        """
+        if consistency not in CONSISTENCY_MODES:
+            raise ConfigurationError(
+                f"unknown consistency mode {consistency!r}; "
+                f"expected one of {CONSISTENCY_MODES}"
+            )
+        modality, plan = self.query_executor.resolve(request)
+        if consistency == EVENTUAL:
+            result = self._query_local(
+                modality, plan, self._resolve_region(region)
+            )
+        elif consistency == READ_YOUR_WRITES:
+            via = self._resolve_region(region)
+            if self._session_covered(via, session):
+                self.metrics.counter("geo.query.ryw_local").inc()
+                result = self._query_local(modality, plan, via)
+            else:
+                # The local copy has not caught up to this session's
+                # writes: upgrade to the authoritative fan-out rather
+                # than violate RYW.
+                self.metrics.counter("geo.query.ryw_upgraded").inc()
+                result = self._query_homes(modality, plan, via=via)
+        else:
+            result = self._query_homes(modality, plan, via=region)
+        self.metrics.counter(f"geo.query.{consistency}").inc()
+        return result
+
+    def _session_covered(self, via: str, session: GeoSession | None) -> bool:
+        """Has ``via`` replicated everything this session wrote, for
+        every home?  (No session ⇒ nothing to cover.)"""
+        for home in self.config.regions:
+            if home == via:
+                continue
+            needed = session.vector.get(home, 0) if session is not None else 0
+            if self.replicator.watermark(home, via) < needed:
+                return False
+        return True
+
+    def _query_local(
+        self, modality: QueryModality, plan: QueryPlan, via: str
+    ) -> GatherResult:
+        """One region answers from whatever replica state it holds."""
+        result = self._clusters[via].run_plan(modality, plan)
+        failed = tuple(f"{via}/{shard}" for shard in result.failed_shards)
+        if failed:
+            self.metrics.counter("geo.gather.partial").inc()
+        return GatherResult(items=result.items, failed_shards=failed)
+
+    def _query_homes(
+        self, modality: QueryModality, plan: QueryPlan, via: str | None = None
+    ) -> GatherResult:
+        """Authoritative fan-out: each region answers for its home keys.
 
         Each live region contributes only the keys it is authoritative
         for (its replica copies of other homes' keys are filtered out, so
-        every key appears exactly once).  A down region makes the result
-        partial — its name lands in ``failed_shards`` alongside any
-        ``region/shard`` entries from intra-region fan-out failures —
-        rather than silently served stale from a replica.
+        every key appears exactly once).  A down or — under an explicit
+        caller region — WAN-unreachable region makes the result partial:
+        its name lands in ``failed_shards`` alongside any
+        ``region/shard`` entries from intra-region fan-out failures,
+        rather than silently serving stale replica state.
         """
-        items: list = []
+        partials: list[list] = []
         failed: list[str] = []
         for name in self.config.regions:
             if name in self._down:
                 failed.append(name)
                 self.metrics.counter("geo.gather.region_down").inc()
                 continue
-            result = self._clusters[name].scan_prefix(prefix)
-            items.extend(
-                (key, value)
-                for key, value in result.items
-                if self.home_of(key) == name
+            if via is not None and via != name:
+                try:
+                    self._wan_rpc(via, name)
+                except (PartitionedError, FaultInjectedError):
+                    failed.append(name)
+                    self.metrics.counter("geo.gather.region_unreachable").inc()
+                    continue
+            result = self._clusters[name].run_plan(modality, plan)
+            partials.append(
+                [
+                    item
+                    for item in result.items
+                    if self.home_of(modality.item_key(item)) == name
+                ]
             )
             failed.extend(f"{name}/{shard}" for shard in result.failed_shards)
-        items.sort(key=lambda kv: kv[0])
+        items = modality.merge(partials, plan)
         if failed:
             self.metrics.counter("geo.gather.partial").inc()
         return GatherResult(items=items, failed_shards=tuple(failed))
+
+    def scan_prefix(self, prefix: str) -> GatherResult:
+        """Range query over every region's *home* keyspace (the
+        authoritative fan-out of :meth:`query`, operator view)."""
+        return self.query(prefix_query(prefix), consistency=LINEARIZABLE)
 
     # -- introspection -----------------------------------------------------
 

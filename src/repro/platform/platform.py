@@ -39,9 +39,11 @@ from ..net.overlay import stable_hash
 from ..net.pubsub import Broker, Publication, Subscription
 from ..obs.tracing import NoopTracer, Tracer
 from ..platform.gateway import DeviceGateway
+from ..query.plane import QueryExecutor, QueryRequest, prefix_query, spatial_query
 from ..resilience.degrade import DegradationController
 from ..resilience.faults import FaultInjector
 from ..resilience.policies import CircuitBreaker, RetryPolicy
+from ..semantic import SemanticIndex, SemanticIndexConfig
 from ..storage.bufferpool import BufferPool, PageMeta
 from ..storage.engine import LocalStorageEngine, StorageEngine
 from ..txn.mvcc import TransactionManager
@@ -108,6 +110,7 @@ class MetaversePlatform:
         degradation: DegradationController | None = None,
         engine: StorageEngine | None = None,
         position_index: bool = True,
+        semantic_index: SemanticIndexConfig | bool = False,
     ) -> None:
         if n_executors < 1:
             raise ConfigurationError("need at least one executor")
@@ -199,6 +202,20 @@ class MetaversePlatform:
             {} if position_index and isinstance(engine, LocalStorageEngine)
             else None
         )
+        # Opt-in semantic retrieval: an HNSW graph over this node's
+        # describable entities, maintained from the same write paths as
+        # the position memo (so failover promotion, which replays via
+        # import_entity, rebuilds it for free).  Off by default — the
+        # numeric hot-path workloads never pay the embedding cost.
+        self.semantic: SemanticIndex | None = None
+        if semantic_index:
+            self.semantic = SemanticIndex(
+                semantic_index
+                if isinstance(semantic_index, SemanticIndexConfig)
+                else None
+            )
+        # Query-plane executor: this platform is the single shard.
+        self.query_executor = QueryExecutor()
 
     # -- storage access -----------------------------------------------------
 
@@ -250,6 +267,8 @@ class MetaversePlatform:
         self._remember(record.key, value)
         if self._positions is not None:
             self._index_position(record.key, record.payload)
+        if self.semantic is not None:
+            self.semantic.index_record(record.key, record.payload)
 
     def write_record_batch(self, batch: RecordBatch) -> None:
         """Persist a columnar batch: one bulk engine call for N records.
@@ -295,6 +314,9 @@ class MetaversePlatform:
             else:
                 for key in batch.keys:
                     self._positions.pop(key, None)
+        if self.semantic is not None:
+            for key, payload in zip(batch.keys, payloads):
+                self.semantic.index_record(key, payload)
 
     def _index_position(self, key: str, payload: dict) -> None:
         """Track (or forget) the entity's payload position.
@@ -431,21 +453,37 @@ class MetaversePlatform:
         self.flush()
         results: dict[str, GatherResult] = {}
         for query in self._continuous.values():
-            query.results = self.scan_prefix(query.prefix)
+            request = (
+                query.request
+                if query.request is not None
+                else prefix_query(query.prefix)
+            )
+            query.results = self.query(request)
             self.metrics.counter("platform.continuous.evaluations").inc()
             results[query.query_id] = query.results
         return results
 
     # -- DataPlane: queries --------------------------------------------------
 
+    def query(self, request: QueryRequest) -> GatherResult:
+        """Run one query-plane request on this node (single-shard executor).
+
+        The modality plans/rewrites once, executes against this platform
+        as the only shard, and merges the single partial — the same code
+        path the cluster scatter-gathers, minus the fan-out.
+        """
+        return self.query_executor.run_single(self, request)
+
     def scan_prefix(self, prefix: str) -> GatherResult:
         """Range query: every (key, value) with ``key`` under ``prefix``."""
-        items = self.scan(prefix, prefix + "￿")
-        items.sort(key=lambda kv: kv[0])
-        return GatherResult(items=items)
+        return self.query(prefix_query(prefix))
 
     def query_spatial(self, region: "BBox") -> GatherResult:
-        """Entities whose payload position (``x``/``y``) lies in ``region``.
+        """Entities whose payload position (``x``/``y``) lies in ``region``."""
+        return self.query(spatial_query(region))
+
+    def spatial_items(self, region: "BBox") -> list:
+        """Shard-local spatial execution (unsorted; the modality merges).
 
         With the position index on (local engine), candidate keys come
         from a dict filter instead of a full keyspace scan; both paths
@@ -478,14 +516,33 @@ class MetaversePlatform:
                     and region.y_min <= y <= region.y_max
                 ):
                     items.append((key, value))
-        items.sort(key=lambda kv: kv[0])
-        return GatherResult(items=items)
+        return items
+
+    def semantic_search(
+        self, vector, k: int, ef: int | None = None
+    ) -> list[tuple[str, float]]:
+        """Shard-local ANN top-k over this node's semantic index."""
+        if self.semantic is None:
+            raise ConfigurationError(
+                "semantic index not enabled; build the platform with "
+                "semantic_index=True (or a SemanticIndexConfig)"
+            )
+        self.metrics.counter("platform.semantic.searches").inc()
+        return self.semantic.search(vector, k, ef=ef)
 
     def register_continuous(self, query_id: str, prefix: str) -> None:
         """Register a standing prefix query, re-evaluated every tick."""
+        self.register_continuous_query(query_id, prefix_query(prefix))
+
+    def register_continuous_query(
+        self, query_id: str, request: QueryRequest
+    ) -> None:
+        """Register a standing query of *any* modality, refreshed per tick."""
         if query_id in self._continuous:
             raise ConfigurationError(f"duplicate continuous query {query_id!r}")
-        self._continuous[query_id] = ContinuousQuery(query_id, prefix)
+        self._continuous[query_id] = ContinuousQuery(
+            query_id, str(request.params.get("prefix", "")), request=request
+        )
 
     def continuous_results(self, query_id: str) -> GatherResult | None:
         return self._continuous[query_id].results
@@ -747,9 +804,11 @@ class MetaversePlatform:
         self._with_retry(lambda: self.engine.put(key, value))
         self.pool.invalidate(key)
         self._remember(key, value)
+        payload = value.get("payload", {}) if isinstance(value, dict) else {}
         if self._positions is not None:
-            payload = value.get("payload", {}) if isinstance(value, dict) else {}
             self._index_position(key, payload)
+        if self.semantic is not None:
+            self.semantic.index_record(key, payload)
 
     def drop_entity(self, key: str) -> None:
         """Forget an entity handed off to another shard."""
@@ -758,6 +817,8 @@ class MetaversePlatform:
         self._stale.pop(key, None)
         if self._positions is not None:
             self._positions.pop(key, None)
+        if self.semantic is not None:
+            self.semantic.discard(key)
 
     def catalog_snapshot(self) -> dict[str, dict]:
         """Committed product state, keyed by product id."""

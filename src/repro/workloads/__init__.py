@@ -10,6 +10,7 @@ from .healthcare import (
 from .marketplace import FlashSaleConfig, MarketplaceWorkload, PurchaseRequest
 from .military import MilitaryConfig, MilitaryExercise
 from .movement import PatrolRoute, RandomWaypoint, diurnal_rate, zipf_sampler
+from .retrieval import RetrievalConfig, RetrievalWorkload
 from .smartcity import CityConfig, SensorGrid
 
 __all__ = [
@@ -25,6 +26,8 @@ __all__ = [
     "PatrolRoute",
     "PurchaseRequest",
     "RandomWaypoint",
+    "RetrievalConfig",
+    "RetrievalWorkload",
     "SensorGrid",
     "SurgerySession",
     "VitalsStream",

@@ -1,0 +1,138 @@
+"""Text-to-scene retrieval workload (ROADMAP item 1).
+
+A populated virtual scene — rooms full of describable objects ("red
+wooden chair", "glass fountain") — plus the natural-language query
+stream users aim at it ("find the blue lamp in the lobby").  Grounded in
+"A Language-based solution to enable Metaverse Retrieval": users locate
+metaverse content by describing it, not by knowing its key, so the
+workload's records carry *describable* payloads (name, tags, room) that
+:mod:`repro.semantic` embeds, alongside the x/y positions every other
+modality expects.  This is the corpus and query driver for experiment
+E31 (``benchmarks/bench_semantic.py``).
+
+Everything derives from one seeded :class:`random.Random`: the same
+config + seed yields byte-identical records and query phrases on every
+host, which is what lets E31 pin recall/speedup numbers as exact gauges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+from ..core.records import DataKind, DataRecord, Space
+
+#: Scene vocabulary: adjectives x materials x object nouns, placed in
+#: rooms.  Wide enough (24 x 16 x 24 x 16 ~ 147k combinations) that a
+#: 20k-object corpus rarely repeats a full description, which keeps
+#: equal-score tie classes small relative to an ANN search beam.
+ADJECTIVES = (
+    "red", "blue", "green", "golden", "silver", "ancient", "tiny",
+    "giant", "carved", "glowing", "broken", "ornate", "crimson", "pale",
+    "striped", "dusty", "polished", "crooked", "floating", "enchanted",
+    "rusty", "gilded", "cracked", "luminous",
+)
+MATERIALS = (
+    "wooden", "stone", "glass", "metal", "marble", "velvet", "ceramic",
+    "bamboo", "copper", "obsidian", "crystal", "leather", "porcelain",
+    "granite", "ivory", "bronze",
+)
+NOUNS = (
+    "chair", "table", "lamp", "statue", "vase", "carpet", "mirror",
+    "fountain", "bookshelf", "painting", "throne", "chandelier", "clock",
+    "globe", "harp", "tapestry", "urn", "pedestal", "cabinet", "bench",
+    "telescope", "candelabra", "orrery", "sundial",
+)
+ROOMS = (
+    "lobby", "kitchen", "garden", "library", "ballroom", "cellar",
+    "observatory", "gallery", "atrium", "courtyard", "armory", "chapel",
+    "solarium", "vault", "terrace", "workshop",
+)
+
+
+@dataclass(frozen=True)
+class RetrievalConfig:
+    """Shape of the scene corpus and its query stream."""
+
+    n_objects: int = 1000
+    n_queries: int = 100
+    #: Scene extent: objects are placed uniformly in [0, area_side)^2.
+    area_side: float = 1000.0
+    #: Tokens per query phrase (drawn from the same vocabulary the
+    #: objects describe themselves with, so queries have real matches).
+    query_tokens: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_objects < 1:
+            raise ConfigurationError("n_objects must be >= 1")
+        if self.n_queries < 1:
+            raise ConfigurationError("n_queries must be >= 1")
+        if self.area_side <= 0:
+            raise ConfigurationError("area_side must be positive")
+        if self.query_tokens < 1:
+            raise ConfigurationError("query_tokens must be >= 1")
+
+
+class RetrievalWorkload:
+    """Seeded generator for scene-object records and text queries."""
+
+    def __init__(self, config: RetrievalConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else RetrievalConfig()
+        self.seed = seed
+
+    def object_key(self, i: int) -> str:
+        return f"scene/obj/{i:06d}"
+
+    def scene_records(self) -> list[DataRecord]:
+        """The corpus: one describable object record per key.
+
+        Payloads mix the semantic surface (``name``, ``tags``, ``room``
+        strings) with the numeric surface (``x``/``y`` positions), so a
+        single corpus serves the semantic, spatial, and prefix
+        modalities at once.
+        """
+        rng = random.Random(f"{self.seed}:objects")  # str seeds are stable
+        side = self.config.area_side
+        out = []
+        for i in range(self.config.n_objects):
+            adjective = rng.choice(ADJECTIVES)
+            material = rng.choice(MATERIALS)
+            noun = rng.choice(NOUNS)
+            room = rng.choice(ROOMS)
+            out.append(
+                DataRecord(
+                    key=self.object_key(i),
+                    payload={
+                        "name": f"{adjective} {material} {noun}",
+                        "tags": [adjective, material, noun],
+                        "room": room,
+                        "x": rng.uniform(0.0, side),
+                        "y": rng.uniform(0.0, side),
+                    },
+                    space=Space.VIRTUAL,
+                    timestamp=float(i),
+                    kind=DataKind.STRUCTURED,
+                    source="retrieval-workload",
+                )
+            )
+        return out
+
+    def query_texts(self) -> list[str]:
+        """The query stream: natural-ish phrases over the scene vocabulary.
+
+        Each phrase samples ``query_tokens`` words across the adjective /
+        material / noun / room axes (always at least one noun, so every
+        query names a thing), mirroring how a user would describe an
+        object they remember.
+        """
+        rng = random.Random(f"{self.seed}:queries")
+        axes = (ADJECTIVES, MATERIALS, ROOMS)
+        out = []
+        for _ in range(self.config.n_queries):
+            tokens = [rng.choice(NOUNS)]
+            for _ in range(self.config.query_tokens - 1):
+                tokens.append(rng.choice(rng.choice(axes)))
+            rng.shuffle(tokens)
+            out.append(" ".join(tokens))
+        return out

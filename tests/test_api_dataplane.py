@@ -5,6 +5,12 @@ cluster, and a disaggregated cluster — held to the same observable
 behaviour: ingest is invisible until flush/tick, queries return sorted
 (key, value) pairs, continuous queries refresh per tick, and an
 identically ordered purchase stream decides identically everywhere.
+
+The query-plane class at the bottom runs the same request objects —
+prefix, spatial, and semantic — against a platform node, a sharded
+cluster, and a two-region geo deployment read through a
+:class:`~repro.geo.GeoSession` at eventual consistency, and demands
+identical items from all three.
 """
 
 import warnings
@@ -14,7 +20,10 @@ import pytest
 from repro.api import DataPlane, GatherResult
 from repro.cluster import ClusterConfig, PlatformCluster
 from repro.core import ConfigurationError, DataKind, DataRecord, RecordBatch, Space
+from repro.geo import EVENTUAL, GeoConfig, GeoDeployment, GeoSession
 from repro.platform import MetaversePlatform
+from repro.query.plane import prefix_query, spatial_query
+from repro.semantic import semantic_query
 from repro.spatial.geometry import BBox
 from repro.workloads import FlashSaleConfig, MarketplaceWorkload
 
@@ -152,14 +161,20 @@ class TestProtocolConformance:
 
 
 class TestDeprecatedSurface:
-    def test_spatial_range_alias_warns_and_forwards(self):
+    def test_spatial_range_alias_is_gone(self):
+        """The ``deprecated_alias`` shims were dropped: ``query_spatial``
+        (and the generic ``query``) are the only spatial entry points."""
+        from repro.api import dataplane
+
+        assert not hasattr(dataplane, "deprecated_alias")
         cluster = PlatformCluster(config=ClusterConfig(n_shards=2))
+        assert not hasattr(cluster, "spatial_range")
         cluster.ingest_many(seed_records(8))
         cluster.flush()
         region = BBox(0.0, 0.0, 3.0, 3.0)
-        with pytest.warns(DeprecationWarning, match="spatial_range"):
-            aliased = cluster.spatial_range(region)
-        assert aliased.items == cluster.query_spatial(region).items
+        assert cluster.query_spatial(region).items == cluster.query(
+            spatial_query(region)
+        ).items
 
     def test_legacy_kwargs_warn_and_build_equivalent_config(self):
         with pytest.warns(DeprecationWarning, match="ClusterConfig"):
@@ -177,3 +192,140 @@ class TestDeprecatedSurface:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore")
                 PlatformCluster(no_such_knob=1)
+
+
+# -- query-plane conformance across deployment layers -----------------------
+
+ROOMS = ("kitchen", "garden", "lobby")
+TAGS = (
+    ["red", "chair"], ["blue", "lamp"], ["wooden", "table"],
+    ["stone", "statue"], ["glass", "vase"], ["red", "carpet"],
+)
+
+
+def scene_records(n=18):
+    """Scene objects with both text payloads (semantic) and positions
+    (spatial), so one corpus exercises every registered modality."""
+    return [
+        record(
+            f"scene/{i:03d}",
+            {
+                "name": f"object {i}",
+                "tags": list(TAGS[i % len(TAGS)]),
+                "room": ROOMS[i % len(ROOMS)],
+                "x": float(i),
+                "y": float(i % 4),
+            },
+            timestamp=float(i),
+        )
+        for i in range(n)
+    ]
+
+
+class GeoEventualReads:
+    """GeoSession eventual reads as a query-plane backend: one region's
+    replica state answers, zero WAN traffic."""
+
+    def __init__(self, geo, region, session):
+        self.geo = geo
+        self.region = region
+        self.session = session
+
+    def query(self, request):
+        return self.geo.query(
+            request,
+            consistency=EVENTUAL,
+            region=self.region,
+            session=self.session,
+        )
+
+
+QUERY_BACKENDS = ["platform", "cluster", "geo-eventual"]
+
+
+def make_query_backend(shape):
+    records = scene_records()
+    if shape == "platform":
+        plane = MetaversePlatform(semantic_index=True)
+        plane.ingest_many(records)
+        plane.tick(1.0)
+        return plane
+    if shape == "cluster":
+        plane = PlatformCluster(
+            config=ClusterConfig(n_shards=3, semantic_index=True)
+        )
+        plane.ingest_many(records)
+        plane.tick(1.0)
+        return plane
+    geo = GeoDeployment(
+        GeoConfig(
+            regions=("r-east", "r-west"),
+            cluster=ClusterConfig(n_shards=2, semantic_index=True),
+        )
+    )
+    session = GeoSession()
+    for rec in records:
+        geo.write_record(rec, session=session)
+    for _ in range(64):  # replica-log shipping + hint delivery converge
+        geo.tick(0.25)
+        if geo.max_replication_lag() == 0:
+            break
+    assert geo.max_replication_lag() == 0
+    return GeoEventualReads(geo, "r-east", session)
+
+
+@pytest.fixture(scope="class")
+def query_backends():
+    return {shape: make_query_backend(shape) for shape in QUERY_BACKENDS}
+
+
+class TestQueryPlaneConformance:
+    """The same :class:`QueryRequest` objects produce identical items on a
+    platform node, a sharded cluster, and geo eventual reads — no backend
+    carries modality-specific dispatch code."""
+
+    def run_all(self, query_backends, request_obj):
+        return {
+            shape: backend.query(request_obj)
+            for shape, backend in query_backends.items()
+        }
+
+    def test_prefix_identical_across_backends(self, query_backends):
+        results = self.run_all(query_backends, prefix_query("scene/"))
+        for shape in QUERY_BACKENDS:
+            assert not results[shape].partial
+            assert results[shape].items == results["platform"].items
+        assert len(results["platform"].items) == 18
+
+    def test_spatial_identical_across_backends(self, query_backends):
+        results = self.run_all(
+            query_backends, spatial_query(BBox(3.0, 0.0, 11.0, 2.0))
+        )
+        keys = [k for k, _ in results["platform"].items]
+        assert keys == [
+            f"scene/{i:03d}" for i in range(3, 12) if i % 4 <= 2
+        ]
+        for shape in QUERY_BACKENDS:
+            assert results[shape].items == results["platform"].items
+
+    def test_semantic_identical_across_backends(self, query_backends):
+        results = self.run_all(
+            query_backends, semantic_query("red chair kitchen", k=5)
+        )
+        base = results["platform"].items
+        assert len(base) == 5
+        scores = [score for _, score in base]
+        assert scores == sorted(scores, reverse=True)
+        for shape in QUERY_BACKENDS:
+            assert [k for k, _ in results[shape].items] == [
+                k for k, _ in base
+            ]
+            for (_, got), (_, want) in zip(results[shape].items, base):
+                assert got == pytest.approx(want, abs=1e-12)
+
+    def test_unknown_modality_is_rejected_everywhere(self, query_backends):
+        from repro.query.plane import QueryRequest
+
+        for backend in query_backends.values():
+            with pytest.raises(ConfigurationError, match="unknown query modality"):
+                backend.query(QueryRequest(modality="no-such", params={}))

@@ -85,8 +85,8 @@ class TestScatterGather:
             f"avatar/{i:02d}" for i in range(40)
         ]
 
-    def test_spatial_range_filters_by_position(self):
-        result = self.seeded().spatial_range(BBox(10.0, -1.0, 19.0, 1.0))
+    def test_query_spatial_filters_by_position(self):
+        result = self.seeded().query_spatial(BBox(10.0, -1.0, 19.0, 1.0))
         assert [key for key, _ in result.items] == [
             f"avatar/{i}" for i in range(10, 20)
         ]
@@ -127,6 +127,26 @@ class TestScatterGather:
         # Partial fan-outs are observable: the counter fires once per
         # partial gather and failed_shards names the unreachable shard.
         assert cluster.metrics.counter("cluster.gather.partial").value == 1
+
+    def test_partial_counter_fires_once_per_fanout_for_every_modality(self):
+        """Regression for the scatter-gather unification: prefix and
+        spatial queries share ONE fan-out path, so a crashed shard bumps
+        ``cluster.gather.partial`` exactly once per query regardless of
+        modality."""
+        plan = FaultPlan(rules=[
+            FaultRule(site="cluster.query", kind="crash", rate=1.0,
+                      target="shard-0"),
+        ])
+        cluster = PlatformCluster(n_shards=3, faults=FaultInjector(plan))
+        for i in range(12):
+            cluster.ingest(record(f"e/{i:02d}", {"x": float(i), "y": 0.0}))
+        cluster.flush()
+        partial = cluster.metrics.counter("cluster.gather.partial")
+        scanned = cluster.scan_prefix("e/")
+        assert scanned.partial and partial.value == 1
+        spatial = cluster.query_spatial(BBox(-1.0, -1.0, 20.0, 1.0))
+        assert spatial.partial and partial.value == 2
+        assert scanned.failed_shards == spatial.failed_shards == ("shard-0",)
 
     def test_clean_gather_does_not_count_as_partial(self):
         cluster = PlatformCluster(n_shards=3)

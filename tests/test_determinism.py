@@ -70,6 +70,9 @@ def test_smoke_artifacts_are_byte_identical_across_runs(tmp_path):
     # likewise the geo deployment (E30): partitions, hints, anti-entropy,
     # and per-mode read latencies all ride the simulated clock
     assert "e30_geo.json" in names_a
+    # and semantic retrieval (E31): embeddings, HNSW levels, and the
+    # tie-break jitter are all pure functions of (key, payload)
+    assert "e31_semantic.json" in names_a
 
     diverged = [
         name for name in names_a
@@ -130,6 +133,32 @@ def test_e30_geo_run_is_byte_identical(tmp_path):
     assert (
         canonical_bytes(tmp_path / "a" / "e30_geo.json")
         == canonical_bytes(tmp_path / "b" / "e30_geo.json")
+    )
+
+
+@pytest.mark.semantic
+def test_e31_semantic_run_is_byte_identical(tmp_path):
+    """Two semantic smoke runs: stored vectors, graph levels, link sets,
+    and distance-eval counts are pure functions of (key, payload) and
+    the seeded corpus, so the E31 payloads and JSON artifacts must
+    agree byte-for-byte once the wall-clock gauges are stripped."""
+    import io
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    bench_semantic = __import__("bench_semantic")
+
+    payloads = []
+    for run in ("a", "b"):
+        artifacts = tmp_path / run
+        payload = bench_semantic.report(
+            file=io.StringIO(), smoke=True, artifacts_dir=str(artifacts)
+        )
+        payloads.append(payload)
+    assert payloads[0]["deterministic"] == payloads[1]["deterministic"]
+    assert payloads[0]["meta"] == payloads[1]["meta"]
+    assert (
+        canonical_bytes(tmp_path / "a" / "e31_semantic.json")
+        == canonical_bytes(tmp_path / "b" / "e31_semantic.json")
     )
 
 
